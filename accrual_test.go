@@ -1,0 +1,141 @@
+package accrual_test
+
+import (
+	"testing"
+	"time"
+
+	"accrual"
+	"accrual/internal/clock"
+)
+
+var start = time.Date(2005, 3, 22, 0, 0, 0, 0, time.UTC)
+
+func TestFacadeDetectors(t *testing.T) {
+	tests := []struct {
+		name string
+		mk   func() accrual.Detector
+	}{
+		{"simple", func() accrual.Detector { return accrual.NewSimpleDetector(start) }},
+		{"chen", func() accrual.Detector { return accrual.NewChenDetector(start, 100*time.Millisecond) }},
+		{"phi", func() accrual.Detector { return accrual.NewPhiDetector(start, 100*time.Millisecond) }},
+		{"kappa", func() accrual.Detector { return accrual.NewKappaDetector(start) }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			det := tt.mk()
+			at := start
+			for i := 1; i <= 50; i++ {
+				at = at.Add(100 * time.Millisecond)
+				det.Report(accrual.Heartbeat{From: "p", Seq: uint64(i), Arrived: at})
+			}
+			healthy := det.Suspicion(at.Add(20 * time.Millisecond))
+			dead := det.Suspicion(at.Add(30 * time.Second))
+			if dead <= healthy {
+				t.Errorf("suspicion did not grow: healthy %v, dead %v", healthy, dead)
+			}
+		})
+	}
+}
+
+func TestFacadeInterpreters(t *testing.T) {
+	det := accrual.NewSimpleDetector(start)
+	det.Report(accrual.Heartbeat{From: "p", Seq: 1, Arrived: start})
+
+	th := accrual.NewThreshold(det, 2)
+	if th.Query(start.Add(time.Second)) != accrual.Trusted {
+		t.Error("below threshold should trust")
+	}
+	if th.Query(start.Add(3*time.Second)) != accrual.Suspected {
+		t.Error("above threshold should suspect")
+	}
+
+	hy := accrual.NewHysteresis(det, 2, 0.5)
+	if hy.Query(start.Add(3*time.Second)) != accrual.Suspected {
+		t.Error("hysteresis should suspect above high")
+	}
+
+	ad := accrual.NewAdaptiveBinary(det)
+	var last accrual.Status
+	for i := 0; i < 100; i++ {
+		last = ad.Query(start.Add(time.Duration(i) * time.Second))
+	}
+	if last != accrual.Suspected {
+		t.Error("adaptive interpreter should converge to suspected for a silent process")
+	}
+}
+
+func TestFacadeMonitor(t *testing.T) {
+	clk := clock.NewManual(start)
+	mon := accrual.NewMonitor(clk, func(_ string, start time.Time) accrual.Detector {
+		return accrual.NewSimpleDetector(start)
+	})
+	if err := mon.Heartbeat(accrual.Heartbeat{From: "w1", Seq: 1, Arrived: clk.Now()}); err != nil {
+		t.Fatal(err)
+	}
+	app := mon.NewApp("app", accrual.ConstantPolicy(2))
+	clk.Advance(5 * time.Second)
+	st, err := app.Status("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != accrual.Suspected {
+		t.Errorf("status = %v, want suspected after 5s of silence", st)
+	}
+}
+
+func TestWallClock(t *testing.T) {
+	before := time.Now()
+	now := accrual.WallClock().Now()
+	if now.Before(before.Add(-time.Second)) {
+		t.Error("wall clock is far off")
+	}
+}
+
+func TestFacadeBertierAndHandler(t *testing.T) {
+	det := accrual.NewBertierDetector(start, 100*time.Millisecond)
+	at := start
+	for i := 1; i <= 50; i++ {
+		at = at.Add(100 * time.Millisecond)
+		det.Report(accrual.Heartbeat{From: "p", Seq: uint64(i), Arrived: at})
+	}
+	if healthy, dead := det.Suspicion(at.Add(20*time.Millisecond)), det.Suspicion(at.Add(30*time.Second)); dead <= healthy {
+		t.Errorf("bertier did not accrue: %v -> %v", healthy, dead)
+	}
+
+	clk := clock.NewManual(start)
+	mon := accrual.NewMonitor(clk, func(_ string, start time.Time) accrual.Detector {
+		return accrual.NewSimpleDetector(start)
+	})
+	_ = mon.Heartbeat(accrual.Heartbeat{From: "p", Seq: 1, Arrived: clk.Now()})
+	var fired int
+	app := mon.NewApp("app", accrual.ConstantPolicy(1),
+		accrual.WithTransitionHandler(func(string, accrual.Transition, accrual.Status) {
+			fired++
+		}))
+	clk.Advance(3 * time.Second)
+	if _, err := app.Status("p"); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Errorf("handler fired %d times, want 1", fired)
+	}
+}
+
+func TestFacadePropertyCheckers(t *testing.T) {
+	det := accrual.NewSimpleDetector(start)
+	det.Report(accrual.Heartbeat{From: "p", Seq: 1, Arrived: start})
+	var history []accrual.QueryRecord
+	for i := 0; i < 100; i++ {
+		at := start.Add(time.Duration(i) * time.Second)
+		history = append(history, accrual.QueryRecord{At: at, Level: det.Suspicion(at)})
+	}
+	if ok, v := accrual.CheckAccruement(history, 0, 0); !ok {
+		t.Errorf("accruement violated on a silent target: %s", v)
+	}
+	if ok, _ := accrual.CheckUpperBound(history, 10); ok {
+		t.Error("a 99s silence must violate a bound of 10")
+	}
+	if ok, v := accrual.CheckUpperBound(history, -1); !ok {
+		t.Errorf("finiteness check failed: %s", v)
+	}
+}

@@ -1,0 +1,265 @@
+// Benchmarks regenerating every experiment of EXPERIMENTS.md (one bench
+// per table/figure; the bench body runs the full experiment and checks
+// its claims) plus the micro-benchmarks of the detection pipeline (E12)
+// and the ablation benches called out in DESIGN.md.
+package accrual_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"accrual/internal/chen"
+	"accrual/internal/core"
+	"accrual/internal/experiments"
+	"accrual/internal/kappa"
+	"accrual/internal/phi"
+	"accrual/internal/qos"
+	"accrual/internal/simple"
+	"accrual/internal/stats"
+	"accrual/internal/transform"
+	"accrual/internal/transport"
+)
+
+// benchExperiment runs one full experiment per iteration — at the
+// canonical seed, so every iteration is the identical deterministic
+// computation — and fails the bench if any paper claim check fails.
+// (Seed-space robustness is covered by TestExperimentsAlternateSeed in
+// internal/experiments, not by the benchmarks.)
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	run := experiments.Registry()[id]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		table := run(42)
+		if !table.Passed() {
+			for _, c := range table.Checks {
+				if !c.Pass {
+					b.Fatalf("%s check %s failed: %s", id, c.Name, c.Detail)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkE1ThresholdSweep(b *testing.B)     { benchExperiment(b, "E1") }
+func BenchmarkE2TwoThreshold(b *testing.B)       { benchExperiment(b, "E2") }
+func BenchmarkE3AccrualToBinary(b *testing.B)    { benchExperiment(b, "E3") }
+func BenchmarkE4BinaryToAccrual(b *testing.B)    { benchExperiment(b, "E4") }
+func BenchmarkE5Adversary(b *testing.B)          { benchExperiment(b, "E5") }
+func BenchmarkE6DetectorComparison(b *testing.B) { benchExperiment(b, "E6") }
+func BenchmarkE7AccruementRate(b *testing.B)     { benchExperiment(b, "E7") }
+func BenchmarkE8PhiCalibration(b *testing.B)     { benchExperiment(b, "E8") }
+func BenchmarkE9MultiQoS(b *testing.B)           { benchExperiment(b, "E9") }
+func BenchmarkE10Consensus(b *testing.B)         { benchExperiment(b, "E10") }
+func BenchmarkE11BagOfTasks(b *testing.B)        { benchExperiment(b, "E11") }
+func BenchmarkE13GossipScale(b *testing.B)       { benchExperiment(b, "E13") }
+func BenchmarkE14ReplicatedLog(b *testing.B)     { benchExperiment(b, "E14") }
+
+var benchStart = time.Date(2005, 3, 22, 0, 0, 0, 0, time.UTC)
+
+// warmDetector feeds n regular heartbeats and returns the last arrival.
+func warmDetector(d core.Detector, n int) time.Time {
+	at := benchStart
+	for i := 1; i <= n; i++ {
+		at = at.Add(100 * time.Millisecond)
+		d.Report(core.Heartbeat{From: "p", Seq: uint64(i), Arrived: at})
+	}
+	return at
+}
+
+func benchDetectors() []struct {
+	name string
+	mk   func() core.Detector
+} {
+	return []struct {
+		name string
+		mk   func() core.Detector
+	}{
+		{"Simple", func() core.Detector { return simple.New(benchStart) }},
+		{"Chen", func() core.Detector { return chen.New(benchStart, 100*time.Millisecond) }},
+		{"Phi", func() core.Detector {
+			return phi.New(benchStart, phi.WithBootstrap(100*time.Millisecond, 25*time.Millisecond))
+		}},
+		{"Kappa", func() core.Detector { return kappa.New(benchStart, kappa.PLater{}) }},
+	}
+}
+
+// BenchmarkIngest measures the monitoring half of the pipeline (E12):
+// heartbeat ingestion per detector.
+func BenchmarkIngest(b *testing.B) {
+	for _, d := range benchDetectors() {
+		b.Run(d.name, func(b *testing.B) {
+			det := d.mk()
+			at := warmDetector(det, 1000)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				at = at.Add(100 * time.Millisecond)
+				det.Report(core.Heartbeat{From: "p", Seq: uint64(1001 + i), Arrived: at})
+			}
+		})
+	}
+}
+
+// BenchmarkQuery measures the interpretation input half (E12): suspicion
+// queries in the healthy steady state.
+func BenchmarkQuery(b *testing.B) {
+	for _, d := range benchDetectors() {
+		b.Run(d.name, func(b *testing.B) {
+			det := d.mk()
+			at := warmDetector(det, 1000)
+			q := at.Add(50 * time.Millisecond)
+			var sink core.Level
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sink += det.Suspicion(q)
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkQueryCrashed measures queries long after a crash, where κ must
+// not degrade with the number of missed heartbeats.
+func BenchmarkQueryCrashed(b *testing.B) {
+	for _, d := range benchDetectors() {
+		b.Run(d.name, func(b *testing.B) {
+			det := d.mk()
+			at := warmDetector(det, 1000)
+			q := at.Add(time.Hour) // 36k missed heartbeats
+			var sink core.Level
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sink += det.Suspicion(q)
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkTransformAlgorithm1 measures one query step of the paper's
+// Algorithm 1.
+func BenchmarkTransformAlgorithm1(b *testing.B) {
+	det := phi.New(benchStart, phi.WithBootstrap(100*time.Millisecond, 25*time.Millisecond))
+	at := warmDetector(det, 1000)
+	alg := transform.NewAccrualToBinary(transform.FromDetector(det))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alg.Query(at.Add(time.Duration(i) * time.Millisecond))
+	}
+}
+
+// BenchmarkQoSEvaluate measures metric computation over a 1000-transition
+// trace.
+func BenchmarkQoSEvaluate(b *testing.B) {
+	var trs []core.Transition
+	at := benchStart
+	for i := 0; i < 1000; i++ {
+		at = at.Add(time.Second)
+		kind := core.STransition
+		if i%2 == 1 {
+			kind = core.TTransition
+		}
+		trs = append(trs, core.Transition{At: at, Kind: kind})
+	}
+	in := qos.Input{Transitions: trs, Start: benchStart, End: at.Add(time.Minute)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := qos.Evaluate(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPacketCodec measures the UDP wire codec round trip.
+func BenchmarkPacketCodec(b *testing.B) {
+	hb := core.Heartbeat{From: "worker-042", Seq: 7, Sent: benchStart}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf, err := transport.MarshalHeartbeat(hb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := transport.UnmarshalHeartbeat(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWindowPush measures the sliding-window estimator update.
+func BenchmarkWindowPush(b *testing.B) {
+	w := stats.NewWindow(200)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Push(float64(i % 100))
+	}
+}
+
+// BenchmarkAblationWindow sweeps the φ estimation window size — the
+// estimator-freshness vs noise tradeoff called out in DESIGN.md.
+func BenchmarkAblationWindow(b *testing.B) {
+	for _, size := range []int{10, 50, 200, 1000} {
+		b.Run(fmt.Sprintf("w%d", size), func(b *testing.B) {
+			det := phi.New(benchStart, phi.WithWindowSize(size),
+				phi.WithBootstrap(100*time.Millisecond, 25*time.Millisecond))
+			at := warmDetector(det, 2*size)
+			q := at.Add(50 * time.Millisecond)
+			var sink core.Level
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				at = at.Add(100 * time.Millisecond)
+				det.Report(core.Heartbeat{From: "p", Seq: uint64(2*size + i + 1), Arrived: at})
+				sink += det.Suspicion(q)
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkAblationPhiDist compares the φ detector's distribution models.
+func BenchmarkAblationPhiDist(b *testing.B) {
+	for _, m := range []phi.Model{phi.ModelNormal, phi.ModelExponential} {
+		b.Run(m.String(), func(b *testing.B) {
+			det := phi.New(benchStart, phi.WithModel(m),
+				phi.WithBootstrap(100*time.Millisecond, 25*time.Millisecond))
+			at := warmDetector(det, 1000)
+			q := at.Add(250 * time.Millisecond)
+			var sink float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sink += det.Phi(q)
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkAblationKappaContribution compares κ contribution functions.
+func BenchmarkAblationKappaContribution(b *testing.B) {
+	contribs := []struct {
+		name string
+		c    kappa.Contribution
+	}{
+		{"step", kappa.Step{Timeout: 150 * time.Millisecond}},
+		{"ramp", kappa.Ramp{Start: 50 * time.Millisecond, End: 250 * time.Millisecond}},
+		{"plater", kappa.PLater{}},
+	}
+	for _, c := range contribs {
+		b.Run(c.name, func(b *testing.B) {
+			det := kappa.New(benchStart, c.c)
+			at := warmDetector(det, 1000)
+			q := at.Add(450 * time.Millisecond)
+			var sink core.Level
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sink += det.Suspicion(q)
+			}
+			_ = sink
+		})
+	}
+}

@@ -1,0 +1,227 @@
+// Command accrualctl is the client companion to accruald.
+//
+// Subcommands:
+//
+//	accrualctl beat -id node-1 -to host:7946 [-interval 1s]
+//	    run a heartbeat sender for this process (blocks; ^C to stop)
+//	accrualctl ls   [-api http://host:8080]
+//	    list all monitored processes ranked by suspicion level
+//	accrualctl get  -id node-1 [-api ...]
+//	    print one process's suspicion level
+//	accrualctl status -id node-1 -threshold 3 [-api ...]
+//	    interpret the level with a client-side threshold (D_T)
+//	accrualctl watch -id node-1 [-every 1s] [-api ...]
+//	    poll and print the level periodically
+//	accrualctl history -id node-1 [-api ...]
+//	    print the daemon's recorded level samples for a process
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"accrual/internal/transport"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	if len(args) == 0 {
+		usage()
+		return 2
+	}
+	var err error
+	switch args[0] {
+	case "beat":
+		err = cmdBeat(args[1:])
+	case "ls":
+		err = cmdLs(args[1:])
+	case "get":
+		err = cmdGet(args[1:])
+	case "status":
+		err = cmdStatus(args[1:])
+	case "watch":
+		err = cmdWatch(args[1:])
+	case "history":
+		err = cmdHistory(args[1:])
+	default:
+		usage()
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "accrualctl: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: accrualctl <beat|ls|get|status|watch|history> [flags]")
+}
+
+func cmdHistory(args []string) error {
+	fs := flag.NewFlagSet("history", flag.ContinueOnError)
+	api := fs.String("api", "http://127.0.0.1:8080", "daemon HTTP address")
+	id := fs.String("id", "", "process id")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("missing -id")
+	}
+	var resp transport.HistoryResponse
+	if err := getJSON(*api, "/v1/history", url.Values{"id": {*id}}, &resp); err != nil {
+		return err
+	}
+	for _, s := range resp.Samples {
+		fmt.Printf("%s  %.6f\n", s.At.Format(time.RFC3339Nano), s.Level)
+	}
+	return nil
+}
+
+func cmdBeat(args []string) error {
+	fs := flag.NewFlagSet("beat", flag.ContinueOnError)
+	id := fs.String("id", "", "process id to announce")
+	to := fs.String("to", "127.0.0.1:7946", "daemon UDP address")
+	interval := fs.Duration("interval", time.Second, "heartbeat interval")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("missing -id")
+	}
+	sender, err := transport.NewSender(*id, *to, *interval)
+	if err != nil {
+		return err
+	}
+	if err := sender.Start(); err != nil {
+		return err
+	}
+	defer sender.Stop()
+	fmt.Printf("heartbeating as %q to %s every %v (^C to stop)\n", *id, *to, *interval)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	fmt.Printf("stopped after %d heartbeats\n", sender.Sent())
+	return nil
+}
+
+func getJSON(api, path string, query url.Values, out any) error {
+	u := api + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	resp, err := http.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("%s: %s (%s)", path, resp.Status, e.Error)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func cmdLs(args []string) error {
+	fs := flag.NewFlagSet("ls", flag.ContinueOnError)
+	api := fs.String("api", "http://127.0.0.1:8080", "daemon HTTP address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var resp transport.ProcessesResponse
+	if err := getJSON(*api, "/v1/processes", nil, &resp); err != nil {
+		return err
+	}
+	if len(resp.Processes) == 0 {
+		fmt.Println("no monitored processes")
+		return nil
+	}
+	fmt.Printf("%-24s %s\n", "PROCESS", "SUSPICION")
+	for _, p := range resp.Processes {
+		fmt.Printf("%-24s %.4f\n", p.ID, p.Level)
+	}
+	return nil
+}
+
+func cmdGet(args []string) error {
+	fs := flag.NewFlagSet("get", flag.ContinueOnError)
+	api := fs.String("api", "http://127.0.0.1:8080", "daemon HTTP address")
+	id := fs.String("id", "", "process id")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("missing -id")
+	}
+	var p transport.ProcessLevel
+	if err := getJSON(*api, "/v1/suspicion", url.Values{"id": {*id}}, &p); err != nil {
+		return err
+	}
+	fmt.Printf("%.6f\n", p.Level)
+	return nil
+}
+
+func cmdStatus(args []string) error {
+	fs := flag.NewFlagSet("status", flag.ContinueOnError)
+	api := fs.String("api", "http://127.0.0.1:8080", "daemon HTTP address")
+	id := fs.String("id", "", "process id")
+	threshold := fs.Float64("threshold", 3, "suspicion threshold (client-side interpretation)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("missing -id")
+	}
+	var st transport.StatusResponse
+	q := url.Values{"id": {*id}, "threshold": {strconv.FormatFloat(*threshold, 'g', -1, 64)}}
+	if err := getJSON(*api, "/v1/status", q, &st); err != nil {
+		return err
+	}
+	fmt.Printf("%s (level %.4f, threshold %.2f)\n", st.Status, st.Level, st.Threshold)
+	return nil
+}
+
+func cmdWatch(args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ContinueOnError)
+	api := fs.String("api", "http://127.0.0.1:8080", "daemon HTTP address")
+	id := fs.String("id", "", "process id")
+	every := fs.Duration("every", time.Second, "poll period")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("missing -id")
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ticker := time.NewTicker(*every)
+	defer ticker.Stop()
+	for {
+		var p transport.ProcessLevel
+		if err := getJSON(*api, "/v1/suspicion", url.Values{"id": {*id}}, &p); err != nil {
+			fmt.Fprintf(os.Stderr, "watch: %v\n", err)
+		} else {
+			fmt.Printf("%s  %s  %.6f\n", time.Now().Format(time.RFC3339), *id, p.Level)
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-ticker.C:
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"accrual/internal/clock"
+	"accrual/internal/core"
+	"accrual/internal/service"
+	"accrual/internal/simple"
+	"accrual/internal/transport"
+)
+
+func newAPIServer(t *testing.T) (*httptest.Server, *clock.Manual, *service.Monitor) {
+	t.Helper()
+	clk := clock.NewManual(time.Date(2005, 3, 22, 0, 0, 0, 0, time.UTC))
+	mon := service.NewMonitor(clk, func(_ string, start time.Time) core.Detector {
+		return simple.New(start)
+	})
+	srv := httptest.NewServer(transport.NewAPI(mon))
+	t.Cleanup(srv.Close)
+	return srv, clk, mon
+}
+
+func TestUsagePaths(t *testing.T) {
+	if code := run(nil); code != 2 {
+		t.Errorf("no args exit = %d", code)
+	}
+	if code := run([]string{"frobnicate"}); code != 2 {
+		t.Errorf("unknown subcommand exit = %d", code)
+	}
+}
+
+func TestMissingIDErrors(t *testing.T) {
+	for _, sub := range []string{"get", "status", "watch", "beat"} {
+		if code := run([]string{sub}); code != 1 {
+			t.Errorf("%s without -id exit = %d, want 1", sub, code)
+		}
+	}
+}
+
+func TestLsAgainstLiveAPI(t *testing.T) {
+	srv, clk, mon := newAPIServer(t)
+	if code := run([]string{"ls", "-api", srv.URL}); code != 0 {
+		t.Errorf("ls (empty) exit = %d", code)
+	}
+	_ = mon.Heartbeat(core.Heartbeat{From: "n1", Seq: 1, Arrived: clk.Now()})
+	if code := run([]string{"ls", "-api", srv.URL}); code != 0 {
+		t.Errorf("ls exit = %d", code)
+	}
+}
+
+func TestGetAndStatusAgainstLiveAPI(t *testing.T) {
+	srv, clk, mon := newAPIServer(t)
+	_ = mon.Heartbeat(core.Heartbeat{From: "n1", Seq: 1, Arrived: clk.Now()})
+	clk.Advance(5 * time.Second)
+	if code := run([]string{"get", "-api", srv.URL, "-id", "n1"}); code != 0 {
+		t.Errorf("get exit = %d", code)
+	}
+	if code := run([]string{"get", "-api", srv.URL, "-id", "ghost"}); code != 1 {
+		t.Errorf("get ghost exit = %d, want 1", code)
+	}
+	if code := run([]string{"status", "-api", srv.URL, "-id", "n1", "-threshold", "3"}); code != 0 {
+		t.Errorf("status exit = %d", code)
+	}
+}
+
+func TestAPIUnreachable(t *testing.T) {
+	if code := run([]string{"ls", "-api", "http://127.0.0.1:1"}); code != 1 {
+		t.Errorf("unreachable API exit = %d, want 1", code)
+	}
+}
+
+func TestHistorySubcommand(t *testing.T) {
+	srv, clk, mon := newAPIServer(t)
+	_ = mon.Heartbeat(core.Heartbeat{From: "n1", Seq: 1, Arrived: clk.Now()})
+	if code := run([]string{"history", "-api", srv.URL, "-id", "n1"}); code != 1 {
+		t.Errorf("history without recorder exit = %d, want 1 (endpoint disabled)", code)
+	}
+	if code := run([]string{"history"}); code != 1 {
+		t.Errorf("history without -id exit = %d, want 1", code)
+	}
+}

@@ -1,0 +1,149 @@
+// Command accruald is the failure-detection service daemon the paper
+// advocates (§1, §7): it listens for UDP heartbeats from monitored
+// processes and serves their raw suspicion levels over HTTP/JSON, leaving
+// all interpretation to the querying applications.
+//
+// Usage:
+//
+//	accruald [-udp :7946] [-http :8080] [-detector phi] [-interval 1s]
+//
+// Monitored processes send heartbeats with `accrualctl beat` (or any
+// client speaking the packet format of internal/transport). Applications
+// query:
+//
+//	GET /v1/processes                  ranked suspicion levels
+//	GET /v1/suspicion?id=node-1        one process's level
+//	GET /v1/status?id=node-1&threshold=3   client-chosen interpretation
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"accrual/internal/chen"
+	"accrual/internal/clock"
+	"accrual/internal/core"
+	"accrual/internal/kappa"
+	"accrual/internal/phi"
+	"accrual/internal/service"
+	"accrual/internal/simple"
+	"accrual/internal/transport"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], nil); err != nil {
+		log.Fatalf("accruald: %v", err)
+	}
+}
+
+// run starts the daemon and blocks until ctx is cancelled or a component
+// fails. When ready is non-nil it receives the bound UDP and HTTP
+// addresses once both listeners are up (used by tests).
+func run(ctx context.Context, args []string, ready chan<- [2]string) error {
+	fs := flag.NewFlagSet("accruald", flag.ContinueOnError)
+	var (
+		udpAddr  = fs.String("udp", ":7946", "UDP address for incoming heartbeats")
+		httpAddr = fs.String("http", ":8080", "HTTP address for the query API")
+		detName  = fs.String("detector", "phi", "detector per process: phi, chen, kappa, simple")
+		interval = fs.Duration("interval", time.Second, "expected heartbeat interval")
+		logTrans = fs.Bool("log-transitions", true, "log S-/T-transitions observed by an internal Algorithm 1 view")
+		history  = fs.Int("history", 600, "level samples kept per process for /v1/history (0 disables)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	factory, err := detectorFactory(*detName, *interval)
+	if err != nil {
+		return err
+	}
+	mon := service.NewMonitor(clock.Wall{}, factory)
+
+	listener, err := transport.Listen(*udpAddr, mon)
+	if err != nil {
+		return err
+	}
+	defer listener.Close()
+	log.Printf("heartbeat listener on %s (detector=%s interval=%v)", listener.Addr(), *detName, *interval)
+
+	if *logTrans {
+		// An internal observer application using the paper's
+		// parameter-free Algorithm 1; purely informational — client
+		// interpretations are independent of it.
+		app := mon.NewApp("accruald-log", service.AdaptivePolicy(),
+			service.WithTransitionHandler(func(proc string, tr core.Transition, st core.Status) {
+				log.Printf("transition: %s -> %s", proc, st)
+			}))
+		w := service.Watch(app, *interval)
+		defer w.Stop()
+	}
+
+	var apiOpts []transport.APIOption
+	if *history > 0 {
+		rec := service.NewRecorder(mon, *history)
+		runner := service.StartRecorder(rec, *interval)
+		defer runner.Stop()
+		apiOpts = append(apiOpts, transport.WithRecorder(rec))
+	}
+
+	httpLn, err := net.Listen("tcp", *httpAddr)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", *httpAddr, err)
+	}
+	srv := &http.Server{
+		Handler:           transport.NewAPI(mon, apiOpts...),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(httpLn) }()
+	log.Printf("query API on %s", httpLn.Addr())
+	if ready != nil {
+		ready <- [2]string{listener.Addr().String(), httpLn.Addr().String()}
+	}
+
+	select {
+	case <-ctx.Done():
+		log.Print("shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutCtx)
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}
+
+func detectorFactory(name string, interval time.Duration) (service.Factory, error) {
+	switch name {
+	case "phi":
+		return func(_ string, start time.Time) core.Detector {
+			return phi.New(start, phi.WithBootstrap(interval, interval/4))
+		}, nil
+	case "chen":
+		return func(_ string, start time.Time) core.Detector {
+			return chen.New(start, interval)
+		}, nil
+	case "kappa":
+		return func(_ string, start time.Time) core.Detector {
+			return kappa.New(start, kappa.PLater{}, kappa.WithFixedInterval(interval))
+		}, nil
+	case "simple":
+		return func(_ string, start time.Time) core.Detector {
+			return simple.New(start)
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown detector %q (want phi, chen, kappa or simple)", name)
+	}
+}

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"accrual/internal/transport"
+)
+
+func TestDetectorFactory(t *testing.T) {
+	for _, name := range []string{"phi", "chen", "kappa", "simple"} {
+		f, err := detectorFactory(name, time.Second)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		det := f("p", time.Now())
+		if det == nil {
+			t.Fatalf("%s: nil detector", name)
+		}
+	}
+	if _, err := detectorFactory("bogus", time.Second); err == nil {
+		t.Error("unknown detector name should fail")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	ctx := context.Background()
+	if err := run(ctx, []string{"-detector", "bogus", "-udp", "127.0.0.1:0", "-http", "127.0.0.1:0"}, nil); err == nil {
+		t.Error("bad detector should fail")
+	}
+	if err := run(ctx, []string{"-udp", "256.0.0.1:bad"}, nil); err == nil {
+		t.Error("bad UDP address should fail")
+	}
+}
+
+// TestDaemonEndToEnd boots the daemon on ephemeral ports, heartbeats it
+// over real UDP, queries the HTTP API, and shuts it down cleanly.
+func TestDaemonEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time daemon test skipped in -short mode")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan [2]string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-udp", "127.0.0.1:0", "-http", "127.0.0.1:0",
+			"-interval", "20ms", "-log-transitions=false",
+		}, ready)
+	}()
+	var addrs [2]string
+	select {
+	case addrs = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	udpAddr, httpAddr := addrs[0], addrs[1]
+
+	sender, err := transport.NewSender("node-1", udpAddr, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sender.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Stop()
+
+	base := "http://" + httpAddr
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("node-1 never appeared in /v1/processes")
+		}
+		resp, err := http.Get(base + "/v1/processes")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pr transport.ProcessesResponse
+		err = json.NewDecoder(resp.Body).Decode(&pr)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pr.Processes) == 1 && pr.Processes[0].ID == "node-1" {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	resp, err := http.Get(base + "/v1/status?id=node-1&threshold=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st transport.StatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Status != "trusted" {
+		t.Errorf("heartbeating node reported %q", st.Status)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("shutdown error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+// TestDaemonHistoryEndpoint boots the daemon with history recording and
+// reads back a level trajectory over HTTP.
+func TestDaemonHistoryEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time daemon test skipped in -short mode")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan [2]string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-udp", "127.0.0.1:0", "-http", "127.0.0.1:0",
+			"-interval", "15ms", "-history", "64", "-log-transitions=false",
+		}, ready)
+	}()
+	var addrs [2]string
+	select {
+	case addrs = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	sender, err := transport.NewSender("n1", addrs[0], 15*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sender.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Stop()
+
+	base := "http://" + addrs[1]
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("history never accumulated")
+		}
+		resp, err := http.Get(base + "/v1/history?id=n1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hr transport.HistoryResponse
+		err = json.NewDecoder(resp.Body).Decode(&hr)
+		resp.Body.Close()
+		if err == nil && resp.StatusCode == http.StatusOK && len(hr.Samples) >= 2 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"accrual/internal/core"
+	"accrual/internal/sim"
+	"accrual/internal/simple"
+)
+
+func TestRunUnknownSweep(t *testing.T) {
+	if code := run([]string{"-sweep", "bogus"}); code != 2 {
+		t.Errorf("unknown sweep exit code = %d, want 2", code)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if code := run([]string{"-nope"}); code != 2 {
+		t.Errorf("bad flag exit code = %d, want 2", code)
+	}
+}
+
+func TestMetricsAtDetection(t *testing.T) {
+	det := simple.New(sim.Epoch)
+	res := runPair(5, det, 100*time.Millisecond, sim.NoLoss{}, 10*time.Second, 20*time.Second)
+	if res.crashAt.IsZero() {
+		t.Fatal("crash not recorded")
+	}
+	td, detected, lam := metricsAt(res, core.Level(1))
+	if !detected {
+		t.Fatal("crash not detected")
+	}
+	if td <= 0 || td > 2*time.Second {
+		t.Errorf("TD = %v", td)
+	}
+	if lam != 0 {
+		t.Errorf("mistake rate on a clean channel = %v, want 0", lam)
+	}
+}
+
+func TestMetricsAtAccuracyOnly(t *testing.T) {
+	det := simple.New(sim.Epoch)
+	res := runPair(6, det, 100*time.Millisecond, sim.BernoulliLoss{P: 0.3}, 0, time.Minute)
+	_, detected, lam := metricsAt(res, core.Level(0.15))
+	if detected {
+		t.Error("no crash, nothing to detect")
+	}
+	if lam <= 0 {
+		t.Error("30% loss at a hair-trigger threshold must cause mistakes")
+	}
+}
+
+func TestSweepsRun(t *testing.T) {
+	// The sweeps print to stdout; this just exercises them end to end.
+	if testing.Short() {
+		t.Skip("sweeps skipped in -short mode")
+	}
+	for _, sweep := range []string{"threshold", "window", "loss", "interval", "gst"} {
+		if code := run([]string{"-sweep", sweep, "-seed", "7"}); code != 0 {
+			t.Errorf("sweep %s exit code = %d", sweep, code)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if code := run([]string{"-list"}); code != 0 {
+		t.Errorf("-list exit code = %d", code)
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	// E4 is the cheapest fully deterministic experiment.
+	if code := run([]string{"-exp", "E4"}); code != 0 {
+		t.Errorf("-exp E4 exit code = %d", code)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if code := run([]string{"-exp", "E99"}); code != 2 {
+		t.Errorf("unknown experiment exit code = %d, want 2", code)
+	}
+}
+
+func TestRunNoArgs(t *testing.T) {
+	if code := run(nil); code != 2 {
+		t.Errorf("no-args exit code = %d, want 2", code)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if code := run([]string{"-definitely-not-a-flag"}); code != 2 {
+		t.Errorf("bad flag exit code = %d, want 2", code)
+	}
+}
+
+func TestTitlesCoverRegistry(t *testing.T) {
+	// Every registered experiment needs a -list title.
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"} {
+		if placeholderTitle(id, nil) == "" {
+			t.Errorf("missing -list title for %s", id)
+		}
+	}
+}

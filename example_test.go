@@ -1,0 +1,101 @@
+package accrual_test
+
+import (
+	"fmt"
+	"time"
+
+	"accrual"
+	"accrual/internal/clock"
+)
+
+// The examples use a fixed epoch so their output is reproducible.
+var exampleStart = time.Date(2005, 3, 22, 0, 0, 0, 0, time.UTC)
+
+// ExampleNewPhiDetector monitors one process with φ: the level is near
+// zero while heartbeats arrive and accrues once they stop.
+func ExampleNewPhiDetector() {
+	det := accrual.NewPhiDetector(exampleStart, 100*time.Millisecond)
+	at := exampleStart
+	for seq := uint64(1); seq <= 100; seq++ {
+		at = at.Add(100 * time.Millisecond)
+		det.Report(accrual.Heartbeat{From: "node-1", Seq: seq, Arrived: at})
+	}
+	fmt.Printf("alive: %.1f\n", float64(det.Suspicion(at.Add(50*time.Millisecond))))
+	fmt.Printf("silent for 2s: %v\n", det.Suspicion(at.Add(2*time.Second)) > 10)
+	// Output:
+	// alive: 0.0
+	// silent for 2s: true
+}
+
+// ExampleNewThreshold shows the paper's D_T interpreter: the application
+// owns the threshold, not the monitor.
+func ExampleNewThreshold() {
+	det := accrual.NewSimpleDetector(exampleStart)
+	det.Report(accrual.Heartbeat{From: "p", Seq: 1, Arrived: exampleStart})
+
+	aggressive := accrual.NewThreshold(det, 1)   // suspect after 1s of silence
+	conservative := accrual.NewThreshold(det, 5) // suspect after 5s
+
+	now := exampleStart.Add(3 * time.Second)
+	fmt.Println("aggressive:", aggressive.Query(now))
+	fmt.Println("conservative:", conservative.Query(now))
+	// Output:
+	// aggressive: suspected
+	// conservative: trusted
+}
+
+// ExampleNewAdaptiveBinary runs the paper's Algorithm 1: a parameter-free
+// binary view that eventually suspects a silent process permanently.
+func ExampleNewAdaptiveBinary() {
+	det := accrual.NewSimpleDetector(exampleStart)
+	det.Report(accrual.Heartbeat{From: "p", Seq: 1, Arrived: exampleStart})
+	bin := accrual.NewAdaptiveBinary(det)
+	var status accrual.Status
+	for i := 1; i <= 60; i++ { // one query per second; p stays silent
+		status = bin.Query(exampleStart.Add(time.Duration(i) * time.Second))
+	}
+	fmt.Println(status)
+	// Output:
+	// suspected
+}
+
+// ExampleNewMonitor wires the Figure-2 architecture: one monitor, two
+// applications with different thresholds over the same levels.
+func ExampleNewMonitor() {
+	clk := clock.NewManual(exampleStart)
+	mon := accrual.NewMonitor(clk, func(_ string, start time.Time) accrual.Detector {
+		return accrual.NewSimpleDetector(start)
+	})
+	_ = mon.Heartbeat(accrual.Heartbeat{From: "worker", Seq: 1, Arrived: clk.Now()})
+	realtime := mon.NewApp("realtime", accrual.ConstantPolicy(1))
+	batch := mon.NewApp("batch", accrual.ConstantPolicy(10))
+
+	clk.Advance(3 * time.Second)
+	s1, _ := realtime.Status("worker")
+	s2, _ := batch.Status("worker")
+	fmt.Println("realtime:", s1)
+	fmt.Println("batch:", s2)
+	// Output:
+	// realtime: suspected
+	// batch: trusted
+}
+
+// ExampleMonitor_Ranked shows the worker-ranking usage pattern from the
+// paper's Bag-of-Tasks example: least suspected first.
+func ExampleMonitor_Ranked() {
+	clk := clock.NewManual(exampleStart)
+	mon := accrual.NewMonitor(clk, func(_ string, start time.Time) accrual.Detector {
+		return accrual.NewSimpleDetector(start)
+	})
+	_ = mon.Heartbeat(accrual.Heartbeat{From: "stale", Seq: 1, Arrived: clk.Now()})
+	clk.Advance(4 * time.Second)
+	_ = mon.Heartbeat(accrual.Heartbeat{From: "fresh", Seq: 1, Arrived: clk.Now()})
+	clk.Advance(time.Second)
+
+	for _, rp := range mon.Ranked() {
+		fmt.Printf("%s %.0f\n", rp.ID, float64(rp.Level))
+	}
+	// Output:
+	// fresh 1
+	// stale 5
+}

@@ -1,0 +1,88 @@
+// Daemon: the failure-detection service over a real network (loopback
+// UDP + HTTP), embedded in one process for demonstration.
+//
+// Two "nodes" send real UDP heartbeats every 50ms to a monitor that
+// serves suspicion levels over HTTP/JSON — the deployment the paper's §7
+// sketches (a per-host service; applications interpret the levels
+// themselves). Halfway through, node-2's sender is stopped (a crash);
+// watch its level climb while node-1 stays near zero. Everything here
+// also works across machines: see cmd/accruald and cmd/accrualctl.
+//
+// Run with: go run ./examples/daemon
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"accrual"
+	"accrual/internal/transport"
+)
+
+func main() {
+	const interval = 50 * time.Millisecond
+
+	mon := accrual.NewMonitor(accrual.WallClock(), func(_ string, start time.Time) accrual.Detector {
+		return accrual.NewPhiDetector(start, interval)
+	})
+
+	// Heartbeat ingress: a real UDP socket on loopback.
+	listener, err := transport.Listen("127.0.0.1:0", mon)
+	must(err)
+	defer listener.Close()
+
+	// Query egress: the HTTP/JSON API.
+	api := httptest.NewServer(transport.NewAPI(mon))
+	defer api.Close()
+	fmt.Printf("heartbeats -> %s, queries -> %s\n\n", listener.Addr(), api.URL)
+
+	// Two monitored nodes.
+	node1, err := transport.NewSender("node-1", listener.Addr().String(), interval)
+	must(err)
+	must(node1.Start())
+	defer node1.Stop()
+	node2, err := transport.NewSender("node-2", listener.Addr().String(), interval)
+	must(err)
+	must(node2.Start())
+
+	poll := func(label string) {
+		var resp transport.ProcessesResponse
+		r, err := http.Get(api.URL + "/v1/processes")
+		must(err)
+		defer r.Body.Close()
+		must(json.NewDecoder(r.Body).Decode(&resp))
+		fmt.Printf("%-22s", label)
+		for _, p := range resp.Processes {
+			fmt.Printf("  %s=%.3f", p.ID, p.Level)
+		}
+		fmt.Println()
+	}
+
+	time.Sleep(time.Second)
+	poll("both alive:")
+
+	fmt.Println("\nstopping node-2's heartbeats (crash)...")
+	node2.Stop()
+	for i := 1; i <= 5; i++ {
+		time.Sleep(400 * time.Millisecond)
+		poll(fmt.Sprintf("+%dms:", i*400))
+	}
+
+	// Client-side interpretation over HTTP: the threshold belongs to the
+	// caller, not the service.
+	var st transport.StatusResponse
+	r, err := http.Get(api.URL + "/v1/status?id=node-2&threshold=3")
+	must(err)
+	defer r.Body.Close()
+	must(json.NewDecoder(r.Body).Decode(&st))
+	fmt.Printf("\nclient verdict with its own threshold Φ>3: node-2 is %s (level %.2f)\n", st.Status, st.Level)
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,66 @@
+// Quickstart: monitor one process with the φ accrual failure detector.
+//
+// The program synthesises a heartbeat stream (100ms ± jitter), feeds it
+// to the detector, then lets the process "crash" and prints how the
+// suspicion level accrues — first staying near zero while heartbeats
+// arrive, then growing without bound once they stop. Two applications
+// with different thresholds read the same level and react at different
+// times: that is the whole point of the accrual model.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"accrual"
+)
+
+func main() {
+	start := time.Date(2005, 3, 22, 0, 0, 0, 0, time.UTC)
+	const interval = 100 * time.Millisecond
+
+	det := accrual.NewPhiDetector(start, interval)
+	rng := rand.New(rand.NewPCG(1, 2))
+
+	// Phase 1: the process is alive and sends 200 heartbeats over a
+	// fairly noisy channel (±25ms of jitter).
+	at := start
+	for seq := uint64(1); seq <= 200; seq++ {
+		jitter := time.Duration(rng.NormFloat64() * 25 * float64(time.Millisecond))
+		at = at.Add(interval + jitter)
+		det.Report(accrual.Heartbeat{From: "node-1", Seq: seq, Arrived: at})
+	}
+	crash := at // the process crashes right after its last heartbeat
+
+	// Two applications interpret the same suspicion level differently.
+	const (
+		aggressiveThreshold   = accrual.Level(1) // ~10% wrong-suspicion odds
+		conservativeThreshold = accrual.Level(8) // ~10^-8 wrong-suspicion odds
+	)
+
+	fmt.Println("time since crash   suspicion   aggressive(Φ>1)  conservative(Φ>8)")
+	var aggressiveAt, conservativeAt time.Duration
+	for offset := time.Duration(0); offset <= time.Second; offset += 25 * time.Millisecond {
+		now := crash.Add(offset)
+		level := det.Suspicion(now)
+		agg, cons := "trusts", "trusts"
+		if level > aggressiveThreshold {
+			agg = "SUSPECTS"
+			if aggressiveAt == 0 {
+				aggressiveAt = offset
+			}
+		}
+		if level > conservativeThreshold {
+			cons = "SUSPECTS"
+			if conservativeAt == 0 {
+				conservativeAt = offset
+			}
+		}
+		fmt.Printf("%8s           %8.3f   %-16s %s\n", offset, float64(level), agg, cons)
+	}
+	fmt.Printf("\nthe aggressive app reacted at +%v, the conservative one at +%v —\n", aggressiveAt, conservativeAt)
+	fmt.Println("one monitor, two qualities of service, zero re-monitoring.")
+}

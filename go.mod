@@ -1,0 +1,3 @@
+module accrual
+
+go 1.22

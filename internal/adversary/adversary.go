@@ -1,0 +1,88 @@
+// Package adversary implements the adaptive adversary of Appendix A.5 of
+// the paper, which proves that the Weak Accruement property (the level
+// merely goes to infinity) is not strong enough to implement a ◇P binary
+// failure detector: no algorithm can stabilise against a suspicion source
+// that freezes whenever the algorithm suspects and grows whenever it
+// trusts.
+//
+// The package also provides a compliant control source satisfying the full
+// Accruement property (Property 1), against which the same transformation
+// does stabilise — experiment E5 runs both side by side.
+package adversary
+
+import "accrual/internal/core"
+
+// WeakSource is the A.5 adversary. Its replies depend on the consuming
+// algorithm's current output, supplied by the caller before each query:
+//
+//   - if the algorithm suspects the monitored process, the level stays
+//     constant (starving any trust run-length bound),
+//   - if the algorithm trusts it, the level grows by ε (eventually
+//     crossing any suspicion threshold).
+//
+// Every history it produces satisfies Upper Bound vacuously on finite
+// prefixes and Weak Accruement whenever the level diverges, yet no
+// algorithm reading it can make a permanent decision.
+type WeakSource struct {
+	eps   core.Level
+	level core.Level
+}
+
+// NewWeakSource returns the adversary with resolution eps (ε defaults to
+// 1 when non-positive).
+func NewWeakSource(eps core.Level) *WeakSource {
+	if eps <= 0 {
+		eps = 1
+	}
+	return &WeakSource{eps: eps}
+}
+
+// Next returns the suspicion level for the next query, given the
+// algorithm's current output (its status before this query).
+func (s *WeakSource) Next(observed core.Status) core.Level {
+	if observed != core.Suspected {
+		s.level += s.eps
+	}
+	return s.level
+}
+
+// Level returns the adversary's current level.
+func (s *WeakSource) Level() core.Level { return s.level }
+
+// CompliantSource satisfies the genuine Accruement property (Property 1)
+// regardless of the consuming algorithm's output: the level increases by
+// ε at least once every Q queries and never decreases. It models a
+// crashed process as seen through a well-formed ◇P_ac detector and serves
+// as the control in experiment E5.
+type CompliantSource struct {
+	eps       core.Level
+	q         int
+	sinceIncr int
+	level     core.Level
+}
+
+// NewCompliantSource returns a source that increases by eps every q-th
+// query (q ≥ 1; values below 1 are raised to 1).
+func NewCompliantSource(eps core.Level, q int) *CompliantSource {
+	if eps <= 0 {
+		eps = 1
+	}
+	if q < 1 {
+		q = 1
+	}
+	return &CompliantSource{eps: eps, q: q}
+}
+
+// Next returns the suspicion level for the next query. The observed
+// status is ignored: a compliant source cannot adapt to the algorithm.
+func (s *CompliantSource) Next(core.Status) core.Level {
+	s.sinceIncr++
+	if s.sinceIncr >= s.q {
+		s.level += s.eps
+		s.sinceIncr = 0
+	}
+	return s.level
+}
+
+// Level returns the source's current level.
+func (s *CompliantSource) Level() core.Level { return s.level }

@@ -1,0 +1,122 @@
+package adversary
+
+import (
+	"testing"
+	"time"
+
+	"accrual/internal/core"
+	"accrual/internal/transform"
+)
+
+var start = time.Date(2005, 3, 22, 0, 0, 0, 0, time.UTC)
+
+func TestWeakSourceFreezesWhileSuspected(t *testing.T) {
+	s := NewWeakSource(1)
+	l1 := s.Next(core.Suspected)
+	l2 := s.Next(core.Suspected)
+	if l1 != 0 || l2 != 0 {
+		t.Errorf("levels while suspected: %v, %v (must stay constant)", l1, l2)
+	}
+}
+
+func TestWeakSourceGrowsWhileTrusted(t *testing.T) {
+	s := NewWeakSource(0.5)
+	l1 := s.Next(core.Trusted)
+	l2 := s.Next(core.Trusted)
+	if l1 != 0.5 || l2 != 1 {
+		t.Errorf("levels while trusted: %v, %v", l1, l2)
+	}
+	if s.Level() != 1 {
+		t.Errorf("Level = %v", s.Level())
+	}
+}
+
+func TestWeakSourceDefaultEps(t *testing.T) {
+	s := NewWeakSource(0)
+	if got := s.Next(core.Trusted); got != 1 {
+		t.Errorf("default eps level = %v, want 1", got)
+	}
+}
+
+func TestCompliantSourceIncreasesEveryQQueries(t *testing.T) {
+	s := NewCompliantSource(1, 3)
+	var levels []core.Level
+	for i := 0; i < 9; i++ {
+		levels = append(levels, s.Next(core.Trusted))
+	}
+	want := []core.Level{0, 0, 1, 1, 1, 2, 2, 2, 3}
+	for i := range want {
+		if levels[i] != want[i] {
+			t.Fatalf("levels = %v, want %v", levels, want)
+		}
+	}
+	if s.Level() != 3 {
+		t.Errorf("Level = %v", s.Level())
+	}
+}
+
+func TestCompliantSourceIgnoresObservedStatus(t *testing.T) {
+	a := NewCompliantSource(1, 1)
+	b := NewCompliantSource(1, 1)
+	for i := 0; i < 10; i++ {
+		la := a.Next(core.Suspected)
+		lb := b.Next(core.Trusted)
+		if la != lb {
+			t.Fatal("compliant source must not adapt to the algorithm")
+		}
+	}
+}
+
+func TestCompliantSourceClamping(t *testing.T) {
+	s := NewCompliantSource(-1, 0)
+	if got := s.Next(core.Trusted); got != 1 {
+		t.Errorf("clamped source level = %v, want 1 (eps=1, q=1)", got)
+	}
+}
+
+// TestAdversaryDefeatsAlgorithm1 reproduces the A.5 argument empirically:
+// against the weak-accruement adversary, Algorithm 1 keeps oscillating
+// (transitions never stop), while against a compliant source it
+// stabilises on "suspected".
+func TestAdversaryDefeatsAlgorithm1(t *testing.T) {
+	const n = 50000
+	countTransitions := func(next func(core.Status) core.Level) (transitions, lastIdx int, final core.Status) {
+		var alg *transform.AccrualToBinary
+		src := func(time.Time) core.Level {
+			return next(alg.Status())
+		}
+		alg = transform.NewAccrualToBinary(src)
+		prev := core.Trusted
+		for i := 0; i < n; i++ {
+			s := alg.Query(start.Add(time.Duration(i) * time.Second))
+			if s != prev {
+				transitions++
+				lastIdx = i
+				prev = s
+			}
+			final = s
+		}
+		return transitions, lastIdx, final
+	}
+
+	weak := NewWeakSource(1)
+	wTrans, wLast, _ := countTransitions(weak.Next)
+	if wTrans < 100 {
+		t.Errorf("adversary produced only %d transitions; algorithm should never stabilise", wTrans)
+	}
+	if n-wLast > n/10 {
+		t.Errorf("last transition against adversary at %d/%d: looks stabilised", wLast, n)
+	}
+
+	compliant := NewCompliantSource(1, 3)
+	cTrans, cLast, cFinal := countTransitions(compliant.Next)
+	if cFinal != core.Suspected {
+		t.Error("compliant (faulty) source must end suspected")
+	}
+	if n-cLast < n/2 {
+		t.Errorf("algorithm did not stabilise against compliant source (last transition %d/%d)", cLast, n)
+	}
+	if cTrans >= wTrans {
+		t.Errorf("compliant source caused %d transitions, adversary %d", cTrans, wTrans)
+	}
+}

@@ -1,0 +1,141 @@
+package bertier
+
+import (
+	"testing"
+	"time"
+
+	"accrual/internal/core"
+	"accrual/internal/stats"
+)
+
+var start = time.Date(2005, 3, 22, 0, 0, 0, 0, time.UTC)
+
+const interval = 100 * time.Millisecond
+
+func feed(d *Detector, n int, jitterSigma float64, seed uint64) time.Time {
+	rng := stats.NewRand(seed)
+	at := start
+	for i := 1; i <= n; i++ {
+		gap := interval
+		if jitterSigma > 0 {
+			gap += time.Duration(rng.NormFloat64() * jitterSigma * float64(time.Second))
+			if gap < time.Millisecond {
+				gap = time.Millisecond
+			}
+		}
+		at = at.Add(gap)
+		d.Report(core.Heartbeat{From: "p", Seq: uint64(i), Arrived: at})
+	}
+	return at
+}
+
+func TestMarginAdaptsToJitter(t *testing.T) {
+	calm := New(start, interval)
+	feed(calm, 200, 0.002, 1)
+	noisy := New(start, interval)
+	feed(noisy, 200, 0.030, 1)
+	if calm.Margin() >= noisy.Margin() {
+		t.Errorf("margin did not adapt: calm %v >= noisy %v", calm.Margin(), noisy.Margin())
+	}
+	if noisy.Margin() < 30*time.Millisecond {
+		t.Errorf("noisy margin %v, want at least one sigma", noisy.Margin())
+	}
+}
+
+func TestMarginFloor(t *testing.T) {
+	d := New(start, interval, WithMinMargin(5*time.Millisecond))
+	feed(d, 100, 0, 2) // perfectly regular: raw margin would collapse
+	if d.Margin() < 5*time.Millisecond {
+		t.Errorf("margin %v below floor", d.Margin())
+	}
+}
+
+func TestSuspicionNormalisedUnits(t *testing.T) {
+	d := New(start, interval)
+	last := feed(d, 200, 0.01, 3)
+	ea, ok := d.ExpectedArrival()
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	// At EA + margin the level is exactly 1 (the binary suspicion point).
+	at := ea.Add(d.Margin())
+	lvl := d.Suspicion(at)
+	if lvl < 0.95 || lvl > 1.05 {
+		t.Errorf("level at EA+margin = %v, want ~1", lvl)
+	}
+	if got := d.Suspicion(last); got != 0 {
+		t.Errorf("level at last arrival = %v, want 0", got)
+	}
+}
+
+func TestBinaryMatchesLevelOne(t *testing.T) {
+	d := New(start, interval)
+	feed(d, 200, 0.01, 4)
+	bin := &Binary{D: d}
+	ea, _ := d.ExpectedArrival()
+	if got := bin.Query(ea.Add(d.Margin() / 2)); got != core.Trusted {
+		t.Errorf("inside margin: %v", got)
+	}
+	if got := bin.Query(ea.Add(2 * d.Margin())); got != core.Suspected {
+		t.Errorf("past margin: %v", got)
+	}
+}
+
+func TestAccruementAfterCrash(t *testing.T) {
+	d := New(start, interval)
+	last := feed(d, 200, 0.01, 5)
+	var history []core.QueryRecord
+	for i := 0; i < 500; i++ {
+		at := last.Add(time.Duration(i) * 50 * time.Millisecond)
+		history = append(history, core.QueryRecord{At: at, Level: d.Suspicion(at)})
+	}
+	rep := core.CheckAccruement(history, 10, 0)
+	if !rep.Holds {
+		t.Fatalf("Accruement violated: %s", rep.Violation)
+	}
+	if history[len(history)-1].Level < 10 {
+		t.Errorf("final level %v, want large", history[len(history)-1].Level)
+	}
+}
+
+func TestJacobsonOptionClamps(t *testing.T) {
+	d := New(start, interval, WithJacobson(-1, -2, -3))
+	if d.gamma != defaultGamma || d.beta != defaultBeta || d.phi != defaultPhi {
+		t.Errorf("invalid parameters must keep defaults: %+v", d)
+	}
+	d2 := New(start, interval, WithJacobson(0.5, 2, 6))
+	if d2.gamma != 0.5 || d2.beta != 2 || d2.phi != 6 {
+		t.Errorf("valid parameters not applied: %+v", d2)
+	}
+}
+
+func TestResolution(t *testing.T) {
+	d := New(start, interval, WithResolution(0.5))
+	last := feed(d, 100, 0.01, 6)
+	lvl := float64(d.Suspicion(last.Add(time.Second)))
+	if lvl != float64(int(lvl*2))/2 {
+		t.Errorf("level %v not quantised to 0.5", lvl)
+	}
+}
+
+func TestWindowSizeOption(t *testing.T) {
+	d := New(start, interval, WithWindowSize(8))
+	feed(d, 100, 0.01, 7)
+	// The estimator must still work with a tiny window.
+	if _, ok := d.ExpectedArrival(); !ok {
+		t.Error("no estimate with small window")
+	}
+}
+
+func TestOutOfOrderHeartbeatSkipsJacobsonUpdate(t *testing.T) {
+	d := New(start, interval)
+	feed(d, 50, 0.01, 8)
+	before := d.Margin()
+	// A heartbeat skipping two sequence numbers (losses) must not feed a
+	// 300ms "error" into the margin estimator.
+	d.Report(core.Heartbeat{From: "p", Seq: 53, Arrived: start.Add(53 * interval)})
+	after := d.Margin()
+	if after > before*2 {
+		t.Errorf("margin exploded on a gap: %v -> %v", before, after)
+	}
+}

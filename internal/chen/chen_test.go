@@ -1,0 +1,178 @@
+package chen
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"accrual/internal/core"
+)
+
+var start = time.Date(2005, 3, 22, 0, 0, 0, 0, time.UTC)
+
+const interval = 100 * time.Millisecond
+
+func feed(d *Detector, n int, jitter func(i int) time.Duration) time.Time {
+	var last time.Time
+	for i := 1; i <= n; i++ {
+		at := start.Add(time.Duration(i) * interval)
+		if jitter != nil {
+			at = at.Add(jitter(i))
+		}
+		d.Report(core.Heartbeat{From: "p", Seq: uint64(i), Arrived: at})
+		last = at
+	}
+	return last
+}
+
+func TestExpectedArrivalPerfectHeartbeats(t *testing.T) {
+	d := New(start, interval)
+	feed(d, 50, nil)
+	ea, ok := d.ExpectedArrival()
+	if !ok {
+		t.Fatal("no estimate after 50 heartbeats")
+	}
+	want := start.Add(51 * interval)
+	if diff := ea.Sub(want); diff < -time.Millisecond || diff > time.Millisecond {
+		t.Errorf("EA = %v, want %v (diff %v)", ea, want, diff)
+	}
+}
+
+func TestExpectedArrivalAbsorbsConstantDelay(t *testing.T) {
+	// A constant extra delay shifts EA by the same amount.
+	d := New(start, interval)
+	feed(d, 50, func(int) time.Duration { return 20 * time.Millisecond })
+	ea, _ := d.ExpectedArrival()
+	want := start.Add(51*interval + 20*time.Millisecond)
+	if diff := ea.Sub(want); diff < -time.Millisecond || diff > time.Millisecond {
+		t.Errorf("EA = %v, want %v", ea, want)
+	}
+}
+
+func TestSuspicionZeroBeforeEA(t *testing.T) {
+	d := New(start, interval)
+	last := feed(d, 20, nil)
+	if got := d.Suspicion(last.Add(interval / 2)); got != 0 {
+		t.Errorf("level before EA = %v, want 0", got)
+	}
+}
+
+func TestSuspicionGrowsLinearlyPastEA(t *testing.T) {
+	d := New(start, interval)
+	feed(d, 20, nil)
+	ea, _ := d.ExpectedArrival()
+	l1 := d.Suspicion(ea.Add(time.Second))
+	l2 := d.Suspicion(ea.Add(2 * time.Second))
+	if math.Abs(float64(l1)-1) > 0.01 {
+		t.Errorf("level 1s past EA = %v, want ~1", l1)
+	}
+	if math.Abs(float64(l2-l1)-1) > 0.01 {
+		t.Errorf("growth not linear: %v -> %v", l1, l2)
+	}
+}
+
+func TestSuspicionBeforeFirstHeartbeat(t *testing.T) {
+	d := New(start, interval)
+	if got := d.Suspicion(start.Add(interval / 2)); got != 0 {
+		t.Errorf("level before first expected arrival = %v", got)
+	}
+	if got := d.Suspicion(start.Add(interval + time.Second)); math.Abs(float64(got)-1) > 1e-9 {
+		t.Errorf("level 1s past start+interval = %v, want 1", got)
+	}
+}
+
+func TestStaleHeartbeatsIgnored(t *testing.T) {
+	d := New(start, interval)
+	feed(d, 10, nil)
+	before, _ := d.ExpectedArrival()
+	d.Report(core.Heartbeat{From: "p", Seq: 3, Arrived: start.Add(time.Hour)})
+	after, _ := d.ExpectedArrival()
+	if !before.Equal(after) {
+		t.Error("stale heartbeat changed the estimate")
+	}
+	if d.LastSeq() != 10 {
+		t.Errorf("LastSeq = %d", d.LastSeq())
+	}
+}
+
+func TestWindowSlides(t *testing.T) {
+	// After a shift in network delay, a small window converges to the
+	// new regime.
+	d := New(start, interval, WithWindowSize(10))
+	feed(d, 30, nil)
+	// 30 more heartbeats, each 50ms late.
+	for i := 31; i <= 60; i++ {
+		at := start.Add(time.Duration(i)*interval + 50*time.Millisecond)
+		d.Report(core.Heartbeat{From: "p", Seq: uint64(i), Arrived: at})
+	}
+	ea, _ := d.ExpectedArrival()
+	want := start.Add(61*interval + 50*time.Millisecond)
+	if diff := ea.Sub(want); diff < -time.Millisecond || diff > time.Millisecond {
+		t.Errorf("EA after regime change = %v, want %v", ea, want)
+	}
+}
+
+func TestBinaryMatchesAccrualWithAlphaThreshold(t *testing.T) {
+	// §5.2: the binary Chen detector with margin alpha is the accrual
+	// one compared against threshold alpha (in seconds).
+	d := New(start, interval)
+	last := feed(d, 20, nil)
+	bin := &Binary{D: d, Alpha: 500 * time.Millisecond}
+	for off := time.Duration(0); off < 3*time.Second; off += 37 * time.Millisecond {
+		now := last.Add(off)
+		sl := d.Suspicion(now)
+		binary := bin.Query(now)
+		accrualSuspects := sl > 0.5
+		if accrualSuspects != (binary == core.Suspected) {
+			t.Fatalf("at +%v: level %v vs binary %v", off, sl, binary)
+		}
+	}
+}
+
+func TestBinaryBeforeFirstHeartbeat(t *testing.T) {
+	d := New(start, interval)
+	bin := &Binary{D: d, Alpha: 200 * time.Millisecond}
+	if got := bin.Query(start.Add(interval)); got != core.Trusted {
+		t.Errorf("before margin: %v", got)
+	}
+	if got := bin.Query(start.Add(interval + 201*time.Millisecond)); got != core.Suspected {
+		t.Errorf("after margin: %v", got)
+	}
+}
+
+func TestResolution(t *testing.T) {
+	d := New(start, interval, WithResolution(0.25))
+	feed(d, 10, nil)
+	ea, _ := d.ExpectedArrival()
+	got := d.Suspicion(ea.Add(330 * time.Millisecond))
+	if got != 0.25 {
+		t.Errorf("quantised level = %v, want 0.25", got)
+	}
+}
+
+func TestUnitOption(t *testing.T) {
+	d := New(start, interval, WithUnit(time.Millisecond))
+	feed(d, 10, nil)
+	ea, _ := d.ExpectedArrival()
+	got := d.Suspicion(ea.Add(250 * time.Millisecond))
+	if math.Abs(float64(got)-250) > 1 {
+		t.Errorf("level = %v, want ~250", got)
+	}
+}
+
+func TestAccruementAfterCrash(t *testing.T) {
+	d := New(start, interval)
+	last := feed(d, 50, nil)
+	var history []core.QueryRecord
+	for i := 0; i < 500; i++ {
+		at := last.Add(time.Duration(i) * 50 * time.Millisecond)
+		history = append(history, core.QueryRecord{At: at, Level: d.Suspicion(at)})
+	}
+	rep := core.CheckAccruement(history, 10, 0)
+	if !rep.Holds {
+		t.Fatalf("Accruement violated: %s", rep.Violation)
+	}
+	if last := history[len(history)-1].Level; last < 20 {
+		t.Errorf("final level %v, want > 20 (24.9s late)", last)
+	}
+}

@@ -1,0 +1,127 @@
+package chen
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"accrual/internal/stats"
+)
+
+// QoS expresses an application's failure-detection requirements in the
+// metrics of Chen, Toueg and Aguilera (the ones summarised in §2 of the
+// accrual paper): how fast real crashes must be detected and how rare and
+// short wrong suspicions may be.
+type QoS struct {
+	// MaxDetectionTime is the upper bound T_D^U on the detection time.
+	// Required (> 0).
+	MaxDetectionTime time.Duration
+	// MinMistakeRecurrence is the lower bound T_MR^L on the mean time
+	// between wrong suspicions. Required (> 0).
+	MinMistakeRecurrence time.Duration
+	// MaxMistakeDuration is the upper bound T_M^U on how long a wrong
+	// suspicion may last. Zero means "don't care".
+	MaxMistakeDuration time.Duration
+}
+
+// NetworkStats summarises the channel behaviour the configurator plans
+// against. In a deployment these come from measurement (the estimator
+// windows provide DelayStdDev directly).
+type NetworkStats struct {
+	// LossProb is the per-heartbeat loss probability.
+	LossProb float64
+	// DelayMean is the mean one-way delay; it is part of the worst-case
+	// detection time (a crash right after a send is detected about
+	// E[D] + η + α later).
+	DelayMean time.Duration
+	// DelayStdDev is the standard deviation of the one-way delay.
+	DelayStdDev time.Duration
+}
+
+// Params is the configurator output: run the heartbeat protocol at
+// Interval and suspect when the Binary detector's margin Alpha expires —
+// or equivalently, threshold the accrual level at Alpha seconds.
+type Params struct {
+	Interval time.Duration
+	Alpha    time.Duration
+}
+
+// ErrInfeasible is returned when no (interval, margin) pair can satisfy
+// the requirements under the given network statistics.
+var ErrInfeasible = errors.New("chen: QoS requirements infeasible for this network")
+
+// Configure derives heartbeat parameters from QoS requirements, following
+// the shape of the Chen et al. configurator with two documented
+// simplifications: delays are modelled as normal with the measured
+// standard deviation (their analysis allows any distribution via its
+// quantiles), and the wrong-suspicion probability per interval is the
+// probability that every heartbeat due within the margin is lost or late:
+//
+//	p₁ ≈ p_L^⌈α/η⌉ + P(delay jitter > α mod η)
+//
+// A wrong suspicion then recurs about every η/p₁, which must be at least
+// T_MR^L; the worst-case detection time η+α must be at most T_D^U; and a
+// mistake lasts at most η (the next heartbeat corrects it), which must be
+// at most T_M^U. Configure maximises the interval (fewest messages)
+// subject to those constraints.
+func Configure(qos QoS, net NetworkStats) (Params, error) {
+	if qos.MaxDetectionTime <= 0 || qos.MinMistakeRecurrence <= 0 {
+		return Params{}, fmt.Errorf("%w: requirements must be positive", ErrInfeasible)
+	}
+	if net.LossProb < 0 || net.LossProb >= 1 {
+		return Params{}, fmt.Errorf("%w: loss probability %v out of [0,1)", ErrInfeasible, net.LossProb)
+	}
+	sigma := net.DelayStdDev.Seconds()
+	// Budget for η+α: the worst-case detection time is E[D]+η+α (crash
+	// right after a send).
+	tdU := (qos.MaxDetectionTime - net.DelayMean).Seconds()
+	if tdU <= 0 {
+		return Params{}, fmt.Errorf("%w: detection budget below the mean delay", ErrInfeasible)
+	}
+
+	// Sweep candidate intervals from large to small; the first feasible
+	// one minimises message load.
+	const steps = 200
+	for i := 1; i < steps; i++ {
+		eta := tdU * float64(steps-i) / steps
+		if qos.MaxMistakeDuration > 0 && eta > qos.MaxMistakeDuration.Seconds() {
+			continue
+		}
+		alpha := tdU - eta
+		if alpha <= 0 {
+			continue
+		}
+		if wrongSuspicionProb(eta, alpha, net.LossProb, sigma) <= eta/qos.MinMistakeRecurrence.Seconds() {
+			return Params{
+				Interval: time.Duration(eta * float64(time.Second)),
+				Alpha:    time.Duration(alpha * float64(time.Second)),
+			}, nil
+		}
+	}
+	return Params{}, fmt.Errorf("%w: T_D^U=%v T_MR^L=%v loss=%v sigma=%v",
+		ErrInfeasible, qos.MaxDetectionTime, qos.MinMistakeRecurrence, net.LossProb, net.DelayStdDev)
+}
+
+// wrongSuspicionProb estimates the probability that an alarm fires in one
+// heartbeat interval although the sender is alive: all ⌈α/η⌉ heartbeats
+// due inside the margin are lost, or the delay jitter of the surviving
+// one exceeds the residual margin.
+func wrongSuspicionProb(eta, alpha, loss, sigma float64) float64 {
+	due := math.Ceil(alpha / eta)
+	pAllLost := math.Pow(loss, due)
+	residual := alpha - (due-1)*eta // margin left for the last due heartbeat
+	var pLate float64
+	if sigma > 0 {
+		// Inter-arrival jitter is the difference of two delays: variance
+		// 2σ².
+		pLate = stats.Normal{Mu: 0, Sigma: sigma * math.Sqrt2}.Tail(residual)
+	} else if residual <= 0 {
+		pLate = 1
+	}
+	p := pAllLost + (1-pAllLost)*pLate
+	if p > 1 {
+		return 1
+	}
+	return p
+}

@@ -1,0 +1,160 @@
+package chen
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"accrual/internal/core"
+	"accrual/internal/stats"
+)
+
+func TestConfigureBasic(t *testing.T) {
+	p, err := Configure(QoS{
+		MaxDetectionTime:     2 * time.Second,
+		MinMistakeRecurrence: time.Hour,
+	}, NetworkStats{LossProb: 0.01, DelayStdDev: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Interval <= 0 || p.Alpha <= 0 {
+		t.Fatalf("params = %+v", p)
+	}
+	if got := p.Interval + p.Alpha; got > 2*time.Second {
+		t.Errorf("eta+alpha = %v exceeds T_D^U", got)
+	}
+	// With any appreciable loss probability the margin must cover at
+	// least one full interval, so that a single lost heartbeat cannot
+	// alarm on its own.
+	if p.Alpha < p.Interval {
+		t.Errorf("margin %v below interval %v despite 1%% loss", p.Alpha, p.Interval)
+	}
+}
+
+func TestConfigureTighterAccuracyShrinksInterval(t *testing.T) {
+	loose, err := Configure(QoS{
+		MaxDetectionTime:     2 * time.Second,
+		MinMistakeRecurrence: time.Minute,
+	}, NetworkStats{LossProb: 0.05, DelayStdDev: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := Configure(QoS{
+		MaxDetectionTime:     2 * time.Second,
+		MinMistakeRecurrence: 24 * time.Hour,
+	}, NetworkStats{LossProb: 0.05, DelayStdDev: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Alpha <= loose.Alpha {
+		t.Errorf("stricter accuracy should buy a larger margin: loose %+v, tight %+v", loose, tight)
+	}
+}
+
+func TestConfigureMistakeDurationCap(t *testing.T) {
+	p, err := Configure(QoS{
+		MaxDetectionTime:     5 * time.Second,
+		MinMistakeRecurrence: time.Hour,
+		MaxMistakeDuration:   500 * time.Millisecond,
+	}, NetworkStats{LossProb: 0.01, DelayStdDev: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Interval > 500*time.Millisecond {
+		t.Errorf("interval %v exceeds the mistake-duration cap", p.Interval)
+	}
+}
+
+func TestConfigureInfeasible(t *testing.T) {
+	tests := []struct {
+		name string
+		qos  QoS
+		net  NetworkStats
+	}{
+		{"zero requirements", QoS{}, NetworkStats{}},
+		{"impossible loss", QoS{
+			MaxDetectionTime:     time.Second,
+			MinMistakeRecurrence: time.Hour,
+		}, NetworkStats{LossProb: 0.999999}},
+		{"loss out of range", QoS{
+			MaxDetectionTime:     time.Second,
+			MinMistakeRecurrence: time.Hour,
+		}, NetworkStats{LossProb: 1}},
+		{"huge jitter tiny budget", QoS{
+			MaxDetectionTime:     50 * time.Millisecond,
+			MinMistakeRecurrence: 24 * time.Hour,
+		}, NetworkStats{DelayStdDev: time.Second}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Configure(tt.qos, tt.net); !errors.Is(err, ErrInfeasible) {
+				t.Errorf("err = %v, want ErrInfeasible", err)
+			}
+		})
+	}
+}
+
+// TestConfigureDeliversQoSInSimulation closes the loop: run the binary
+// Chen detector with configured parameters against a channel matching the
+// planned statistics and verify the achieved QoS meets the requirements.
+func TestConfigureDeliversQoSInSimulation(t *testing.T) {
+	qos := QoS{
+		MaxDetectionTime:     2 * time.Second,
+		MinMistakeRecurrence: 5 * time.Minute,
+	}
+	netStats := NetworkStats{LossProb: 0.02, DelayMean: 20 * time.Millisecond, DelayStdDev: 15 * time.Millisecond}
+	p, err := Configure(qos, netStats)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := stats.NewRand(33)
+	delay := stats.Normal{Mu: 0.02, Sigma: netStats.DelayStdDev.Seconds()}
+	det := New(start, p.Interval)
+	bin := &Binary{D: det, Alpha: p.Alpha}
+
+	// 30 simulated minutes of healthy traffic; count wrong suspicions by
+	// sampling just before each arrival (suspicion is monotone between
+	// arrivals for the late-threshold detector).
+	const n = 3000
+	at := start
+	wrong := 0
+	for i := 1; i <= n; i++ {
+		sendAt := start.Add(time.Duration(i) * p.Interval)
+		d := delay.Sample(rng)
+		if d < 0 {
+			d = 0
+		}
+		arrive := sendAt.Add(time.Duration(d * float64(time.Second)))
+		if arrive.Before(at) {
+			arrive = at // keep arrivals ordered
+		}
+		if i > 20 && bin.Query(arrive) == core.Suspected {
+			wrong++
+		}
+		if rng.Float64() >= netStats.LossProb { // delivered
+			det.Report(core.Heartbeat{From: "p", Seq: uint64(i), Arrived: arrive})
+			at = arrive
+		}
+	}
+	elapsed := time.Duration(n) * p.Interval
+	if wrong > 0 {
+		recurrence := elapsed / time.Duration(wrong)
+		if recurrence < qos.MinMistakeRecurrence {
+			t.Errorf("mistake recurrence %v violates requirement %v (%d wrong suspicions in %v)",
+				recurrence, qos.MinMistakeRecurrence, wrong, elapsed)
+		}
+	}
+	// Detection time: stop heartbeats and find when the detector trips.
+	crash := at
+	var td time.Duration
+	for off := time.Duration(0); off <= 2*qos.MaxDetectionTime; off += time.Millisecond {
+		if bin.Query(crash.Add(off)) == core.Suspected {
+			td = off
+			break
+		}
+	}
+	if td == 0 || td > qos.MaxDetectionTime {
+		t.Errorf("detection time %v violates requirement %v", td, qos.MaxDetectionTime)
+	}
+}

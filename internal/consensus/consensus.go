@@ -1,0 +1,509 @@
+// Package consensus implements the rotating-coordinator consensus
+// algorithm of Chandra and Toueg (◇S + majority) over the discrete-event
+// simulator, with the failure detector realised as an accrual detector
+// (φ) interpreted through the paper's transformations.
+//
+// This is the end-to-end demonstration of the paper's equivalence result
+// (§4, Theorems 9/12): any problem solvable with a binary ◇P/◇S detector
+// is solvable with a ◇P_ac accrual detector — so consensus must terminate
+// when driven by Algorithm 1 (or a threshold interpreter) reading accrual
+// suspicion levels. Experiment E10 sweeps the interpretation policy and
+// measures rounds and latency to decision.
+//
+// Protocol sketch (one instance, value type Value, n processes, majority
+// quorums, at most a minority may crash):
+//
+//	round r, coordinator c = procs[(r−1) mod n]:
+//	 1. every process sends (estimate, r, v, ts) to c
+//	 2. c collects a majority of estimates, adopts the one with the
+//	    highest ts, and broadcasts (propose, r, v)
+//	 3. every process waits for c's proposal — adopting it, setting
+//	    ts := r and replying ack — or, if its failure detector module
+//	    suspects c, replies nack; either way it proceeds to round r+1
+//	 4. when c has a majority of acks it decides and broadcasts
+//	    (decide, v); every receiver decides and relays the decision
+//
+// Safety (agreement, validity) holds regardless of the failure detector's
+// mistakes; the detector's accuracy only affects liveness — which is
+// precisely the division the paper's QoS discussion draws.
+package consensus
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"accrual/internal/core"
+	"accrual/internal/phi"
+	"accrual/internal/sim"
+	"accrual/internal/transform"
+)
+
+// Value is a proposed or decided consensus value.
+type Value string
+
+// BinaryFactory builds the per-peer binary interpretation used to suspect
+// coordinators. The default is the paper's Algorithm 1 (adaptive, no
+// parameters); experiments substitute constant-threshold interpreters.
+type BinaryFactory func(src transform.LevelFunc) core.BinaryDetector
+
+// Config describes one consensus run over the simulator.
+type Config struct {
+	// Sim drives time; required.
+	Sim *sim.Sim
+	// Net carries consensus messages. The Chandra–Toueg model assumes
+	// reliable channels, so this network should be lossless (delays are
+	// fine); required.
+	Net *sim.Network
+	// HeartbeatNet carries failure-detection heartbeats and may be lossy;
+	// required.
+	HeartbeatNet *sim.Network
+	// Processes are the participant ids; required (>= 2).
+	Processes []string
+	// Initial holds each process's initial proposal; required for every
+	// process.
+	Initial map[string]Value
+	// Crashes maps process ids to crash times (optional). Fewer than
+	// half of the processes may crash or the run cannot terminate.
+	Crashes map[string]time.Time
+	// HeartbeatInterval is the heartbeat period (required > 0).
+	HeartbeatInterval time.Duration
+	// QueryInterval is how often a waiting process consults its failure
+	// detector about the coordinator (required > 0).
+	QueryInterval time.Duration
+	// Horizon bounds the run; required.
+	Horizon time.Time
+	// Binary builds the per-peer binary detector; nil means Algorithm 1.
+	Binary BinaryFactory
+	// MaxRounds aborts runaway executions (default 1000).
+	MaxRounds int
+}
+
+// Result summarises one consensus run.
+type Result struct {
+	// Decisions maps each process that decided to its decision value.
+	Decisions map[string]Value
+	// DecideAt maps each deciding process to its decision time.
+	DecideAt map[string]time.Time
+	// Rounds maps each process to the highest round it entered.
+	Rounds map[string]int
+	// Messages counts consensus messages sent (excluding heartbeats).
+	Messages int64
+}
+
+// Agreement reports whether all decided values are equal.
+func (r Result) Agreement() bool {
+	var v Value
+	first := true
+	for _, d := range r.Decisions {
+		if first {
+			v, first = d, false
+			continue
+		}
+		if d != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Validity reports whether every decided value was some process's initial
+// proposal.
+func (r Result) Validity(initial map[string]Value) bool {
+	proposed := make(map[Value]bool, len(initial))
+	for _, v := range initial {
+		proposed[v] = true
+	}
+	for _, d := range r.Decisions {
+		if !proposed[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// ErrBadConfig is wrapped by every configuration validation error.
+var ErrBadConfig = errors.New("consensus: bad config")
+
+type msgKind int
+
+const (
+	msgEstimate msgKind = iota + 1
+	msgPropose
+	msgAck
+	msgNack
+	msgDecide
+)
+
+type message struct {
+	kind  msgKind
+	from  string
+	round int
+	value Value
+	ts    int
+}
+
+type process struct {
+	r     *runner
+	id    string
+	idx   int
+	est   Value
+	ts    int
+	round int
+
+	crashAt time.Time
+
+	decided  bool
+	decision Value
+	decideAt time.Time
+
+	// Failure detection of peers.
+	detectors map[string]core.Detector
+	binaries  map[string]core.BinaryDetector
+
+	// Per-round coordinator state.
+	estimates map[int]map[string]estimateMsg
+	replies   map[int]map[string]bool // from -> isAck
+	proposed  map[int]Value
+	closed    map[int]bool
+
+	// Proposals received ahead of the local round.
+	pending map[int]message
+}
+
+type estimateMsg struct {
+	value Value
+	ts    int
+}
+
+type runner struct {
+	cfg      Config
+	procs    []*process
+	byID     map[string]*process
+	messages int64
+	maxRound int
+}
+
+// Run executes one consensus instance to the horizon and returns its
+// result.
+func Run(cfg Config) (Result, error) {
+	if err := validate(&cfg); err != nil {
+		return Result{}, err
+	}
+	r := &runner{cfg: cfg, byID: make(map[string]*process, len(cfg.Processes))}
+	for i, id := range cfg.Processes {
+		p := &process{
+			r:         r,
+			id:        id,
+			idx:       i,
+			est:       cfg.Initial[id],
+			round:     0,
+			crashAt:   cfg.Crashes[id],
+			detectors: make(map[string]core.Detector),
+			binaries:  make(map[string]core.BinaryDetector),
+			estimates: make(map[int]map[string]estimateMsg),
+			replies:   make(map[int]map[string]bool),
+			proposed:  make(map[int]Value),
+			closed:    make(map[int]bool),
+			pending:   make(map[int]message),
+		}
+		r.procs = append(r.procs, p)
+		r.byID[id] = p
+	}
+	r.setupFailureDetection()
+	// Everybody enters round 1 at time zero.
+	for _, p := range r.procs {
+		p := p
+		cfg.Sim.After(0, func() { p.enterRound(1) })
+	}
+	cfg.Sim.RunUntil(cfg.Horizon)
+	return r.result(), nil
+}
+
+func validate(cfg *Config) error {
+	switch {
+	case cfg.Sim == nil || cfg.Net == nil || cfg.HeartbeatNet == nil:
+		return fmt.Errorf("%w: missing sim or networks", ErrBadConfig)
+	case len(cfg.Processes) < 2:
+		return fmt.Errorf("%w: need at least 2 processes", ErrBadConfig)
+	case cfg.HeartbeatInterval <= 0 || cfg.QueryInterval <= 0:
+		return fmt.Errorf("%w: non-positive intervals", ErrBadConfig)
+	case cfg.Horizon.IsZero():
+		return fmt.Errorf("%w: missing horizon", ErrBadConfig)
+	}
+	for _, id := range cfg.Processes {
+		if _, ok := cfg.Initial[id]; !ok {
+			return fmt.Errorf("%w: no initial value for %q", ErrBadConfig, id)
+		}
+	}
+	crashed := 0
+	for range cfg.Crashes {
+		crashed++
+	}
+	if crashed*2 >= len(cfg.Processes) {
+		return fmt.Errorf("%w: %d crashes among %d processes breaks the majority assumption",
+			ErrBadConfig, crashed, len(cfg.Processes))
+	}
+	if cfg.Binary == nil {
+		cfg.Binary = func(src transform.LevelFunc) core.BinaryDetector {
+			return transform.NewAccrualToBinary(src)
+		}
+	}
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = 1000
+	}
+	return nil
+}
+
+// setupFailureDetection wires all-to-all heartbeats through the (possibly
+// lossy) heartbeat network into per-peer φ detectors and binary
+// interpreters.
+func (r *runner) setupFailureDetection() {
+	start := r.cfg.Sim.Now()
+	for _, from := range r.procs {
+		for _, to := range r.procs {
+			if from.id == to.id {
+				continue
+			}
+			det := phi.New(start, phi.WithBootstrap(r.cfg.HeartbeatInterval, r.cfg.HeartbeatInterval/4))
+			to.detectors[from.id] = det
+			to.binaries[from.id] = r.cfg.Binary(transform.FromDetector(det))
+			em := &sim.Emitter{
+				Sim: r.cfg.Sim, Net: r.cfg.HeartbeatNet,
+				From: from.id, To: to.id,
+				Interval: r.cfg.HeartbeatInterval,
+				CrashAt:  from.crashAt,
+				Until:    r.cfg.Horizon,
+				Sink: func(hb core.Heartbeat) {
+					det.Report(hb)
+				},
+			}
+			em.Start()
+		}
+	}
+}
+
+func (r *runner) result() Result {
+	res := Result{
+		Decisions: make(map[string]Value),
+		DecideAt:  make(map[string]time.Time),
+		Rounds:    make(map[string]int),
+		Messages:  r.messages,
+	}
+	for _, p := range r.procs {
+		res.Rounds[p.id] = p.round
+		if p.decided {
+			res.Decisions[p.id] = p.decision
+			res.DecideAt[p.id] = p.decideAt
+		}
+	}
+	return res
+}
+
+func (r *runner) majority() int { return len(r.procs)/2 + 1 }
+
+func (r *runner) coordinator(round int) *process {
+	return r.procs[(round-1)%len(r.procs)]
+}
+
+// send transmits a consensus message over the reliable network.
+func (p *process) send(to string, m message) {
+	p.r.messages++
+	target := p.r.byID[to]
+	p.r.cfg.Net.Send(p.id, to, func(time.Time) {
+		target.deliver(m)
+	})
+}
+
+func (p *process) broadcast(m message) {
+	for _, q := range p.r.procs {
+		if q.id != p.id {
+			p.send(q.id, m)
+		}
+	}
+	// Self-delivery happens synchronously.
+	p.deliver(m)
+}
+
+func (p *process) alive() bool {
+	return p.crashAt.IsZero() || p.r.cfg.Sim.Now().Before(p.crashAt)
+}
+
+func (p *process) enterRound(round int) {
+	if !p.alive() || p.decided || round <= p.round || round > p.r.cfg.MaxRounds {
+		return
+	}
+	p.round = round
+	coord := p.r.coordinator(round)
+	// Phase 1: send the current estimate to the coordinator.
+	m := message{kind: msgEstimate, from: p.id, round: round, value: p.est, ts: p.ts}
+	if coord.id == p.id {
+		p.deliver(m)
+	} else {
+		p.send(coord.id, m)
+	}
+	// If a proposal for this round arrived early, consume it now;
+	// otherwise start watching the coordinator.
+	if buf, ok := p.pending[round]; ok {
+		delete(p.pending, round)
+		p.handlePropose(buf)
+		return
+	}
+	if coord.id != p.id {
+		p.watchCoordinator(round)
+	} else {
+		// The coordinator trivially trusts itself; it still advances if
+		// its own proposal round concludes, via the ack path.
+		p.watchOwnRound(round)
+	}
+}
+
+// watchCoordinator periodically queries the binary failure detector for
+// the round's coordinator; a suspicion triggers a nack and round change.
+func (p *process) watchCoordinator(round int) {
+	p.r.cfg.Sim.After(p.r.cfg.QueryInterval, func() {
+		if !p.alive() || p.decided || p.round != round {
+			return
+		}
+		coord := p.r.coordinator(round)
+		if p.binaries[coord.id].Query(p.r.cfg.Sim.Now()) == core.Suspected {
+			p.send(coord.id, message{kind: msgNack, from: p.id, round: round})
+			p.enterRound(round + 1)
+			return
+		}
+		p.watchCoordinator(round)
+	})
+}
+
+// watchOwnRound moves a coordinator whose round has concluded without a
+// decision (majority of replies but not enough acks) to the next round.
+func (p *process) watchOwnRound(round int) {
+	p.r.cfg.Sim.After(p.r.cfg.QueryInterval, func() {
+		if !p.alive() || p.decided || p.round != round {
+			return
+		}
+		if p.closed[round] {
+			p.enterRound(round + 1)
+			return
+		}
+		p.watchOwnRound(round)
+	})
+}
+
+func (p *process) deliver(m message) {
+	if !p.alive() || (p.decided && m.kind != msgDecide) {
+		return
+	}
+	switch m.kind {
+	case msgEstimate:
+		p.handleEstimate(m)
+	case msgPropose:
+		p.handlePropose(m)
+	case msgAck, msgNack:
+		p.handleReply(m)
+	case msgDecide:
+		p.handleDecide(m)
+	}
+}
+
+// handleEstimate runs at the coordinator of m.round.
+func (p *process) handleEstimate(m message) {
+	if p.r.coordinator(m.round) != p {
+		return // misrouted; cannot happen but stay defensive
+	}
+	if _, done := p.proposed[m.round]; done {
+		return
+	}
+	ests := p.estimates[m.round]
+	if ests == nil {
+		ests = make(map[string]estimateMsg)
+		p.estimates[m.round] = ests
+	}
+	ests[m.from] = estimateMsg{value: m.value, ts: m.ts}
+	if len(ests) < p.r.majority() {
+		return
+	}
+	// Phase 2: adopt the estimate with the highest timestamp. Ties are
+	// broken by process order, deterministically (map iteration order
+	// must not leak into the decision).
+	best := estimateMsg{ts: -1}
+	for _, q := range p.r.procs {
+		e, ok := ests[q.id]
+		if ok && e.ts > best.ts {
+			best = e
+		}
+	}
+	p.proposed[m.round] = best.value
+	p.broadcast(message{kind: msgPropose, from: p.id, round: m.round, value: best.value})
+}
+
+func (p *process) handlePropose(m message) {
+	switch {
+	case m.round > p.round:
+		p.pending[m.round] = m // ahead of us; consume on entry
+		return
+	case m.round < p.round:
+		return // stale
+	}
+	// Phase 3: adopt and ack.
+	p.est = m.value
+	p.ts = m.round
+	coord := p.r.coordinator(m.round)
+	ack := message{kind: msgAck, from: p.id, round: m.round}
+	if coord.id == p.id {
+		p.deliver(ack)
+	} else {
+		p.send(coord.id, ack)
+	}
+	p.enterRound(m.round + 1)
+}
+
+// handleReply runs at the coordinator of m.round.
+func (p *process) handleReply(m message) {
+	if p.r.coordinator(m.round) != p || p.closed[m.round] {
+		return
+	}
+	reps := p.replies[m.round]
+	if reps == nil {
+		reps = make(map[string]bool)
+		p.replies[m.round] = reps
+	}
+	reps[m.from] = m.kind == msgAck
+	acks := 0
+	for _, isAck := range reps {
+		if isAck {
+			acks++
+		}
+	}
+	if acks >= p.r.majority() {
+		// Phase 4: a majority locked the round's proposal — decide it.
+		p.closed[m.round] = true
+		p.decide(p.proposed[m.round])
+		return
+	}
+	if len(reps) >= p.r.majority() {
+		// A majority replied but without enough acks: the round failed.
+		p.closed[m.round] = true
+	}
+}
+
+func (p *process) handleDecide(m message) {
+	p.decide(m.value)
+}
+
+// decide records the decision and relays it once (reliable broadcast of
+// the decision).
+func (p *process) decide(v Value) {
+	if p.decided {
+		return
+	}
+	p.decided = true
+	p.decision = v
+	p.decideAt = p.r.cfg.Sim.Now()
+	m := message{kind: msgDecide, from: p.id, value: v}
+	for _, q := range p.r.procs {
+		if q.id != p.id {
+			p.send(q.id, m)
+		}
+	}
+}

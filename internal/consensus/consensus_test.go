@@ -1,0 +1,275 @@
+package consensus
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"accrual/internal/core"
+	"accrual/internal/sim"
+	"accrual/internal/stats"
+	"accrual/internal/transform"
+)
+
+func baseConfig(s *sim.Sim, n int) Config {
+	ids := make([]string, n)
+	initial := make(map[string]Value, n)
+	for i := range ids {
+		ids[i] = string(rune('a' + i))
+		initial[ids[i]] = Value(ids[i] + "-value")
+	}
+	msgNet := sim.NewNetwork(s, sim.Link{
+		Delay: sim.RandomDelay{Dist: stats.Uniform{A: 0.001, B: 0.01}},
+	})
+	hbNet := sim.NewNetwork(s, sim.Link{
+		Delay: sim.RandomDelay{Dist: stats.Normal{Mu: 0.005, Sigma: 0.001}, Min: time.Millisecond},
+	})
+	return Config{
+		Sim: s, Net: msgNet, HeartbeatNet: hbNet,
+		Processes: ids, Initial: initial,
+		HeartbeatInterval: 50 * time.Millisecond,
+		QueryInterval:     25 * time.Millisecond,
+		Horizon:           sim.Epoch.Add(2 * time.Minute),
+	}
+}
+
+func TestConsensusAllCorrect(t *testing.T) {
+	s := sim.New(1)
+	cfg := baseConfig(s, 5)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Decisions) != 5 {
+		t.Fatalf("only %d/5 decided: %+v", len(res.Decisions), res.Decisions)
+	}
+	if !res.Agreement() {
+		t.Errorf("agreement violated: %+v", res.Decisions)
+	}
+	if !res.Validity(cfg.Initial) {
+		t.Errorf("validity violated: %+v", res.Decisions)
+	}
+	if res.Messages == 0 {
+		t.Error("no messages counted")
+	}
+}
+
+func TestConsensusCoordinatorCrash(t *testing.T) {
+	// The first coordinator ("a") crashes immediately; the failure
+	// detector must unblock the protocol and a later round decides.
+	s := sim.New(2)
+	cfg := baseConfig(s, 5)
+	cfg.Crashes = map[string]time.Time{"a": sim.Epoch.Add(time.Millisecond)}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Decisions) != 4 {
+		t.Fatalf("%d/4 correct processes decided (rounds %v)", len(res.Decisions), res.Rounds)
+	}
+	if _, ok := res.Decisions["a"]; ok {
+		t.Error("crashed process decided")
+	}
+	if !res.Agreement() || !res.Validity(cfg.Initial) {
+		t.Errorf("safety violated: %+v", res.Decisions)
+	}
+	for id, r := range res.Rounds {
+		if id != "a" && r < 2 {
+			t.Errorf("process %s decided in round %d despite crashed first coordinator", id, r)
+		}
+	}
+}
+
+func TestConsensusMinorityCrashes(t *testing.T) {
+	s := sim.New(3)
+	cfg := baseConfig(s, 5)
+	cfg.Crashes = map[string]time.Time{
+		"a": sim.Epoch.Add(100 * time.Millisecond),
+		"c": sim.Epoch.Add(200 * time.Millisecond),
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decidedCorrect := 0
+	for _, id := range []string{"b", "d", "e"} {
+		if _, ok := res.Decisions[id]; ok {
+			decidedCorrect++
+		}
+	}
+	if decidedCorrect != 3 {
+		t.Fatalf("correct processes decided: %d/3 (rounds %v)", decidedCorrect, res.Rounds)
+	}
+	if !res.Agreement() || !res.Validity(cfg.Initial) {
+		t.Errorf("safety violated: %+v", res.Decisions)
+	}
+}
+
+func TestConsensusLossyHeartbeats(t *testing.T) {
+	// Heartbeat loss makes the detectors noisier (wrong suspicions →
+	// extra rounds) but must never break safety.
+	s := sim.New(4)
+	cfg := baseConfig(s, 5)
+	cfg.HeartbeatNet = sim.NewNetwork(s, sim.Link{
+		Delay: sim.RandomDelay{Dist: stats.Normal{Mu: 0.005, Sigma: 0.002}, Min: time.Millisecond},
+		Loss:  sim.BernoulliLoss{P: 0.2},
+	})
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Decisions) != 5 {
+		t.Fatalf("%d/5 decided (rounds %v)", len(res.Decisions), res.Rounds)
+	}
+	if !res.Agreement() || !res.Validity(cfg.Initial) {
+		t.Errorf("safety violated: %+v", res.Decisions)
+	}
+}
+
+func TestConsensusConstantThresholdPolicy(t *testing.T) {
+	// A φ threshold of 3 as the interpretation policy: D_T over the
+	// accrual level, per §4.4.
+	s := sim.New(5)
+	cfg := baseConfig(s, 5)
+	cfg.Binary = func(src transform.LevelFunc) core.BinaryDetector {
+		return transform.NewConstantThreshold(src, 3)
+	}
+	cfg.Crashes = map[string]time.Time{"a": sim.Epoch.Add(time.Millisecond)}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Decisions) != 4 {
+		t.Fatalf("%d/4 decided (rounds %v)", len(res.Decisions), res.Rounds)
+	}
+	if !res.Agreement() || !res.Validity(cfg.Initial) {
+		t.Errorf("safety violated: %+v", res.Decisions)
+	}
+}
+
+func TestConsensusDeterministic(t *testing.T) {
+	run := func() Result {
+		s := sim.New(77)
+		cfg := baseConfig(s, 5)
+		cfg.Crashes = map[string]time.Time{"b": sim.Epoch.Add(50 * time.Millisecond)}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r1, r2 := run(), run()
+	if r1.Messages != r2.Messages {
+		t.Errorf("message counts differ: %d vs %d", r1.Messages, r2.Messages)
+	}
+	for id, at := range r1.DecideAt {
+		if !r2.DecideAt[id].Equal(at) {
+			t.Errorf("decide time for %s differs: %v vs %v", id, at, r2.DecideAt[id])
+		}
+	}
+}
+
+func TestConsensusTwoProcesses(t *testing.T) {
+	s := sim.New(6)
+	cfg := baseConfig(s, 2)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Decisions) != 2 || !res.Agreement() {
+		t.Errorf("n=2: %+v", res.Decisions)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	s := sim.New(1)
+	good := baseConfig(s, 3)
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"nil sim", func(c *Config) { c.Sim = nil }},
+		{"nil net", func(c *Config) { c.Net = nil }},
+		{"nil hb net", func(c *Config) { c.HeartbeatNet = nil }},
+		{"one process", func(c *Config) { c.Processes = c.Processes[:1] }},
+		{"zero hb interval", func(c *Config) { c.HeartbeatInterval = 0 }},
+		{"zero query interval", func(c *Config) { c.QueryInterval = 0 }},
+		{"zero horizon", func(c *Config) { c.Horizon = time.Time{} }},
+		{"missing initial", func(c *Config) { delete(c.Initial, "a") }},
+		{"majority crashes", func(c *Config) {
+			c.Crashes = map[string]time.Time{
+				"a": sim.Epoch, "b": sim.Epoch,
+			}
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := good
+			// Deep-ish copy of the mutable maps.
+			cfg.Initial = make(map[string]Value, len(good.Initial))
+			for k, v := range good.Initial {
+				cfg.Initial[k] = v
+			}
+			tt.mutate(&cfg)
+			if _, err := Run(cfg); !errors.Is(err, ErrBadConfig) {
+				t.Errorf("err = %v, want ErrBadConfig", err)
+			}
+		})
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	r := Result{Decisions: map[string]Value{"a": "v", "b": "v"}}
+	if !r.Agreement() {
+		t.Error("equal decisions must agree")
+	}
+	r.Decisions["c"] = "w"
+	if r.Agreement() {
+		t.Error("unequal decisions must not agree")
+	}
+	if !r.Validity(map[string]Value{"a": "v", "c": "w"}) {
+		t.Error("decided values were proposed")
+	}
+	if r.Validity(map[string]Value{"a": "v"}) {
+		t.Error("w was never proposed")
+	}
+	if !(Result{}).Agreement() {
+		t.Error("no decisions trivially agree")
+	}
+}
+
+func TestConsensusAcrossGST(t *testing.T) {
+	// The paper's model: before an unknown GST the network is arbitrary
+	// (huge delays, heavy loss on heartbeats), after it the bounds hold.
+	// Consensus safety must hold throughout and termination must follow
+	// GST — the algorithms never learn GST explicitly.
+	s := sim.New(11)
+	cfg := baseConfig(s, 5)
+	gst := sim.Epoch.Add(10 * time.Second)
+	cfg.Net = sim.NewNetwork(s, sim.Link{
+		Delay: sim.GSTDelay{
+			Sim: s, GST: gst,
+			Before: sim.RandomDelay{Dist: stats.Uniform{A: 0.2, B: 2.0}},
+			After:  sim.RandomDelay{Dist: stats.Uniform{A: 0.001, B: 0.01}},
+		},
+	})
+	cfg.HeartbeatNet = sim.NewNetwork(s, sim.Link{
+		Delay: sim.GSTDelay{
+			Sim: s, GST: gst,
+			Before: sim.RandomDelay{Dist: stats.Uniform{A: 0.1, B: 1.0}},
+			After:  sim.RandomDelay{Dist: stats.Normal{Mu: 0.005, Sigma: 0.001}, Min: time.Millisecond},
+		},
+		Loss: sim.GSTLoss{Sim: s, GST: gst, Before: sim.BernoulliLoss{P: 0.5}},
+	})
+	cfg.Horizon = sim.Epoch.Add(5 * time.Minute)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Decisions) != 5 {
+		t.Fatalf("%d/5 decided after GST (rounds %v)", len(res.Decisions), res.Rounds)
+	}
+	if !res.Agreement() || !res.Validity(cfg.Initial) {
+		t.Errorf("safety violated across GST: %+v", res.Decisions)
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import "fmt"
+
+// PairHistory is the recorded history of one monitoring pair (q observes
+// p) together with ground truth about p, as needed to check the class
+// properties of §3–§4.3 empirically.
+type PairHistory struct {
+	// Monitor and Target identify q and p.
+	Monitor, Target string
+	// Faulty records whether the target crashed during the run.
+	Faulty bool
+	// History is the sequence of answered queries.
+	History []QueryRecord
+	// StableAfter is the query index from which Accruement is expected
+	// to hold for faulty targets (after the detector's stabilisation).
+	StableAfter int
+}
+
+// ClassReport is the outcome of classifying a set of pair histories.
+type ClassReport struct {
+	// Class is the strongest accrual class consistent with the observed
+	// histories: ◇P_ac when Accruement holds for every faulty pair and
+	// Upper Bound for every correct pair; ◇S_ac when Accruement holds
+	// for every faulty pair but Upper Bound only holds with respect to
+	// some correct target; 0 when neither.
+	Class Class
+	// Violations lists the property failures found (empty for ◇P_ac).
+	Violations []string
+}
+
+// Classify checks which accrual failure detector class (§3.2, §4.3) a set
+// of recorded pair histories is consistent with, using the executable
+// property checkers. Like all empirical checks of eventual properties,
+// a positive answer means "no violation on these prefixes".
+//
+// maxQ bounds the accepted constancy run for Accruement (0: any finite
+// run); bound, when >= 0, is a known Upper Bound (turning ◇P_ac into
+// P_ac and ◇S_ac into S_ac).
+func Classify(pairs []PairHistory, maxQ int, bound Level) ClassReport {
+	var rep ClassReport
+	accrueOK := true
+	correctTargets := map[string]bool{} // target -> seen
+	boundedTargets := map[string]bool{} // target -> Upper Bound held for ALL observers
+	for _, p := range pairs {
+		if !p.Faulty {
+			if _, seen := correctTargets[p.Target]; !seen {
+				boundedTargets[p.Target] = true
+			}
+			correctTargets[p.Target] = true
+		}
+	}
+	for _, p := range pairs {
+		if p.Faulty {
+			r := CheckAccruement(p.History, p.StableAfter, maxQ)
+			if !r.Holds {
+				accrueOK = false
+				rep.Violations = append(rep.Violations, fmt.Sprintf(
+					"accruement %s->%s: %s", p.Monitor, p.Target, r.Violation))
+			}
+			continue
+		}
+		r := CheckUpperBound(p.History, bound)
+		if !r.Holds {
+			boundedTargets[p.Target] = false
+			rep.Violations = append(rep.Violations, fmt.Sprintf(
+				"upper bound %s->%s: %s", p.Monitor, p.Target, r.Violation))
+		}
+	}
+	if !accrueOK {
+		return rep // completeness is non-negotiable in every class here
+	}
+	allBounded := true
+	someBounded := false
+	for target := range correctTargets {
+		if boundedTargets[target] {
+			someBounded = true
+		} else {
+			allBounded = false
+		}
+	}
+	known := bound >= 0
+	switch {
+	case allBounded && known:
+		rep.Class = ClassPerfectAccrual
+	case allBounded:
+		rep.Class = ClassEventuallyPerfectAccrual
+	case someBounded && known:
+		rep.Class = ClassStrongAccrual
+	case someBounded:
+		rep.Class = ClassEventuallyStrongAccrual
+	}
+	return rep
+}

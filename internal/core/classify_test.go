@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func pairHist(mon, target string, faulty bool, stableAfter int, levels ...float64) PairHistory {
+	t0 := time.Date(2005, 3, 22, 0, 0, 0, 0, time.UTC)
+	recs := make([]QueryRecord, len(levels))
+	for i, l := range levels {
+		recs[i] = QueryRecord{At: t0.Add(time.Duration(i) * time.Second), Level: Level(l)}
+	}
+	return PairHistory{Monitor: mon, Target: target, Faulty: faulty, StableAfter: stableAfter, History: recs}
+}
+
+func TestClassifyEventuallyPerfect(t *testing.T) {
+	pairs := []PairHistory{
+		pairHist("q1", "p", true, 0, 1, 2, 3, 4, 5),
+		pairHist("q2", "p", true, 0, 0, 1, 2, 3, 4),
+		pairHist("q1", "r", false, 0, 0, 1, 0.5, 1.2, 0.3),
+		pairHist("q2", "r", false, 0, 0.2, 0.1, 0.9, 0.4, 0),
+	}
+	rep := Classify(pairs, 0, -1)
+	if rep.Class != ClassEventuallyPerfectAccrual {
+		t.Fatalf("class = %v (violations %v), want ◇P_ac", rep.Class, rep.Violations)
+	}
+	if len(rep.Violations) != 0 {
+		t.Errorf("violations = %v", rep.Violations)
+	}
+}
+
+func TestClassifyKnownBoundUpgradesToPerfect(t *testing.T) {
+	pairs := []PairHistory{
+		pairHist("q1", "p", true, 0, 1, 2, 3),
+		pairHist("q1", "r", false, 0, 0.5, 1, 0.2),
+	}
+	rep := Classify(pairs, 0, 2)
+	if rep.Class != ClassPerfectAccrual {
+		t.Fatalf("class = %v, want P_ac", rep.Class)
+	}
+	// A bound that is violated demotes out of the P classes entirely
+	// (no correct target is bounded).
+	rep = Classify(pairs, 0, 0.7)
+	if rep.Class != 0 {
+		t.Errorf("violated bound: class = %v, want none", rep.Class)
+	}
+}
+
+func TestClassifyEventuallyStrong(t *testing.T) {
+	// Two correct targets: r bounded for every monitor, s unbounded for
+	// one monitor (its level diverges) — Upper Bound holds only with
+	// respect to r, which is exactly ◇S_ac.
+	pairs := []PairHistory{
+		pairHist("q1", "p", true, 0, 1, 2, 3, 4),
+		pairHist("q1", "r", false, 0, 0.1, 0.4, 0.2, 0.1),
+		pairHist("q2", "r", false, 0, 0.3, 0.2, 0.5, 0.2),
+		pairHist("q1", "s", false, 0, 1, 10, 100, 1e40, 1e80),
+	}
+	// The s history is finite, so CheckUpperBound with unknown bound
+	// holds trivially; inject an infinite level to make it fail.
+	pairs[3].History = append(pairs[3].History, QueryRecord{
+		At:    pairs[3].History[len(pairs[3].History)-1].At.Add(time.Second),
+		Level: Level(inf()),
+	})
+	rep := Classify(pairs, 0, -1)
+	if rep.Class != ClassEventuallyStrongAccrual {
+		t.Fatalf("class = %v (violations %v), want ◇S_ac", rep.Class, rep.Violations)
+	}
+	if len(rep.Violations) == 0 {
+		t.Error("expected an upper-bound violation for s")
+	}
+}
+
+func inf() float64 { return math.Inf(1) }
+
+func TestClassifyStrongWithKnownBound(t *testing.T) {
+	pairs := []PairHistory{
+		pairHist("q1", "p", true, 0, 1, 2, 3),
+		pairHist("q1", "r", false, 0, 0.5, 0.6),  // within bound 1
+		pairHist("q1", "s", false, 0, 0.5, 42.0), // violates bound 1
+	}
+	rep := Classify(pairs, 0, 1)
+	if rep.Class != ClassStrongAccrual {
+		t.Fatalf("class = %v, want S_ac", rep.Class)
+	}
+}
+
+func TestClassifyAccruementFailureDisqualifies(t *testing.T) {
+	pairs := []PairHistory{
+		pairHist("q1", "p", true, 0, 1, 2, 1.5), // decreases: not accruing
+		pairHist("q1", "r", false, 0, 0.5),
+	}
+	rep := Classify(pairs, 0, -1)
+	if rep.Class != 0 {
+		t.Fatalf("class = %v, want none (completeness broken)", rep.Class)
+	}
+	if len(rep.Violations) == 0 {
+		t.Error("expected an accruement violation")
+	}
+}
+
+func TestClassifyQBound(t *testing.T) {
+	pairs := []PairHistory{
+		pairHist("q1", "p", true, 0, 1, 1, 1, 1, 2), // constant run of 3
+		pairHist("q1", "r", false, 0, 0.5),
+	}
+	if rep := Classify(pairs, 2, -1); rep.Class != 0 {
+		t.Errorf("Q=2: class = %v, want none", rep.Class)
+	}
+	if rep := Classify(pairs, 4, -1); rep.Class != ClassEventuallyPerfectAccrual {
+		t.Errorf("Q=4: class = %v, want ◇P_ac", rep.Class)
+	}
+}
+
+func TestClassifyDetectorsEndToEnd(t *testing.T) {
+	// Build pair histories from a real detector: two monitors observing
+	// one faulty and one correct target through the simple detector.
+	t0 := time.Date(2005, 3, 22, 0, 0, 0, 0, time.UTC)
+	mk := func(faulty bool) []QueryRecord {
+		last := t0
+		var recs []QueryRecord
+		for i := 0; i < 200; i++ {
+			at := t0.Add(time.Duration(i) * 100 * time.Millisecond)
+			if !faulty || i < 100 {
+				if i%2 == 0 { // heartbeat every 200ms
+					last = at
+				}
+			}
+			recs = append(recs, QueryRecord{At: at, Level: Level(at.Sub(last).Seconds())})
+		}
+		return recs
+	}
+	pairs := []PairHistory{
+		{Monitor: "q1", Target: "p", Faulty: true, History: mk(true), StableAfter: 105},
+		{Monitor: "q1", Target: "r", Faulty: false, History: mk(false)},
+	}
+	rep := Classify(pairs, 0, -1)
+	if rep.Class != ClassEventuallyPerfectAccrual {
+		t.Fatalf("class = %v (violations %v)", rep.Class, rep.Violations)
+	}
+}

@@ -1,0 +1,197 @@
+// Package core defines the vocabulary of accrual failure detection as
+// specified by Défago, Urbán, Hayashibara and Katayama in "Definition and
+// Specification of Accrual Failure Detectors" (JAIST IS-RR-2005-004, 2005).
+//
+// An accrual failure detector associates with every monitored process a
+// real-valued suspicion level instead of a binary trust/suspect verdict
+// (Definition 1 of the paper). The level is zero when the process is not
+// suspected at all and grows as confidence in a crash accrues. The two
+// defining properties are:
+//
+//   - Accruement (Property 1): if the monitored process is faulty, the
+//     suspicion level is eventually monotonously increasing and increases
+//     at least once every Q consecutive queries, for some unknown Q.
+//   - Upper Bound (Property 2): if the monitored process is correct, the
+//     suspicion level is bounded by some unknown constant.
+//
+// The package defines the Detector interface implemented by every accrual
+// detector in this module (internal/simple, internal/chen, internal/phi,
+// internal/kappa), the BinaryDetector interface produced by the
+// transformations of internal/transform, transition bookkeeping used by
+// the QoS metrics of internal/qos, and executable checkers for the two
+// defining properties.
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Level is a suspicion level: a non-negative real value where zero means
+// "not suspected at all" and larger values mean stronger suspicion
+// (Definition 1). The value is unbounded above; implementations may return
+// +Inf to signal certainty (for example the φ detector when the tail
+// probability underflows).
+type Level float64
+
+// Quantize rounds the level down to an integer multiple of the resolution
+// eps, implementing the finite-resolution requirement of Definition 1
+// (sl/ε ∈ Z). A non-positive eps leaves the level unchanged.
+func (l Level) Quantize(eps Level) Level {
+	if eps <= 0 || math.IsInf(float64(l), 1) {
+		return l
+	}
+	return Level(math.Floor(float64(l/eps))) * eps
+}
+
+// IsFinite reports whether the level is neither NaN nor infinite.
+func (l Level) IsFinite() bool {
+	f := float64(l)
+	return !math.IsNaN(f) && !math.IsInf(f, 0)
+}
+
+// Heartbeat is the monitoring information unit: a sequence-numbered alive
+// message from a monitored process, as used by Algorithm 4 of the paper.
+type Heartbeat struct {
+	// From identifies the monitored process that emitted the heartbeat.
+	From string
+	// Seq is the heartbeat sequence number. Detectors ignore heartbeats
+	// whose sequence number is not larger than the last accepted one
+	// (stale or duplicated deliveries).
+	Seq uint64
+	// Sent is the sender-side emission timestamp according to the
+	// sender's local clock. It may be the zero time when the transport
+	// does not carry it; detectors in this module only rely on Arrived.
+	Sent time.Time
+	// Arrived is the receiver-side arrival timestamp according to the
+	// monitor's local clock.
+	Arrived time.Time
+}
+
+// Detector is one accrual failure detector module: process q monitoring a
+// single process p. Monitoring information is fed with Report and the
+// current suspicion level is obtained with Suspicion. Implementations are
+// passive state machines — they hold no goroutines or timers — so the same
+// detector code runs under the discrete-event simulator and the real
+// network transport.
+//
+// Implementations need not be safe for concurrent use; synchronisation is
+// the caller's concern (internal/service wraps detectors in a mutex).
+type Detector interface {
+	// Report records the arrival of a heartbeat from the monitored
+	// process.
+	Report(hb Heartbeat)
+	// Suspicion returns the suspicion level sl_qp(now). now must be
+	// monotonically non-decreasing across calls for the accruement
+	// guarantees to hold.
+	Suspicion(now time.Time) Level
+}
+
+// Status is the output of a binary failure detector: the monitored
+// process is either trusted or suspected.
+type Status int
+
+// Binary failure detector statuses. The zero value is deliberately not a
+// valid status so that uninitialised values are detectable.
+const (
+	// Trusted means the monitored process is not suspected.
+	Trusted Status = iota + 1
+	// Suspected means the monitored process is suspected to have failed.
+	Suspected
+)
+
+// String returns "trusted" or "suspected".
+func (s Status) String() string {
+	switch s {
+	case Trusted:
+		return "trusted"
+	case Suspected:
+		return "suspected"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Valid reports whether s is one of the defined statuses.
+func (s Status) Valid() bool { return s == Trusted || s == Suspected }
+
+// BinaryDetector is a binary (Chandra–Toueg style) failure detector module
+// for a single monitored process. Each call to Query is one query in the
+// sense of the paper's oracle model; stateful implementations (such as
+// Algorithm 1) update their internal thresholds on every query.
+type BinaryDetector interface {
+	Query(now time.Time) Status
+}
+
+// TransitionKind distinguishes the two kinds of output transitions of a
+// binary failure detector.
+type TransitionKind int
+
+const (
+	// STransition is a trust→suspect transition.
+	STransition TransitionKind = iota + 1
+	// TTransition is a suspect→trust transition.
+	TTransition
+)
+
+// String returns "S" or "T".
+func (k TransitionKind) String() string {
+	switch k {
+	case STransition:
+		return "S"
+	case TTransition:
+		return "T"
+	default:
+		return fmt.Sprintf("TransitionKind(%d)", int(k))
+	}
+}
+
+// Transition records one output transition of a binary failure detector.
+type Transition struct {
+	At   time.Time
+	Kind TransitionKind
+}
+
+// Class names a failure detector class from the paper's hierarchy (§3.2,
+// §4.3 for the accrual classes; Chandra–Toueg for the binary ones).
+type Class int
+
+const (
+	// ClassEventuallyPerfect is the binary class ◇P: strong completeness
+	// and eventual strong accuracy.
+	ClassEventuallyPerfect Class = iota + 1
+	// ClassPerfect is the binary class P.
+	ClassPerfect
+	// ClassEventuallyPerfectAccrual is ◇P_ac (Definition 2): Accruement
+	// and Upper Bound hold for all pairs of processes.
+	ClassEventuallyPerfectAccrual
+	// ClassPerfectAccrual is P_ac: like ◇P_ac but with a known upper
+	// bound on the suspicion level of correct processes.
+	ClassPerfectAccrual
+	// ClassEventuallyStrongAccrual is ◇S_ac: Upper Bound needs to hold
+	// only with respect to one correct process.
+	ClassEventuallyStrongAccrual
+	// ClassStrongAccrual is S_ac: ◇S_ac with a known bound.
+	ClassStrongAccrual
+)
+
+// String returns the conventional name of the class.
+func (c Class) String() string {
+	switch c {
+	case ClassEventuallyPerfect:
+		return "◇P"
+	case ClassPerfect:
+		return "P"
+	case ClassEventuallyPerfectAccrual:
+		return "◇P_ac"
+	case ClassPerfectAccrual:
+		return "P_ac"
+	case ClassEventuallyStrongAccrual:
+		return "◇S_ac"
+	case ClassStrongAccrual:
+		return "S_ac"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}

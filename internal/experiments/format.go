@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteCSV writes the table's columns and rows as CSV (checks and notes
+// are omitted — CSV output is meant for plotting pipelines).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return fmt.Errorf("experiments: write csv header: %w", err)
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("experiments: write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("experiments: flush csv: %w", err)
+	}
+	return nil
+}
+
+// WriteMarkdown writes the table as GitHub-flavoured markdown, including
+// notes and checks, so experiment results can be pasted into reports
+// (EXPERIMENTS.md is built from this output).
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s — %s\n\n", t.ID, t.Title)
+	if t.Anchor != "" {
+		fmt.Fprintf(&b, "*Reproduces: %s*\n\n", t.Anchor)
+	}
+	if len(t.Columns) > 0 {
+		b.WriteString("| " + strings.Join(escapeCells(t.Columns), " | ") + " |\n")
+		b.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
+		for _, row := range t.Rows {
+			b.WriteString("| " + strings.Join(escapeCells(row), " | ") + " |\n")
+		}
+		b.WriteString("\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "> %s\n", n)
+	}
+	if len(t.Notes) > 0 {
+		b.WriteString("\n")
+	}
+	for _, c := range t.Checks {
+		mark := "✅"
+		if !c.Pass {
+			mark = "❌"
+		}
+		fmt.Fprintf(&b, "- %s **%s**: %s\n", mark, c.Name, c.Detail)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func escapeCells(cells []string) []string {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		out[i] = strings.ReplaceAll(c, "|", "\\|")
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+// Package experiments implements the reproduction experiments E1–E12
+// indexed in DESIGN.md and EXPERIMENTS.md: one executable experiment per
+// theorem, property, algorithm and §5 claim of the paper. Each experiment
+// returns a Table — the rows the harness prints — together with named
+// pass/fail checks for the paper's qualitative claims (monotone QoS
+// orderings, stabilisation, calibration, and so on).
+//
+// The same entry points back both the `fdsim` command and the benchmark
+// suite at the repository root.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Check is one named verification of a paper claim.
+type Check struct {
+	Name   string
+	Pass   bool
+	Detail string
+}
+
+// Table is the printable result of one experiment.
+type Table struct {
+	// ID is the experiment id (E1..E12).
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Anchor cites the part of the paper the experiment reproduces.
+	Anchor string
+	// Columns and Rows hold the tabular results.
+	Columns []string
+	Rows    [][]string
+	// Notes carry free-form commentary (parameters, caveats).
+	Notes []string
+	// Checks are the claim verifications.
+	Checks []Check
+}
+
+// AddRow appends one row; the cell count should match Columns.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a formatted note.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// AddCheck records one claim verification.
+func (t *Table) AddCheck(name string, pass bool, format string, args ...any) {
+	t.Checks = append(t.Checks, Check{Name: name, Pass: pass, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Passed reports whether every check passed.
+func (t *Table) Passed() bool {
+	for _, c := range t.Checks {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	if t.Anchor != "" {
+		fmt.Fprintf(&b, "reproduces: %s\n", t.Anchor)
+	}
+	if len(t.Columns) > 0 {
+		widths := make([]int, len(t.Columns))
+		for i, c := range t.Columns {
+			widths[i] = len([]rune(c))
+		}
+		for _, row := range t.Rows {
+			for i, cell := range row {
+				if i < len(widths) && len([]rune(cell)) > widths[i] {
+					widths[i] = len([]rune(cell))
+				}
+			}
+		}
+		writeRow := func(cells []string) {
+			for i, cell := range cells {
+				if i > 0 {
+					b.WriteString("  ")
+				}
+				b.WriteString(cell)
+				if i < len(widths) {
+					b.WriteString(strings.Repeat(" ", widths[i]-len([]rune(cell))))
+				}
+			}
+			b.WriteString("\n")
+		}
+		b.WriteString("\n")
+		writeRow(t.Columns)
+		total := 0
+		for _, w := range widths {
+			total += w + 2
+		}
+		b.WriteString(strings.Repeat("-", total))
+		b.WriteString("\n")
+		for _, row := range t.Rows {
+			writeRow(row)
+		}
+	}
+	if len(t.Notes) > 0 {
+		b.WriteString("\n")
+		for _, n := range t.Notes {
+			fmt.Fprintf(&b, "note: %s\n", n)
+		}
+	}
+	if len(t.Checks) > 0 {
+		b.WriteString("\n")
+		for _, c := range t.Checks {
+			mark := "PASS"
+			if !c.Pass {
+				mark = "FAIL"
+			}
+			fmt.Fprintf(&b, "[%s] %s: %s\n", mark, c.Name, c.Detail)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Runner is the signature of every experiment entry point: a seed in, a
+// table out. Experiments are deterministic for a fixed seed.
+type Runner func(seed uint64) *Table
+
+// Registry returns all experiments keyed by id.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"E1":  E1,
+		"E2":  E2,
+		"E3":  E3,
+		"E4":  E4,
+		"E5":  E5,
+		"E6":  E6,
+		"E7":  E7,
+		"E8":  E8,
+		"E9":  E9,
+		"E10": E10,
+		"E11": E11,
+		"E12": E12,
+		"E13": E13,
+		"E14": E14,
+	}
+}
+
+// IDs returns the experiment ids in numeric order.
+func IDs() []string {
+	return []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"}
+}

@@ -1,0 +1,260 @@
+// Package gossip implements gossip-style heartbeat dissemination in the
+// manner of van Renesse, Minsky and Hayden's gossip failure-detection
+// service, which the paper cites as the large-scale implementation style
+// (§1.1, §6). Instead of all-to-all heartbeating, every node keeps a
+// vector of heartbeat counters — its own entry incremented each round —
+// and periodically gossips the vector to a few random peers; receivers
+// merge by taking the per-entry maximum.
+//
+// Each counter increase observed for a peer is an indirect heartbeat:
+// it proves the peer was alive recently, no matter along which gossip
+// path the news travelled. Feeding those merge events into per-peer
+// accrual detectors gives every node a full suspicion-level view of the
+// cluster with O(fanout) messages per node per round — and because the
+// effective "arrival process" of counter updates is burstier than direct
+// heartbeats, the adaptive detectors (φ, κ) are exactly what makes the
+// combination workable.
+package gossip
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"accrual/internal/core"
+	"accrual/internal/phi"
+	"accrual/internal/service"
+	"accrual/internal/sim"
+)
+
+// Config describes a gossiping cluster over the simulator.
+type Config struct {
+	// Sim and Net drive time and message delivery; required.
+	Sim *sim.Sim
+	Net *sim.Network
+	// Nodes are the member ids; required (>= 2).
+	Nodes []string
+	// Fanout is how many random peers each node gossips to per round
+	// (default 2, clamped to the cluster size).
+	Fanout int
+	// Interval is the gossip round period; required (> 0).
+	Interval time.Duration
+	// Crashes maps node ids to crash times (optional).
+	Crashes map[string]time.Time
+	// Horizon bounds the gossip schedule; required.
+	Horizon time.Time
+	// Detector builds the per-peer accrual detector at each node; nil
+	// means a φ detector bootstrapped to the gossip interval. Note the
+	// effective update period for a peer grows with cluster size and
+	// shrinks with fanout; the adaptive estimators absorb that.
+	Detector func(peer string, start time.Time) core.Detector
+}
+
+// ErrBadConfig is wrapped by every configuration validation error.
+var ErrBadConfig = errors.New("gossip: bad config")
+
+// Node is one cluster member: its counter vector and its accrual view of
+// every peer. Nodes are driven entirely by the simulator.
+type Node struct {
+	cluster   *Cluster
+	id        string
+	crashAt   time.Time
+	counters  map[string]uint64
+	detectors map[string]core.Detector
+
+	// Stats.
+	roundsRun     int
+	mergesApplied int
+}
+
+// Cluster is a set of gossiping nodes.
+type Cluster struct {
+	cfg   Config
+	nodes map[string]*Node
+	order []string
+}
+
+// New builds the cluster and schedules every node's gossip rounds.
+func New(cfg Config) (*Cluster, error) {
+	switch {
+	case cfg.Sim == nil || cfg.Net == nil:
+		return nil, fmt.Errorf("%w: missing sim or network", ErrBadConfig)
+	case len(cfg.Nodes) < 2:
+		return nil, fmt.Errorf("%w: need at least 2 nodes", ErrBadConfig)
+	case cfg.Interval <= 0:
+		return nil, fmt.Errorf("%w: non-positive interval", ErrBadConfig)
+	case cfg.Horizon.IsZero():
+		return nil, fmt.Errorf("%w: missing horizon", ErrBadConfig)
+	}
+	if cfg.Fanout < 1 {
+		cfg.Fanout = 2
+	}
+	if cfg.Fanout > len(cfg.Nodes)-1 {
+		cfg.Fanout = len(cfg.Nodes) - 1
+	}
+	if cfg.Detector == nil {
+		iv := cfg.Interval
+		cfg.Detector = func(_ string, start time.Time) core.Detector {
+			return phi.New(start, phi.WithBootstrap(iv, iv/2))
+		}
+	}
+	c := &Cluster{cfg: cfg, nodes: make(map[string]*Node, len(cfg.Nodes))}
+	start := cfg.Sim.Now()
+	for _, id := range cfg.Nodes {
+		if _, dup := c.nodes[id]; dup {
+			return nil, fmt.Errorf("%w: duplicate node %q", ErrBadConfig, id)
+		}
+		n := &Node{
+			cluster:   c,
+			id:        id,
+			crashAt:   cfg.Crashes[id],
+			counters:  make(map[string]uint64, len(cfg.Nodes)),
+			detectors: make(map[string]core.Detector, len(cfg.Nodes)-1),
+		}
+		for _, peer := range cfg.Nodes {
+			if peer != id {
+				n.detectors[peer] = cfg.Detector(peer, start)
+			}
+		}
+		c.nodes[id] = n
+	}
+	c.order = append([]string(nil), cfg.Nodes...)
+	sort.Strings(c.order)
+	for _, id := range c.order {
+		n := c.nodes[id]
+		cfg.Sim.Every(cfg.Interval, cfg.Horizon, n.round)
+	}
+	return c, nil
+}
+
+// Join schedules a new member to start gossiping at the given time. The
+// joiner needs no configuration beyond the cluster handle: its first
+// vectors introduce it to whoever it contacts, and the gossip spreads its
+// existence (and heartbeat counter) to everyone else. Join must be
+// scheduled before the simulator runs past at.
+func (c *Cluster) Join(id string, at time.Time) error {
+	if _, dup := c.nodes[id]; dup {
+		return fmt.Errorf("%w: duplicate node %q", ErrBadConfig, id)
+	}
+	n := &Node{
+		cluster:   c,
+		id:        id,
+		crashAt:   c.cfg.Crashes[id],
+		counters:  make(map[string]uint64),
+		detectors: make(map[string]core.Detector),
+	}
+	c.nodes[id] = n
+	c.cfg.Sim.At(at, func() {
+		idx := sort.SearchStrings(c.order, id)
+		c.order = append(c.order, "")
+		copy(c.order[idx+1:], c.order[idx:])
+		c.order[idx] = id
+		c.cfg.Sim.Every(c.cfg.Interval, c.cfg.Horizon, n.round)
+	})
+	return nil
+}
+
+// Node returns a member by id, or nil if unknown.
+func (c *Cluster) Node(id string) *Node { return c.nodes[id] }
+
+// Nodes returns the sorted member ids.
+func (c *Cluster) Nodes() []string { return c.order }
+
+func (n *Node) alive(now time.Time) bool {
+	return n.crashAt.IsZero() || now.Before(n.crashAt)
+}
+
+// round is one gossip step: bump the own counter and push the vector to
+// Fanout random peers.
+func (n *Node) round(now time.Time) {
+	if !n.alive(now) {
+		return
+	}
+	n.roundsRun++
+	n.counters[n.id]++
+	peers := n.pickPeers()
+	vector := make(map[string]uint64, len(n.counters))
+	for id, cnt := range n.counters {
+		vector[id] = cnt
+	}
+	for _, peer := range peers {
+		target := n.cluster.nodes[peer]
+		n.cluster.cfg.Net.Send(n.id, peer, func(at time.Time) {
+			target.merge(vector, at)
+		})
+	}
+}
+
+// pickPeers draws Fanout distinct random peers.
+func (n *Node) pickPeers() []string {
+	others := make([]string, 0, len(n.cluster.order)-1)
+	for _, id := range n.cluster.order {
+		if id != n.id {
+			others = append(others, id)
+		}
+	}
+	rng := n.cluster.cfg.Sim.Rand()
+	rng.Shuffle(len(others), func(i, j int) { others[i], others[j] = others[j], others[i] })
+	return others[:n.cluster.cfg.Fanout]
+}
+
+// merge folds a received vector into the local state; every counter
+// increase for a peer is an indirect heartbeat for that peer's detector.
+// Ids never seen before are discovered here: gossip doubles as the
+// membership protocol, so a late joiner needs to be configured on no one
+// — one contact suffices and the vectors spread the news.
+func (n *Node) merge(vector map[string]uint64, at time.Time) {
+	if !n.alive(at) {
+		return
+	}
+	n.mergesApplied++
+	for id, cnt := range vector {
+		if cnt <= n.counters[id] {
+			continue
+		}
+		n.counters[id] = cnt
+		det, ok := n.detectors[id]
+		if !ok && id != n.id {
+			det = n.cluster.cfg.Detector(id, at)
+			n.detectors[id] = det
+			ok = true
+		}
+		if ok {
+			det.Report(core.Heartbeat{From: id, Seq: cnt, Arrived: at})
+		}
+	}
+}
+
+// Suspicion returns this node's suspicion level for a peer.
+func (n *Node) Suspicion(peer string, now time.Time) (core.Level, error) {
+	det, ok := n.detectors[peer]
+	if !ok {
+		return 0, fmt.Errorf("gossip: node %q does not monitor %q", n.id, peer)
+	}
+	return det.Suspicion(now), nil
+}
+
+// Snapshot returns this node's view of every peer, least suspected
+// first — directly usable as an omega.Snapshot.
+func (n *Node) Snapshot(now time.Time) []service.RankedProcess {
+	out := make([]service.RankedProcess, 0, len(n.detectors))
+	for peer, det := range n.detectors {
+		out = append(out, service.RankedProcess{ID: peer, Level: det.Suspicion(now)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Level != out[j].Level {
+			return out[i].Level < out[j].Level
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Counter returns this node's current counter value for id (its own or a
+// peer's).
+func (n *Node) Counter(id string) uint64 { return n.counters[id] }
+
+// Stats returns how many rounds this node ran and how many vector merges
+// it applied.
+func (n *Node) Stats() (rounds, merges int) { return n.roundsRun, n.mergesApplied }

@@ -1,0 +1,317 @@
+package gossip
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"accrual/internal/core"
+	"accrual/internal/omega"
+	"accrual/internal/service"
+	"accrual/internal/sim"
+	"accrual/internal/stats"
+)
+
+func baseConfig(s *sim.Sim, n int) Config {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("n%02d", i)
+	}
+	return Config{
+		Sim: s,
+		Net: sim.NewNetwork(s, sim.Link{
+			Delay: sim.RandomDelay{Dist: stats.Normal{Mu: 0.01, Sigma: 0.003}, Min: time.Millisecond},
+		}),
+		Nodes:    ids,
+		Fanout:   2,
+		Interval: 100 * time.Millisecond,
+		Horizon:  sim.Epoch.Add(2 * time.Minute),
+	}
+}
+
+func TestValidation(t *testing.T) {
+	s := sim.New(1)
+	good := baseConfig(s, 3)
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"nil sim", func(c *Config) { c.Sim = nil }},
+		{"nil net", func(c *Config) { c.Net = nil }},
+		{"one node", func(c *Config) { c.Nodes = c.Nodes[:1] }},
+		{"zero interval", func(c *Config) { c.Interval = 0 }},
+		{"zero horizon", func(c *Config) { c.Horizon = time.Time{} }},
+		{"duplicate node", func(c *Config) { c.Nodes = []string{"a", "a"} }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := good
+			tt.mutate(&cfg)
+			if _, err := New(cfg); !errors.Is(err, ErrBadConfig) {
+				t.Errorf("err = %v, want ErrBadConfig", err)
+			}
+		})
+	}
+}
+
+func TestFanoutClamped(t *testing.T) {
+	s := sim.New(1)
+	cfg := baseConfig(s, 3)
+	cfg.Fanout = 10
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.cfg.Fanout != 2 {
+		t.Errorf("fanout = %d, want clamped to n-1 = 2", c.cfg.Fanout)
+	}
+	cfg2 := baseConfig(sim.New(2), 5)
+	cfg2.Fanout = 0
+	c2, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.cfg.Fanout != 2 {
+		t.Errorf("default fanout = %d, want 2", c2.cfg.Fanout)
+	}
+}
+
+func TestCountersPropagate(t *testing.T) {
+	s := sim.New(3)
+	cfg := baseConfig(s, 8)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(sim.Epoch.Add(10 * time.Second))
+	// After 100 rounds, every node must have heard of every other node
+	// and counters must be recent (within a small number of rounds of
+	// the origin's own counter).
+	for _, id := range c.Nodes() {
+		n := c.Node(id)
+		for _, peer := range c.Nodes() {
+			if peer == id {
+				continue
+			}
+			own := c.Node(peer).Counter(peer)
+			seen := n.Counter(peer)
+			if seen == 0 {
+				t.Fatalf("%s never heard of %s", id, peer)
+			}
+			if own-seen > 10 {
+				t.Errorf("%s's view of %s is %d rounds stale", id, peer, own-seen)
+			}
+		}
+		rounds, merges := n.Stats()
+		if rounds == 0 || merges == 0 {
+			t.Errorf("%s: rounds=%d merges=%d", id, rounds, merges)
+		}
+	}
+}
+
+func TestLiveNodesStayTrusted(t *testing.T) {
+	s := sim.New(4)
+	cfg := baseConfig(s, 8)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sample suspicion levels along the run; live nodes must stay low.
+	var maxLevel core.Level
+	for i := 0; i < 60; i++ {
+		s.RunUntil(sim.Epoch.Add(time.Duration(i+20) * time.Second / 2))
+		now := s.Now()
+		for _, id := range c.Nodes() {
+			for _, peer := range c.Nodes() {
+				if peer == id {
+					continue
+				}
+				lvl, err := c.Node(id).Suspicion(peer, now)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if lvl > maxLevel {
+					maxLevel = lvl
+				}
+			}
+		}
+	}
+	if maxLevel > 8 {
+		t.Errorf("max suspicion of a live node = %v, implausibly high", maxLevel)
+	}
+}
+
+func TestCrashDetectedByAllNodes(t *testing.T) {
+	s := sim.New(5)
+	cfg := baseConfig(s, 8)
+	crashAt := sim.Epoch.Add(30 * time.Second)
+	cfg.Crashes = map[string]time.Time{"n03": crashAt}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(sim.Epoch.Add(60 * time.Second))
+	now := s.Now()
+	for _, id := range c.Nodes() {
+		if id == "n03" {
+			continue
+		}
+		lvl, err := c.Node(id).Suspicion("n03", now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lvl < 5 {
+			t.Errorf("%s's suspicion of crashed n03 = %v, want high", id, lvl)
+		}
+		// And live peers are still trusted.
+		for _, peer := range []string{"n00", "n07"} {
+			if peer == id {
+				continue
+			}
+			if lvl2, _ := c.Node(id).Suspicion(peer, now); lvl2 > 5 {
+				t.Errorf("%s wrongly suspects live %s at %v", id, peer, lvl2)
+			}
+		}
+	}
+	// The crashed node's counter froze cluster-wide.
+	frozen := c.Node("n00").Counter("n03")
+	if frozen == 0 || frozen > 310 {
+		t.Errorf("frozen counter = %d, want ~300 (one per 100ms round until 30s)", frozen)
+	}
+}
+
+func TestSuspicionUnknownPeer(t *testing.T) {
+	s := sim.New(6)
+	c, err := New(baseConfig(s, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Node("n00").Suspicion("ghost", s.Now()); err == nil {
+		t.Error("unknown peer should error")
+	}
+	if c.Node("ghost") != nil {
+		t.Error("unknown node should be nil")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []uint64 {
+		s := sim.New(77)
+		cfg := baseConfig(s, 6)
+		cfg.Crashes = map[string]time.Time{"n01": sim.Epoch.Add(5 * time.Second)}
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.RunUntil(sim.Epoch.Add(20 * time.Second))
+		var out []uint64
+		for _, id := range c.Nodes() {
+			for _, peer := range c.Nodes() {
+				out = append(out, c.Node(id).Counter(peer))
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("counter vectors diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestOmegaOverGossip(t *testing.T) {
+	// Leader election from one node's gossip view: after the leader
+	// crashes, the oracle converges to a live node and stays there.
+	s := sim.New(8)
+	cfg := baseConfig(s, 5)
+	cfg.Crashes = map[string]time.Time{"n00": sim.Epoch.Add(20 * time.Second)}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observer := c.Node("n04")
+	oracle := omega.New(func() []service.RankedProcess {
+		return observer.Snapshot(s.Now())
+	}, 1)
+
+	s.RunUntil(sim.Epoch.Add(10 * time.Second))
+	early, ok := oracle.Leader()
+	if !ok {
+		t.Fatal("no early leader")
+	}
+	s.RunUntil(sim.Epoch.Add(60 * time.Second))
+	var last string
+	for i := 0; i < 10; i++ {
+		s.RunUntil(s.Now().Add(time.Second))
+		last, _ = oracle.Leader()
+		if last == "n00" {
+			t.Fatalf("crashed node still leader at %v", s.Now().Sub(sim.Epoch))
+		}
+	}
+	_ = early
+}
+
+func TestLateJoinerDiscoveredByAll(t *testing.T) {
+	s := sim.New(9)
+	cfg := baseConfig(s, 5)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joinAt := sim.Epoch.Add(20 * time.Second)
+	if err := c.Join("newbie", joinAt); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Join("newbie", joinAt); err == nil {
+		t.Error("duplicate join should fail")
+	}
+	s.RunUntil(sim.Epoch.Add(40 * time.Second))
+	now := s.Now()
+	// Every original node has discovered the joiner and trusts it.
+	for _, id := range cfg.Nodes {
+		n := c.Node(id)
+		if n.Counter("newbie") == 0 {
+			t.Fatalf("%s never heard of the joiner", id)
+		}
+		lvl, err := n.Suspicion("newbie", now)
+		if err != nil {
+			t.Fatalf("%s has no detector for the joiner: %v", id, err)
+		}
+		if lvl > 8 {
+			t.Errorf("%s suspects the live joiner at %v", id, lvl)
+		}
+	}
+	// And the joiner has discovered everyone.
+	nb := c.Node("newbie")
+	for _, id := range cfg.Nodes {
+		if nb.Counter(id) == 0 {
+			t.Errorf("joiner never heard of %s", id)
+		}
+	}
+}
+
+func TestLateJoinerCrashDetected(t *testing.T) {
+	s := sim.New(10)
+	cfg := baseConfig(s, 5)
+	cfg.Crashes = map[string]time.Time{"newbie": sim.Epoch.Add(40 * time.Second)}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Join("newbie", sim.Epoch.Add(10*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(sim.Epoch.Add(70 * time.Second))
+	now := s.Now()
+	for _, id := range cfg.Nodes {
+		lvl, err := c.Node(id).Suspicion("newbie", now)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if lvl < 5 {
+			t.Errorf("%s's suspicion of the crashed joiner = %v, want high", id, lvl)
+		}
+	}
+}

@@ -1,0 +1,294 @@
+package kappa
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"accrual/internal/core"
+	"accrual/internal/stats"
+)
+
+var start = time.Date(2005, 3, 22, 0, 0, 0, 0, time.UTC)
+
+const interval = 100 * time.Millisecond
+
+func feed(d *Detector, seqs []uint64) time.Time {
+	var last time.Time
+	for _, s := range seqs {
+		last = start.Add(time.Duration(s) * interval)
+		d.Report(core.Heartbeat{From: "p", Seq: s, Arrived: last})
+	}
+	return last
+}
+
+func seqRange(from, to uint64) []uint64 {
+	var out []uint64
+	for s := from; s <= to; s++ {
+		out = append(out, s)
+	}
+	return out
+}
+
+func TestStepContribution(t *testing.T) {
+	s := Step{Timeout: 200 * time.Millisecond}
+	est := Estimate{Mean: interval}
+	if s.Value(199*time.Millisecond, est) != 0 {
+		t.Error("before timeout should be 0")
+	}
+	if s.Value(200*time.Millisecond, est) != 1 {
+		t.Error("at timeout should be 1")
+	}
+	if s.Saturation(est) != 200*time.Millisecond {
+		t.Error("saturation should equal the timeout")
+	}
+}
+
+func TestRampContribution(t *testing.T) {
+	r := Ramp{Start: 100 * time.Millisecond, End: 300 * time.Millisecond}
+	est := Estimate{Mean: interval}
+	if r.Value(50*time.Millisecond, est) != 0 {
+		t.Error("before start")
+	}
+	if got := r.Value(200*time.Millisecond, est); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("midpoint = %v, want 0.5", got)
+	}
+	if r.Value(time.Second, est) != 1 {
+		t.Error("after end")
+	}
+}
+
+func TestPLaterContribution(t *testing.T) {
+	p := PLater{}
+	est := Estimate{Mean: interval, StdDev: 20 * time.Millisecond}
+	if p.Value(0, est) != 0 {
+		t.Error("at zero elapsed")
+	}
+	mid := p.Value(interval, est)
+	if math.Abs(mid-0.5) > 0.01 {
+		t.Errorf("value at mean = %v, want ~0.5", mid)
+	}
+	if p.Value(p.Saturation(est), est) != 1 {
+		t.Error("at saturation must be exactly 1")
+	}
+	// Monotone.
+	prev := -1.0
+	for d := time.Duration(0); d < 500*time.Millisecond; d += 5 * time.Millisecond {
+		cur := p.Value(d, est)
+		if cur < prev {
+			t.Fatalf("contribution decreased at %v", d)
+		}
+		prev = cur
+	}
+}
+
+func TestPLaterDefaults(t *testing.T) {
+	p := PLater{}
+	est := Estimate{Mean: interval} // zero stddev -> floored at 1ms
+	if sat := p.Saturation(est); sat != interval+8*time.Millisecond {
+		t.Errorf("saturation = %v, want mean + 8ms", sat)
+	}
+}
+
+func TestSuspicionZeroWithoutEstimate(t *testing.T) {
+	d := New(start, Step{Timeout: 200 * time.Millisecond})
+	if got := d.Suspicion(start.Add(time.Hour)); got != 0 {
+		t.Errorf("no estimate: level = %v", got)
+	}
+}
+
+func TestSuspicionZeroWhileHealthy(t *testing.T) {
+	d := New(start, Step{Timeout: 200 * time.Millisecond})
+	last := feed(d, seqRange(1, 20))
+	if got := d.Suspicion(last.Add(50 * time.Millisecond)); got != 0 {
+		t.Errorf("healthy level = %v, want 0", got)
+	}
+}
+
+func TestSuspicionCountsMissedHeartbeats(t *testing.T) {
+	// After a crash, κ with a step contribution converges to a count of
+	// missed heartbeats.
+	d := New(start, Step{Timeout: 150 * time.Millisecond}, WithFixedInterval(interval))
+	last := feed(d, seqRange(1, 20))
+	// 1 second after the last heartbeat: heartbeats due at +100..+1000ms.
+	// Heartbeat j is awaited from (j-1)*100ms; contribution 1 when
+	// elapsed >= 150ms, i.e. heartbeats awaited since <= 850ms: j-1 <= 8.
+	got := d.Suspicion(last.Add(time.Second))
+	if got != 9 {
+		t.Errorf("level 1s after crash = %v, want 9", got)
+	}
+	// Much later the count keeps growing linearly.
+	got10 := d.Suspicion(last.Add(10 * time.Second))
+	if got10 < 95 || got10 > 100 {
+		t.Errorf("level 10s after crash = %v, want ~99", got10)
+	}
+}
+
+func TestLossBurstRecovery(t *testing.T) {
+	// Heartbeats 21..25 are lost; when 26 arrives the level collapses
+	// back to zero — the κ property that motivates the framework.
+	d := New(start, Step{Timeout: 150 * time.Millisecond}, WithFixedInterval(interval))
+	feed(d, seqRange(1, 20))
+	// During the burst the level climbs.
+	during := d.Suspicion(start.Add(25 * interval))
+	if during < 3 {
+		t.Errorf("level during burst = %v, want >= 3", during)
+	}
+	// Heartbeat 26 arrives on schedule.
+	at26 := start.Add(26 * interval)
+	d.Report(core.Heartbeat{From: "p", Seq: 26, Arrived: at26})
+	after := d.Suspicion(at26.Add(10 * time.Millisecond))
+	if after != 0 {
+		t.Errorf("level after recovery = %v, want 0", after)
+	}
+}
+
+func TestGradualTransition(t *testing.T) {
+	// With a ramp contribution the level is fractional at low suspicion
+	// (aggressive range) before growing into integer counting
+	// (conservative range).
+	d := New(start, Ramp{Start: 50 * time.Millisecond, End: 250 * time.Millisecond},
+		WithFixedInterval(interval))
+	last := feed(d, seqRange(1, 10))
+	lowRange := d.Suspicion(last.Add(150 * time.Millisecond))
+	if lowRange <= 0 || lowRange >= 2 {
+		t.Errorf("aggressive-range level = %v, want fractional in (0,2)", lowRange)
+	}
+	high := d.Suspicion(last.Add(3 * time.Second))
+	if high < 25 {
+		t.Errorf("conservative-range level = %v, want ~28", high)
+	}
+}
+
+func TestSaturationShortcutMatchesBruteForce(t *testing.T) {
+	// The O(1) counting of saturated heartbeats must agree with direct
+	// summation.
+	contrib := Ramp{Start: 0, End: 300 * time.Millisecond}
+	d := New(start, contrib, WithFixedInterval(interval))
+	last := feed(d, seqRange(1, 5))
+	for _, elapsed := range []time.Duration{
+		250 * time.Millisecond, time.Second, 5 * time.Second, 30 * time.Second,
+	} {
+		now := last.Add(elapsed)
+		got := float64(d.Suspicion(now))
+		want := 0.0
+		est := Estimate{Mean: interval}
+		for j := 1; ; j++ {
+			due := last.Add(time.Duration(j-1) * interval)
+			if due.After(now) {
+				break
+			}
+			want += contrib.Value(now.Sub(due), est)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("at +%v: level %v, brute force %v", elapsed, got, want)
+		}
+	}
+}
+
+func TestEstimatedIntervalFromWindow(t *testing.T) {
+	d := New(start, Step{Timeout: 150 * time.Millisecond})
+	last := feed(d, seqRange(1, 50))
+	est, ok := d.estimate()
+	if !ok {
+		t.Fatal("no estimate after 50 heartbeats")
+	}
+	if diff := est.Mean - interval; diff < -time.Millisecond || diff > time.Millisecond {
+		t.Errorf("estimated mean = %v, want ~%v", est.Mean, interval)
+	}
+	// And the level behaves as with the fixed interval.
+	if got := d.Suspicion(last.Add(time.Second)); got != 9 {
+		t.Errorf("level = %v, want 9", got)
+	}
+}
+
+func TestStaleHeartbeatsIgnored(t *testing.T) {
+	d := New(start, Step{Timeout: 150 * time.Millisecond}, WithFixedInterval(interval))
+	feed(d, seqRange(1, 10))
+	lvlBefore := d.Suspicion(start.Add(15 * interval))
+	d.Report(core.Heartbeat{From: "p", Seq: 4, Arrived: start.Add(14 * interval)})
+	lvlAfter := d.Suspicion(start.Add(15 * interval))
+	if lvlBefore != lvlAfter {
+		t.Errorf("stale heartbeat changed level: %v -> %v", lvlBefore, lvlAfter)
+	}
+}
+
+func TestResolutionQuantisation(t *testing.T) {
+	d := New(start, Ramp{Start: 0, End: time.Second},
+		WithFixedInterval(interval), WithResolution(0.25))
+	last := feed(d, seqRange(1, 5))
+	lvl := float64(d.Suspicion(last.Add(777 * time.Millisecond)))
+	if r := math.Mod(lvl, 0.25); r != 0 {
+		t.Errorf("level %v not a multiple of 0.25", lvl)
+	}
+}
+
+func TestMonotoneAfterCrash(t *testing.T) {
+	d := New(start, PLater{}, WithFixedInterval(interval))
+	last := feed(d, seqRange(1, 30))
+	var history []core.QueryRecord
+	for i := 0; i < 800; i++ {
+		at := last.Add(time.Duration(i) * 25 * time.Millisecond)
+		history = append(history, core.QueryRecord{At: at, Level: d.Suspicion(at)})
+	}
+	rep := core.CheckAccruement(history, 10, 0)
+	if !rep.Holds {
+		t.Fatalf("Accruement violated: %s", rep.Violation)
+	}
+}
+
+func TestSampleCount(t *testing.T) {
+	d := New(start, Step{Timeout: 150 * time.Millisecond}, WithWindowSize(5))
+	feed(d, seqRange(1, 10))
+	if d.SampleCount() != 5 {
+		t.Errorf("SampleCount = %d, want 5 (window capped)", d.SampleCount())
+	}
+	if d.LastSeq() != 10 {
+		t.Errorf("LastSeq = %d", d.LastSeq())
+	}
+}
+
+func TestDistContribution(t *testing.T) {
+	c := DistContribution{
+		Dist:     stats.Erlang{K: 2, Lambda: 20}, // mean 100ms
+		Saturate: 500 * time.Millisecond,
+	}
+	est := Estimate{Mean: interval}
+	if c.Value(0, est) != 0 {
+		t.Error("zero delta")
+	}
+	if c.Value(600*time.Millisecond, est) != 1 {
+		t.Error("past saturation must be exactly 1")
+	}
+	if c.Saturation(est) != 500*time.Millisecond {
+		t.Error("saturation cutoff")
+	}
+	prev := -1.0
+	for d := time.Duration(0); d <= 600*time.Millisecond; d += 10 * time.Millisecond {
+		cur := c.Value(d, est)
+		if cur < prev {
+			t.Fatalf("contribution decreased at %v", d)
+		}
+		if cur < 0 || cur > 1 {
+			t.Fatalf("contribution %v out of range at %v", cur, d)
+		}
+		prev = cur
+	}
+}
+
+func TestDistContributionDetector(t *testing.T) {
+	d := New(start, DistContribution{
+		Dist:     stats.Normal{Mu: 0.1, Sigma: 0.02},
+		Saturate: 300 * time.Millisecond,
+	}, WithFixedInterval(interval))
+	last := feed(d, seqRange(1, 20))
+	// The normal waiting-time model has infinite support, so the level
+	// is tiny-but-nonzero even while healthy.
+	if got := d.Suspicion(last.Add(50 * time.Millisecond)); got > 0.05 {
+		t.Errorf("healthy level = %v, want near 0", got)
+	}
+	late := d.Suspicion(last.Add(2 * time.Second))
+	if late < 15 {
+		t.Errorf("level 2s after crash = %v, want ~17+", late)
+	}
+}

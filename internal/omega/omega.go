@@ -1,0 +1,74 @@
+// Package omega builds an eventual leader oracle (Ω) on top of accrual
+// suspicion levels, in the spirit of the counter-based Ω constructions of
+// Chu and Mostéfaoui et al. discussed in §6 of the paper: the process
+// deemed most trustworthy — the one with the lowest suspicion level — is
+// elected leader.
+//
+// A hysteresis margin keeps the leadership stable: the incumbent is only
+// demoted when its suspicion level exceeds the best candidate's level by
+// the margin, so transient level fluctuations do not cause leadership to
+// thrash. Once the underlying detectors stabilise (crashed processes
+// accrue forever, correct ones stay bounded), the oracle converges to one
+// correct leader — the Ω property.
+package omega
+
+import (
+	"accrual/internal/core"
+	"accrual/internal/service"
+)
+
+// Snapshot supplies the current suspicion ranking, least suspected first.
+// service.Monitor's Ranked method has exactly this shape.
+type Snapshot func() []service.RankedProcess
+
+// Oracle elects an eventual leader from suspicion levels. It is a plain
+// state machine: call Leader whenever a current leader is needed. Oracle
+// is not safe for concurrent use.
+type Oracle struct {
+	snapshot Snapshot
+	margin   core.Level
+	leader   string
+	hasLead  bool
+}
+
+// New returns an oracle over the given ranking source. margin is the
+// hysteresis: the incumbent keeps the leadership while its level stays
+// within margin of the best candidate's level. A zero margin makes the
+// oracle follow the minimum-level process exactly.
+func New(snapshot Snapshot, margin core.Level) *Oracle {
+	if margin < 0 {
+		margin = 0
+	}
+	return &Oracle{snapshot: snapshot, margin: margin}
+}
+
+// Leader returns the current leader id. ok is false when no process is
+// known.
+func (o *Oracle) Leader() (id string, ok bool) {
+	ranked := o.snapshot()
+	if len(ranked) == 0 {
+		o.hasLead = false
+		return "", false
+	}
+	best := ranked[0]
+	if o.hasLead {
+		for _, rp := range ranked {
+			if rp.ID != o.leader {
+				continue
+			}
+			if rp.Level <= best.Level+o.margin {
+				return o.leader, true // incumbent survives within the margin
+			}
+			break
+		}
+	}
+	o.leader = best.ID
+	o.hasLead = true
+	return o.leader, true
+}
+
+// Incumbent returns the last elected leader without re-evaluating the
+// ranking. ok is false before the first election.
+func (o *Oracle) Incumbent() (id string, ok bool) {
+	return o.leader, o.hasLead
+}

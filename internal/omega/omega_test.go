@@ -1,0 +1,106 @@
+package omega
+
+import (
+	"testing"
+
+	"accrual/internal/core"
+	"accrual/internal/service"
+)
+
+func ranking(pairs ...any) Snapshot {
+	var out []service.RankedProcess
+	for i := 0; i < len(pairs); i += 2 {
+		out = append(out, service.RankedProcess{
+			ID:    pairs[i].(string),
+			Level: core.Level(pairs[i+1].(float64)),
+		})
+	}
+	return func() []service.RankedProcess { return out }
+}
+
+func TestLeaderEmpty(t *testing.T) {
+	o := New(func() []service.RankedProcess { return nil }, 1)
+	if _, ok := o.Leader(); ok {
+		t.Error("no processes, no leader")
+	}
+	if _, ok := o.Incumbent(); ok {
+		t.Error("no incumbent before first election")
+	}
+}
+
+func TestLeaderPicksLowestLevel(t *testing.T) {
+	o := New(ranking("b", 2.0, "a", 5.0), 0)
+	id, ok := o.Leader()
+	if !ok || id != "b" {
+		t.Errorf("leader = %q, %v", id, ok)
+	}
+	inc, ok := o.Incumbent()
+	if !ok || inc != "b" {
+		t.Errorf("incumbent = %q, %v", inc, ok)
+	}
+}
+
+func TestHysteresisKeepsIncumbent(t *testing.T) {
+	var snap []service.RankedProcess
+	o := New(func() []service.RankedProcess { return snap }, 2)
+
+	snap = []service.RankedProcess{{ID: "a", Level: 1}, {ID: "b", Level: 3}}
+	if id, _ := o.Leader(); id != "a" {
+		t.Fatalf("initial leader %q", id)
+	}
+	// "b" edges ahead but within the margin: incumbent stays.
+	snap = []service.RankedProcess{{ID: "b", Level: 1}, {ID: "a", Level: 2.5}}
+	if id, _ := o.Leader(); id != "a" {
+		t.Errorf("incumbent demoted within margin: %q", id)
+	}
+	// "a" falls far behind: leadership changes.
+	snap = []service.RankedProcess{{ID: "b", Level: 1}, {ID: "a", Level: 10}}
+	if id, _ := o.Leader(); id != "b" {
+		t.Errorf("leader = %q, want b", id)
+	}
+}
+
+func TestLeaderChangesWhenIncumbentDisappears(t *testing.T) {
+	var snap []service.RankedProcess
+	o := New(func() []service.RankedProcess { return snap }, 5)
+	snap = []service.RankedProcess{{ID: "a", Level: 0}, {ID: "b", Level: 1}}
+	o.Leader()
+	snap = []service.RankedProcess{{ID: "b", Level: 1}}
+	if id, _ := o.Leader(); id != "b" {
+		t.Errorf("leader = %q after incumbent vanished", id)
+	}
+}
+
+func TestNegativeMarginClamped(t *testing.T) {
+	o := New(ranking("a", 1.0), -3)
+	if id, ok := o.Leader(); !ok || id != "a" {
+		t.Errorf("leader = %q, %v", id, ok)
+	}
+}
+
+func TestConvergenceWhenLeaderCrashLevelsAccrue(t *testing.T) {
+	// Simulate the level of a crashed leader accruing over successive
+	// elections: the oracle must converge to a live process and stay
+	// there (the Ω property).
+	level := 0.0
+	o := New(func() []service.RankedProcess {
+		level += 1
+		return []service.RankedProcess{
+			{ID: "live", Level: 0.5},
+			{ID: "dead", Level: core.Level(level)},
+		}
+	}, 2)
+	var last string
+	for i := 0; i < 20; i++ {
+		last, _ = o.Leader()
+	}
+	if last != "live" {
+		t.Errorf("leader = %q, want live", last)
+	}
+	// Stability: repeated elections keep the same leader.
+	for i := 0; i < 20; i++ {
+		if id, _ := o.Leader(); id != "live" {
+			t.Fatal("leadership thrashed after convergence")
+		}
+	}
+}

@@ -1,0 +1,268 @@
+// Package phi implements the φ accrual failure detector of Hayashibara,
+// Défago, Yared and Katayama (SRDS 2004), as described in §5.3 of the
+// accrual failure detectors paper.
+//
+// Like Chen's detector, φ adapts to changing network conditions — but
+// instead of estimating only the mean of the next expected arrival time,
+// it estimates the full distribution of heartbeat inter-arrival times
+// (mean and variance over a sliding window, with an assumed shape) and
+// outputs
+//
+//	φ(t) = −log₁₀( P_later(t − t_last) )
+//
+// where P_later(Δ) is the probability that a heartbeat arrives more than
+// Δ after the previous one. Interpreting the level with a constant
+// threshold Φ means accepting roughly a 10^−Φ probability of a wrong
+// suspicion when the network behaviour is probabilistically stable
+// (experiment E8 checks this calibration).
+package phi
+
+import (
+	"math"
+	"time"
+
+	"accrual/internal/core"
+	"accrual/internal/stats"
+)
+
+// Model selects the assumed shape of the inter-arrival distribution.
+type Model int
+
+const (
+	// ModelNormal assumes normally distributed inter-arrival times (the
+	// paper's suggestion for arrival intervals). This is the default and
+	// matches the widely deployed φ implementations (Akka, Cassandra).
+	ModelNormal Model = iota
+	// ModelExponential assumes exponentially distributed inter-arrival
+	// times, a conservative heavy-ish tail useful when delays are very
+	// irregular.
+	ModelExponential
+	// ModelErlang assumes Erlang-distributed inter-arrival times — the
+	// shape §5.3 suggests for transmission times. The integer shape k is
+	// fitted by the method of moments (k ≈ mean²/variance, clamped to
+	// [1, maxErlangShape]), interpolating between exponential behaviour
+	// (k=1) and near-deterministic arrivals (large k).
+	ModelErlang
+)
+
+// String returns the model name.
+func (m Model) String() string {
+	switch m {
+	case ModelNormal:
+		return "normal"
+	case ModelExponential:
+		return "exponential"
+	case ModelErlang:
+		return "erlang"
+	default:
+		return "model?"
+	}
+}
+
+// Detector is a φ accrual failure detector for one monitored process.
+// Levels are φ values (dimensionless, base-10 log scale). Create one with
+// New.
+type Detector struct {
+	window          *stats.Window // inter-arrival intervals, seconds
+	model           Model
+	minStdDev       float64 // seconds
+	acceptablePause float64 // seconds added to the estimated mean
+	start           time.Time
+	last            time.Time
+	snLast          uint64
+	hasLast         bool
+	eps             core.Level
+}
+
+var _ core.Detector = (*Detector)(nil)
+
+// Option configures a Detector.
+type Option func(*Detector)
+
+// WithWindowSize sets the number of inter-arrival samples kept
+// (default 200).
+func WithWindowSize(n int) Option {
+	return func(d *Detector) { d.window = stats.NewWindow(n) }
+}
+
+// WithModel selects the assumed inter-arrival distribution shape
+// (default ModelNormal).
+func WithModel(m Model) Option {
+	return func(d *Detector) { d.model = m }
+}
+
+// WithMinStdDev sets a floor on the estimated standard deviation,
+// protecting against pathological over-confidence when the observed
+// intervals are nearly constant (default 1ms). Only meaningful for
+// ModelNormal.
+func WithMinStdDev(min time.Duration) Option {
+	return func(d *Detector) {
+		if min > 0 {
+			d.minStdDev = min.Seconds()
+		}
+	}
+}
+
+// WithBootstrap seeds the estimator with a prior guess of the heartbeat
+// interval before any heartbeat arrives, in the style of Akka's
+// first-heartbeat estimate: two synthetic samples mean±spread are pushed
+// into the window, so the detector is usable from the first query.
+func WithBootstrap(mean, spread time.Duration) Option {
+	return func(d *Detector) {
+		if d.window == nil {
+			d.window = stats.NewWindow(defaultWindow)
+		}
+		d.window.Push((mean - spread).Seconds())
+		d.window.Push((mean + spread).Seconds())
+	}
+}
+
+// WithResolution sets the level resolution ε.
+func WithResolution(eps core.Level) Option {
+	return func(d *Detector) { d.eps = eps }
+}
+
+// WithAcceptablePause adds a grace period to the estimated inter-arrival
+// mean before φ starts accruing — the "acceptable heartbeat pause" knob
+// the production φ implementations (Akka, Cassandra) expose to ride out
+// garbage-collection stalls and scheduler hiccups without re-tuning the
+// threshold.
+func WithAcceptablePause(pause time.Duration) Option {
+	return func(d *Detector) {
+		if pause > 0 {
+			d.acceptablePause = pause.Seconds()
+		}
+	}
+}
+
+const (
+	defaultWindow = 200
+	// maxErlangShape caps the fitted Erlang shape so that very regular
+	// heartbeats do not produce an absurdly spiky model (k=1000 stages
+	// behaves like a point mass and is numerically pointless).
+	maxErlangShape = 256
+)
+
+// New returns a φ detector started at the given local time.
+func New(start time.Time, opts ...Option) *Detector {
+	d := &Detector{
+		start:     start,
+		last:      start,
+		minStdDev: 0.001,
+	}
+	for _, opt := range opts {
+		opt(d)
+	}
+	if d.window == nil {
+		d.window = stats.NewWindow(defaultWindow)
+	}
+	return d
+}
+
+// Report records a heartbeat arrival. Stale and duplicate sequence
+// numbers are ignored. The first accepted heartbeat only fixes t_last;
+// subsequent ones contribute inter-arrival samples.
+func (d *Detector) Report(hb core.Heartbeat) {
+	if hb.Seq <= d.snLast {
+		return
+	}
+	d.snLast = hb.Seq
+	if d.hasLast {
+		interval := hb.Arrived.Sub(d.last).Seconds()
+		if interval >= 0 {
+			d.window.Push(interval)
+		}
+	}
+	d.last = hb.Arrived
+	d.hasLast = true
+}
+
+// dist returns the currently estimated inter-arrival distribution and
+// whether enough samples exist to form one.
+func (d *Detector) dist() (stats.Dist, bool) {
+	if d.window.Len() == 0 {
+		return nil, false
+	}
+	mean := d.window.Mean() + d.acceptablePause
+	switch d.model {
+	case ModelExponential:
+		if mean <= 0 {
+			return nil, false
+		}
+		return stats.Exponential{MeanValue: mean}, true
+	case ModelErlang:
+		if mean <= 0 {
+			return nil, false
+		}
+		v := d.window.Variance()
+		minV := d.minStdDev * d.minStdDev
+		if v < minV {
+			v = minV
+		}
+		k := int(math.Round(mean * mean / v))
+		if k < 1 {
+			k = 1
+		}
+		if k > maxErlangShape {
+			k = maxErlangShape
+		}
+		return stats.Erlang{K: k, Lambda: float64(k) / mean}, true
+	default:
+		sd := d.window.StdDev()
+		if sd < d.minStdDev {
+			sd = d.minStdDev
+		}
+		return stats.Normal{Mu: mean, Sigma: sd}, true
+	}
+}
+
+// Phi returns the raw φ value at time now: −log₁₀ P_later(now − t_last).
+// Before any estimate exists it returns 0 (no information, no suspicion).
+// The value is computed in log space, so it keeps growing smoothly far
+// past the point where P_later underflows in float64.
+func (d *Detector) Phi(now time.Time) float64 {
+	dist, ok := d.dist()
+	if !ok {
+		return 0
+	}
+	elapsed := now.Sub(d.last).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	logTail := stats.LogTail(dist, elapsed)
+	phi := -logTail / math.Ln10
+	if phi <= 0 { // also normalises the -0.0 produced by logTail == 0
+		return 0
+	}
+	return phi
+}
+
+// Suspicion returns the suspicion level sl(now) = φ(now), quantised to
+// the configured resolution.
+func (d *Detector) Suspicion(now time.Time) core.Level {
+	return core.Level(d.Phi(now)).Quantize(d.eps)
+}
+
+// LastArrival returns the arrival time of the most recent accepted
+// heartbeat and whether one has arrived at all.
+func (d *Detector) LastArrival() (time.Time, bool) { return d.last, d.hasLast }
+
+// LastSeq returns the sequence number of the most recent accepted
+// heartbeat.
+func (d *Detector) LastSeq() uint64 { return d.snLast }
+
+// IntervalMean returns the current estimate of the mean inter-arrival
+// time.
+func (d *Detector) IntervalMean() time.Duration {
+	return time.Duration(d.window.Mean() * float64(time.Second))
+}
+
+// IntervalStdDev returns the current estimate of the inter-arrival
+// standard deviation.
+func (d *Detector) IntervalStdDev() time.Duration {
+	return time.Duration(d.window.StdDev() * float64(time.Second))
+}
+
+// SampleCount returns the number of inter-arrival samples currently in
+// the estimation window.
+func (d *Detector) SampleCount() int { return d.window.Len() }

@@ -1,0 +1,359 @@
+// Package qos computes the quality-of-service metrics of Chen, Toueg and
+// Aguilera for binary failure detector outputs, as summarised in §2 of the
+// accrual failure detectors paper:
+//
+//   - detection time T_D (completeness; runs where the process crashes),
+//   - mistake recurrence time T_MR, mistake duration T_M, good period
+//     duration T_G, average mistake rate λ_M, and query accuracy
+//     probability P_A (accuracy; defined while the process is alive).
+//
+// The input is a transition trace — the S- and T-transitions of one
+// binary detector monitoring one process over an observation window —
+// plus the crash time, if any. The package is what turns raw simulation
+// traces into the rows of the experiment tables (internal/experiments).
+package qos
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"accrual/internal/core"
+)
+
+// Input describes one observed run of a binary failure detector.
+type Input struct {
+	// Transitions are the output transitions in chronological order.
+	// They must alternate (an S-transition only from trusted, a
+	// T-transition only from suspected) starting from InitialStatus.
+	Transitions []core.Transition
+	// Start and End delimit the observation window.
+	Start, End time.Time
+	// InitialStatus is the detector output at Start. The zero value
+	// defaults to Trusted.
+	InitialStatus core.Status
+	// CrashAt is the instant the monitored process crashed; the zero
+	// time means the process is correct throughout the window.
+	CrashAt time.Time
+}
+
+// Report carries the metrics of one run.
+type Report struct {
+	// Detected reports whether the crash was permanently detected within
+	// the window (final status suspected with no later T-transition).
+	// Always false for correct processes.
+	Detected bool
+	// TD is the detection time: from the crash to the final S-transition
+	// (zero if the process was already suspected at crash time and never
+	// trusted again). Meaningful only when Detected.
+	TD time.Duration
+
+	// STransitions and TTransitions count transitions inside the
+	// accuracy window (up to the crash, or the whole window for correct
+	// processes).
+	STransitions, TTransitions int
+	// MistakeDurations are the T_M samples: from each S-transition to
+	// the following T-transition, within the accuracy window.
+	MistakeDurations []time.Duration
+	// MistakeRecurrences are the T_MR samples: between consecutive
+	// S-transitions.
+	MistakeRecurrences []time.Duration
+	// GoodPeriods are the T_G samples: from each T-transition to the
+	// next S-transition.
+	GoodPeriods []time.Duration
+	// LambdaM is the average mistake rate: S-transitions per second of
+	// accuracy window.
+	LambdaM float64
+	// PA is the query accuracy probability: the fraction of the accuracy
+	// window during which the output was "trusted" (the correct answer
+	// while the process is alive).
+	PA float64
+	// AccuracyWindow is the duration over which the accuracy metrics
+	// were computed.
+	AccuracyWindow time.Duration
+}
+
+// MeanMistakeDuration returns the mean of the T_M samples, or 0 when
+// there are none.
+func (r Report) MeanMistakeDuration() time.Duration { return meanDur(r.MistakeDurations) }
+
+// MeanMistakeRecurrence returns the mean of the T_MR samples, or 0.
+func (r Report) MeanMistakeRecurrence() time.Duration { return meanDur(r.MistakeRecurrences) }
+
+// MeanGoodPeriod returns the mean of the T_G samples, or 0.
+func (r Report) MeanGoodPeriod() time.Duration { return meanDur(r.GoodPeriods) }
+
+func meanDur(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	return sum / time.Duration(len(ds))
+}
+
+// ErrInvalidInput is wrapped by every validation error from Evaluate.
+var ErrInvalidInput = errors.New("qos: invalid input")
+
+// Evaluate computes the QoS metrics for one run.
+func Evaluate(in Input) (Report, error) {
+	if in.End.Before(in.Start) {
+		return Report{}, fmt.Errorf("%w: end %v before start %v", ErrInvalidInput, in.End, in.Start)
+	}
+	status := in.InitialStatus
+	if status == 0 {
+		status = core.Trusted
+	}
+	if !status.Valid() {
+		return Report{}, fmt.Errorf("%w: initial status %v", ErrInvalidInput, in.InitialStatus)
+	}
+	// Validate the alternation and ordering of the trace.
+	prevAt := in.Start
+	st := status
+	for i, tr := range in.Transitions {
+		if tr.At.Before(prevAt) {
+			return Report{}, fmt.Errorf("%w: transition %d at %v out of order", ErrInvalidInput, i, tr.At)
+		}
+		switch tr.Kind {
+		case core.STransition:
+			if st != core.Trusted {
+				return Report{}, fmt.Errorf("%w: S-transition %d while already suspected", ErrInvalidInput, i)
+			}
+			st = core.Suspected
+		case core.TTransition:
+			if st != core.Suspected {
+				return Report{}, fmt.Errorf("%w: T-transition %d while already trusted", ErrInvalidInput, i)
+			}
+			st = core.Trusted
+		default:
+			return Report{}, fmt.Errorf("%w: transition %d has kind %v", ErrInvalidInput, i, tr.Kind)
+		}
+		prevAt = tr.At
+	}
+
+	crashed := !in.CrashAt.IsZero()
+	accEnd := in.End
+	if crashed && in.CrashAt.Before(accEnd) {
+		accEnd = in.CrashAt
+	}
+	if accEnd.Before(in.Start) {
+		accEnd = in.Start
+	}
+
+	var rep Report
+	rep.AccuracyWindow = accEnd.Sub(in.Start)
+
+	// Accuracy metrics over [Start, accEnd].
+	var (
+		trustedTime time.Duration
+		lastS       time.Time
+		lastT       time.Time
+		haveS       bool
+		haveT       bool
+	)
+	cur := status
+	curSince := in.Start
+	for _, tr := range in.Transitions {
+		if tr.At.After(accEnd) {
+			break
+		}
+		if cur == core.Trusted {
+			trustedTime += tr.At.Sub(curSince)
+		}
+		switch tr.Kind {
+		case core.STransition:
+			rep.STransitions++
+			if haveS {
+				rep.MistakeRecurrences = append(rep.MistakeRecurrences, tr.At.Sub(lastS))
+			}
+			if haveT {
+				rep.GoodPeriods = append(rep.GoodPeriods, tr.At.Sub(lastT))
+			}
+			lastS, haveS = tr.At, true
+		case core.TTransition:
+			rep.TTransitions++
+			if haveS {
+				rep.MistakeDurations = append(rep.MistakeDurations, tr.At.Sub(lastS))
+			}
+			lastT, haveT = tr.At, true
+		}
+		cur = flip(cur, tr.Kind)
+		curSince = tr.At
+	}
+	if cur == core.Trusted {
+		trustedTime += accEnd.Sub(curSince)
+	}
+	if rep.AccuracyWindow > 0 {
+		rep.PA = float64(trustedTime) / float64(rep.AccuracyWindow)
+		rep.LambdaM = float64(rep.STransitions) / rep.AccuracyWindow.Seconds()
+	}
+
+	// Completeness: detection time.
+	if crashed {
+		final := status
+		var finalS time.Time
+		haveFinalS := false
+		for _, tr := range in.Transitions {
+			if tr.At.After(in.End) {
+				break
+			}
+			final = flip(final, tr.Kind)
+			if tr.Kind == core.STransition {
+				finalS, haveFinalS = tr.At, true
+			}
+		}
+		if final == core.Suspected {
+			rep.Detected = true
+			if haveFinalS && finalS.After(in.CrashAt) {
+				rep.TD = finalS.Sub(in.CrashAt)
+			}
+		}
+	}
+	return rep, nil
+}
+
+func flip(s core.Status, k core.TransitionKind) core.Status {
+	if k == core.STransition {
+		return core.Suspected
+	}
+	return core.Trusted
+}
+
+// Aggregate summarises the reports of repeated runs of the same
+// configuration.
+type Aggregate struct {
+	Runs         int
+	DetectedRuns int
+	MeanTD       time.Duration
+	MaxTD        time.Duration
+	MeanLambdaM  float64
+	MeanPA       float64
+	MeanTM       time.Duration
+	MeanTMR      time.Duration
+	MeanTG       time.Duration
+	STransitions int
+	TTransitions int
+}
+
+// Combine aggregates run reports. Detection statistics average over the
+// runs that detected the crash; accuracy statistics average over all
+// runs.
+func Combine(reports []Report) Aggregate {
+	var agg Aggregate
+	agg.Runs = len(reports)
+	if agg.Runs == 0 {
+		return agg
+	}
+	var (
+		sumTD                time.Duration
+		sumLam, sumPA        float64
+		sumTM, sumTMR, sumTG time.Duration
+		nTM, nTMR, nTG       int
+	)
+	for _, r := range reports {
+		if r.Detected {
+			agg.DetectedRuns++
+			sumTD += r.TD
+			if r.TD > agg.MaxTD {
+				agg.MaxTD = r.TD
+			}
+		}
+		sumLam += r.LambdaM
+		sumPA += r.PA
+		agg.STransitions += r.STransitions
+		agg.TTransitions += r.TTransitions
+		for _, d := range r.MistakeDurations {
+			sumTM += d
+			nTM++
+		}
+		for _, d := range r.MistakeRecurrences {
+			sumTMR += d
+			nTMR++
+		}
+		for _, d := range r.GoodPeriods {
+			sumTG += d
+			nTG++
+		}
+	}
+	if agg.DetectedRuns > 0 {
+		agg.MeanTD = sumTD / time.Duration(agg.DetectedRuns)
+	}
+	agg.MeanLambdaM = sumLam / float64(agg.Runs)
+	agg.MeanPA = sumPA / float64(agg.Runs)
+	if nTM > 0 {
+		agg.MeanTM = sumTM / time.Duration(nTM)
+	}
+	if nTMR > 0 {
+		agg.MeanTMR = sumTMR / time.Duration(nTMR)
+	}
+	if nTG > 0 {
+		agg.MeanTG = sumTG / time.Duration(nTG)
+	}
+	return agg
+}
+
+// WindowPoint is one sample of the windowed QoS series.
+type WindowPoint struct {
+	// At is the window's end time.
+	At time.Time
+	// PA is the query accuracy probability within the window.
+	PA float64
+	// LambdaM is the mistake rate within the window (S-transitions per
+	// second).
+	LambdaM float64
+	// STransitions counts S-transitions within the window.
+	STransitions int
+}
+
+// Series evaluates the accuracy metrics over a sliding window, producing
+// a time series: how the detector's mistake rate and accuracy evolve
+// along the run. This is the lens for non-stationary scenarios — e.g.
+// watching λ_M collapse once the network passes its global stabilisation
+// time. The input follows the same rules as Evaluate; window and step
+// must be positive.
+func Series(in Input, window, step time.Duration) ([]WindowPoint, error) {
+	if window <= 0 || step <= 0 {
+		return nil, fmt.Errorf("%w: non-positive window or step", ErrInvalidInput)
+	}
+	// Validate once over the whole trace.
+	if _, err := Evaluate(in); err != nil {
+		return nil, err
+	}
+	var out []WindowPoint
+	for end := in.Start.Add(window); !end.After(in.End); end = end.Add(step) {
+		start := end.Add(-window)
+		// Status at the window start: fold transitions before it.
+		status := in.InitialStatus
+		if status == 0 {
+			status = core.Trusted
+		}
+		var wTrs []core.Transition
+		for _, tr := range in.Transitions {
+			switch {
+			case tr.At.Before(start):
+				status = flip(status, tr.Kind)
+			case !tr.At.After(end):
+				wTrs = append(wTrs, tr)
+			}
+		}
+		rep, err := Evaluate(Input{
+			Transitions:   wTrs,
+			Start:         start,
+			End:           end,
+			InitialStatus: status,
+			CrashAt:       in.CrashAt,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, WindowPoint{
+			At:           end,
+			PA:           rep.PA,
+			LambdaM:      rep.LambdaM,
+			STransitions: rep.STransitions,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,314 @@
+package qos
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"accrual/internal/core"
+)
+
+var start = time.Date(2005, 3, 22, 0, 0, 0, 0, time.UTC)
+
+func at(s float64) time.Time {
+	return start.Add(time.Duration(s * float64(time.Second)))
+}
+
+func tr(s float64, k core.TransitionKind) core.Transition {
+	return core.Transition{At: at(s), Kind: k}
+}
+
+func TestEvaluateCorrectProcessNoMistakes(t *testing.T) {
+	rep, err := Evaluate(Input{Start: start, End: at(100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PA != 1 {
+		t.Errorf("PA = %v, want 1", rep.PA)
+	}
+	if rep.LambdaM != 0 || rep.STransitions != 0 {
+		t.Errorf("mistakes on a clean run: %+v", rep)
+	}
+	if rep.Detected {
+		t.Error("correct process cannot be 'detected'")
+	}
+	if rep.AccuracyWindow != 100*time.Second {
+		t.Errorf("window = %v", rep.AccuracyWindow)
+	}
+}
+
+func TestEvaluateAccuracyMetrics(t *testing.T) {
+	// Mistakes at 10-12s and 50-55s over a 100s window.
+	in := Input{
+		Start: start, End: at(100),
+		Transitions: []core.Transition{
+			tr(10, core.STransition), tr(12, core.TTransition),
+			tr(50, core.STransition), tr(55, core.TTransition),
+		},
+	}
+	rep, err := Evaluate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.STransitions != 2 || rep.TTransitions != 2 {
+		t.Errorf("transition counts: %+v", rep)
+	}
+	if want := 0.93; rep.PA < want-1e-9 || rep.PA > want+1e-9 {
+		t.Errorf("PA = %v, want %v", rep.PA, want)
+	}
+	if want := 2.0 / 100; rep.LambdaM != want {
+		t.Errorf("LambdaM = %v, want %v", rep.LambdaM, want)
+	}
+	if got := rep.MeanMistakeDuration(); got != 3500*time.Millisecond {
+		t.Errorf("mean T_M = %v, want 3.5s", got)
+	}
+	if got := rep.MeanMistakeRecurrence(); got != 40*time.Second {
+		t.Errorf("mean T_MR = %v, want 40s", got)
+	}
+	if got := rep.MeanGoodPeriod(); got != 38*time.Second {
+		t.Errorf("mean T_G = %v, want 38s", got)
+	}
+}
+
+func TestEvaluateDetection(t *testing.T) {
+	// Crash at 60s; a mistake earlier; final S-transition at 61.5s.
+	in := Input{
+		Start: start, End: at(100), CrashAt: at(60),
+		Transitions: []core.Transition{
+			tr(10, core.STransition), tr(11, core.TTransition),
+			tr(61.5, core.STransition),
+		},
+	}
+	rep, err := Evaluate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Detected {
+		t.Fatal("crash not detected")
+	}
+	if rep.TD != 1500*time.Millisecond {
+		t.Errorf("TD = %v, want 1.5s", rep.TD)
+	}
+	// Accuracy metrics stop at the crash.
+	if rep.AccuracyWindow != 60*time.Second {
+		t.Errorf("accuracy window = %v", rep.AccuracyWindow)
+	}
+	if rep.STransitions != 1 {
+		t.Errorf("S-transitions in accuracy window = %d, want 1", rep.STransitions)
+	}
+	wantPA := 59.0 / 60.0
+	if rep.PA < wantPA-1e-9 || rep.PA > wantPA+1e-9 {
+		t.Errorf("PA = %v, want %v", rep.PA, wantPA)
+	}
+}
+
+func TestEvaluateNotDetected(t *testing.T) {
+	// Crash at 60s but the detector trusts again afterwards.
+	in := Input{
+		Start: start, End: at(100), CrashAt: at(60),
+		Transitions: []core.Transition{
+			tr(61, core.STransition), tr(80, core.TTransition),
+		},
+	}
+	rep, err := Evaluate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Detected {
+		t.Error("final trusted status should not count as detected")
+	}
+}
+
+func TestEvaluateAlreadySuspectedAtCrash(t *testing.T) {
+	in := Input{
+		Start: start, End: at(100), CrashAt: at(60),
+		Transitions: []core.Transition{tr(50, core.STransition)},
+	}
+	rep, err := Evaluate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Detected || rep.TD != 0 {
+		t.Errorf("detected=%v TD=%v, want true/0", rep.Detected, rep.TD)
+	}
+}
+
+func TestEvaluateInitialStatusSuspected(t *testing.T) {
+	in := Input{
+		Start: start, End: at(10),
+		InitialStatus: core.Suspected,
+		Transitions:   []core.Transition{tr(4, core.TTransition)},
+	}
+	rep, err := Evaluate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 0.6; rep.PA < want-1e-9 || rep.PA > want+1e-9 {
+		t.Errorf("PA = %v, want %v", rep.PA, want)
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		in   Input
+	}{
+		{"end before start", Input{Start: at(10), End: start}},
+		{"double S", Input{Start: start, End: at(10), Transitions: []core.Transition{
+			tr(1, core.STransition), tr(2, core.STransition)}}},
+		{"T first", Input{Start: start, End: at(10), Transitions: []core.Transition{
+			tr(1, core.TTransition)}}},
+		{"out of order", Input{Start: start, End: at(10), Transitions: []core.Transition{
+			tr(5, core.STransition), tr(3, core.TTransition)}}},
+		{"bad kind", Input{Start: start, End: at(10), Transitions: []core.Transition{
+			{At: at(1), Kind: core.TransitionKind(7)}}}},
+		{"bad initial status", Input{Start: start, End: at(10), InitialStatus: core.Status(9)}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Evaluate(tt.in); !errors.Is(err, ErrInvalidInput) {
+				t.Errorf("err = %v, want ErrInvalidInput", err)
+			}
+		})
+	}
+}
+
+func TestEvaluateEmptyWindow(t *testing.T) {
+	rep, err := Evaluate(Input{Start: start, End: start})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PA != 0 || rep.LambdaM != 0 {
+		t.Errorf("zero-width window: %+v", rep)
+	}
+}
+
+func TestCombine(t *testing.T) {
+	reports := []Report{
+		{Detected: true, TD: 2 * time.Second, LambdaM: 0.1, PA: 0.9,
+			STransitions:     1,
+			MistakeDurations: []time.Duration{time.Second}},
+		{Detected: true, TD: 4 * time.Second, LambdaM: 0.3, PA: 0.7,
+			STransitions:     3,
+			MistakeDurations: []time.Duration{3 * time.Second}},
+		{Detected: false, LambdaM: 0.2, PA: 0.8},
+	}
+	agg := Combine(reports)
+	if agg.Runs != 3 || agg.DetectedRuns != 2 {
+		t.Errorf("runs: %+v", agg)
+	}
+	if agg.MeanTD != 3*time.Second || agg.MaxTD != 4*time.Second {
+		t.Errorf("TD: mean %v max %v", agg.MeanTD, agg.MaxTD)
+	}
+	if agg.MeanLambdaM < 0.199 || agg.MeanLambdaM > 0.201 {
+		t.Errorf("MeanLambdaM = %v", agg.MeanLambdaM)
+	}
+	if agg.MeanPA < 0.799 || agg.MeanPA > 0.801 {
+		t.Errorf("MeanPA = %v", agg.MeanPA)
+	}
+	if agg.MeanTM != 2*time.Second {
+		t.Errorf("MeanTM = %v", agg.MeanTM)
+	}
+	if agg.STransitions != 4 {
+		t.Errorf("STransitions = %d", agg.STransitions)
+	}
+}
+
+func TestCombineEmpty(t *testing.T) {
+	agg := Combine(nil)
+	if agg.Runs != 0 || agg.MeanTD != 0 {
+		t.Errorf("empty combine: %+v", agg)
+	}
+}
+
+func TestReportMeansEmpty(t *testing.T) {
+	var r Report
+	if r.MeanMistakeDuration() != 0 || r.MeanMistakeRecurrence() != 0 || r.MeanGoodPeriod() != 0 {
+		t.Error("empty means should be zero")
+	}
+}
+
+func TestSeriesStationary(t *testing.T) {
+	// Mistakes every 10s, each lasting 1s, over 100s: every full window
+	// sees the same rate.
+	var trs []core.Transition
+	for i := 0; i < 10; i++ {
+		trs = append(trs,
+			tr(float64(i*10+5), core.STransition),
+			tr(float64(i*10+6), core.TTransition))
+	}
+	points, err := Series(Input{
+		Transitions: trs, Start: start, End: at(100),
+	}, 20*time.Second, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 9 {
+		t.Fatalf("points = %d, want 9", len(points))
+	}
+	for _, p := range points {
+		if p.STransitions != 2 {
+			t.Errorf("window ending %v: %d S-transitions, want 2", p.At, p.STransitions)
+		}
+		if p.PA < 0.89 || p.PA > 0.91 {
+			t.Errorf("window PA = %v, want 0.9", p.PA)
+		}
+	}
+}
+
+func TestSeriesDetectsRegimeChange(t *testing.T) {
+	// Mistakes only in the first half (pre-GST); the series must show
+	// the mistake rate dropping to zero afterwards.
+	var trs []core.Transition
+	for i := 0; i < 5; i++ {
+		trs = append(trs,
+			tr(float64(i*10+2), core.STransition),
+			tr(float64(i*10+3), core.TTransition))
+	}
+	points, err := Series(Input{
+		Transitions: trs, Start: start, End: at(100),
+	}, 10*time.Second, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	early, late := points[0], points[len(points)-1]
+	if early.LambdaM == 0 {
+		t.Error("pre-GST window should show mistakes")
+	}
+	if late.LambdaM != 0 || late.PA != 1 {
+		t.Errorf("post-GST window: λ=%v PA=%v, want quiet", late.LambdaM, late.PA)
+	}
+}
+
+func TestSeriesCarriesStatusAcrossWindows(t *testing.T) {
+	// A suspicion that starts before a window and ends inside it must
+	// count against that window's PA even though the S-transition is
+	// outside it.
+	trs := []core.Transition{
+		tr(5, core.STransition),
+		tr(15, core.TTransition),
+	}
+	points, err := Series(Input{
+		Transitions: trs, Start: start, End: at(30),
+	}, 10*time.Second, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window (10,20]: suspected from 10 to 15 -> PA 0.5.
+	if got := points[1].PA; got < 0.49 || got > 0.51 {
+		t.Errorf("window 2 PA = %v, want 0.5", got)
+	}
+}
+
+func TestSeriesValidation(t *testing.T) {
+	if _, err := Series(Input{Start: start, End: at(10)}, 0, time.Second); !errors.Is(err, ErrInvalidInput) {
+		t.Error("zero window")
+	}
+	if _, err := Series(Input{Start: start, End: at(10)}, time.Second, 0); !errors.Is(err, ErrInvalidInput) {
+		t.Error("zero step")
+	}
+	bad := Input{Start: start, End: at(10), Transitions: []core.Transition{tr(1, core.TTransition)}}
+	if _, err := Series(bad, time.Second, time.Second); !errors.Is(err, ErrInvalidInput) {
+		t.Error("invalid trace must fail")
+	}
+}

@@ -1,0 +1,155 @@
+// Package rsm builds a replicated log — the core of replicated state
+// machines — by running repeated instances of the Chandra–Toueg consensus
+// of internal/consensus over the simulator, one instance per log slot.
+// It is the payoff of the paper's equivalence result (§4): once accrual
+// detection yields a ◇P-class binary view, everything that rests on ◇P —
+// consensus, atomic broadcast, state machine replication — follows.
+//
+// Each process holds a queue of client commands. For every slot, each
+// alive process proposes the head of its queue (or a no-op); the decided
+// command is appended to the replicated log and consumed from its
+// proposer's queue. Safety (identical logs, no invented commands) holds
+// under crashes and heartbeat loss; liveness follows the failure
+// detectors exactly as in a single instance.
+package rsm
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"accrual/internal/consensus"
+	"accrual/internal/sim"
+	"accrual/internal/stats"
+)
+
+// NoOp is decided for a slot when the proposer pool had no pending
+// command.
+const NoOp = "<no-op>"
+
+// Config describes a replicated-log run.
+type Config struct {
+	// Seed drives all randomness.
+	Seed uint64
+	// Processes are the replica ids; required (>= 2).
+	Processes []string
+	// Commands maps each process to the client commands it wants
+	// replicated (optional per process).
+	Commands map[string][]string
+	// Crashes maps replica ids to absolute crash times (optional; fewer
+	// than half may crash).
+	Crashes map[string]time.Time
+	// Slots is how many log slots to fill; required (>= 1).
+	Slots int
+	// SlotBudget bounds the simulated time per slot (default 30s).
+	SlotBudget time.Duration
+	// HeartbeatLoss is the per-heartbeat loss probability (default 0).
+	HeartbeatLoss float64
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Log is the decided command sequence (length <= Slots; shorter when
+	// a slot failed to decide within its budget).
+	Log []string
+	// DecideAt records each slot's (last) decision time.
+	DecideAt []time.Time
+	// SlotLatency records, per slot, the span from the instance start to
+	// the last replica's decision.
+	SlotLatency []time.Duration
+	// Completed reports whether every requested slot decided.
+	Completed bool
+	// Messages counts consensus messages across all instances.
+	Messages int64
+}
+
+// ErrBadConfig is wrapped by every configuration validation error.
+var ErrBadConfig = errors.New("rsm: bad config")
+
+// Run executes the replicated log and returns its result.
+func Run(cfg Config) (Result, error) {
+	switch {
+	case len(cfg.Processes) < 2:
+		return Result{}, fmt.Errorf("%w: need at least 2 processes", ErrBadConfig)
+	case cfg.Slots < 1:
+		return Result{}, fmt.Errorf("%w: need at least 1 slot", ErrBadConfig)
+	}
+	if cfg.SlotBudget <= 0 {
+		cfg.SlotBudget = 30 * time.Second
+	}
+	s := sim.New(cfg.Seed)
+
+	// Pending commands per process (copied: Run must not mutate cfg).
+	pending := make(map[string][]string, len(cfg.Processes))
+	for id, cmds := range cfg.Commands {
+		pending[id] = append([]string(nil), cmds...)
+	}
+
+	var res Result
+	for slot := 0; slot < cfg.Slots; slot++ {
+		// Rotate the process order per slot: the round-1 coordinator —
+		// whose own proposal wins ties — changes every slot, so every
+		// replica's commands get replicated round-robin instead of the
+		// first process starving the rest.
+		rotated := make([]string, len(cfg.Processes))
+		for i := range cfg.Processes {
+			rotated[i] = cfg.Processes[(i+slot)%len(cfg.Processes)]
+		}
+		initial := make(map[string]consensus.Value, len(rotated))
+		proposer := make(map[consensus.Value]string, len(rotated))
+		for _, id := range rotated {
+			v := consensus.Value(NoOp)
+			if q := pending[id]; len(q) > 0 {
+				// Tag with the proposer so identical client commands at
+				// different replicas stay distinguishable in the log.
+				v = consensus.Value(id + "/" + q[0])
+			}
+			initial[id] = v
+			proposer[v] = id
+		}
+		slotStart := s.Now()
+		ccfg := consensus.Config{
+			Sim: s,
+			Net: sim.NewNetwork(s, sim.Link{
+				Delay: sim.RandomDelay{Dist: stats.Uniform{A: 0.001, B: 0.01}},
+			}),
+			HeartbeatNet: sim.NewNetwork(s, sim.Link{
+				Delay: sim.RandomDelay{Dist: stats.Normal{Mu: 0.005, Sigma: 0.001}, Min: time.Millisecond},
+				Loss:  sim.BernoulliLoss{P: cfg.HeartbeatLoss},
+			}),
+			Processes:         rotated,
+			Initial:           initial,
+			Crashes:           cfg.Crashes,
+			HeartbeatInterval: 50 * time.Millisecond,
+			QueryInterval:     25 * time.Millisecond,
+			Horizon:           s.Now().Add(cfg.SlotBudget),
+		}
+		cres, err := consensus.Run(ccfg)
+		if err != nil {
+			return res, fmt.Errorf("slot %d: %w", slot, err)
+		}
+		res.Messages += cres.Messages
+		if len(cres.Decisions) == 0 || !cres.Agreement() {
+			return res, nil // slot failed; Completed stays false
+		}
+		var decided consensus.Value
+		var lastDecide time.Time
+		for _, v := range cres.Decisions {
+			decided = v
+		}
+		for _, at := range cres.DecideAt {
+			if at.After(lastDecide) {
+				lastDecide = at
+			}
+		}
+		res.Log = append(res.Log, string(decided))
+		res.DecideAt = append(res.DecideAt, lastDecide)
+		res.SlotLatency = append(res.SlotLatency, lastDecide.Sub(slotStart))
+		// Consume the decided command from its proposer's queue.
+		if id, ok := proposer[decided]; ok && string(decided) != NoOp {
+			pending[id] = pending[id][1:]
+		}
+	}
+	res.Completed = len(res.Log) == cfg.Slots
+	return res, nil
+}

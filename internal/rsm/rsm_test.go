@@ -1,0 +1,170 @@
+package rsm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"accrual/internal/sim"
+)
+
+func baseConfig() Config {
+	return Config{
+		Seed:      1,
+		Processes: []string{"a", "b", "c"},
+		Commands: map[string][]string{
+			"a": {"set x=1", "set x=2"},
+			"b": {"del y"},
+			"c": {"incr z"},
+		},
+		Slots: 4,
+	}
+}
+
+func TestReplicatedLogFills(t *testing.T) {
+	res, err := Run(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || len(res.Log) != 4 {
+		t.Fatalf("log = %v (completed %v)", res.Log, res.Completed)
+	}
+	// Every decided entry is a submitted command (validity) and no
+	// command is decided twice (the proposer consumes it).
+	seen := map[string]int{}
+	for _, entry := range res.Log {
+		seen[entry]++
+	}
+	for entry, n := range seen {
+		if entry != NoOp && n > 1 {
+			t.Errorf("command %q decided %d times", entry, n)
+		}
+		if entry == NoOp {
+			continue
+		}
+		parts := strings.SplitN(entry, "/", 2)
+		if len(parts) != 2 {
+			t.Fatalf("malformed log entry %q", entry)
+		}
+		cfg := baseConfig()
+		found := false
+		for _, c := range cfg.Commands[parts[0]] {
+			if c == parts[1] {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("log entry %q was never submitted", entry)
+		}
+	}
+	if res.Messages == 0 {
+		t.Error("no messages counted")
+	}
+	for i := 1; i < len(res.DecideAt); i++ {
+		if !res.DecideAt[i].After(res.DecideAt[i-1]) {
+			t.Error("slot decide times not increasing")
+		}
+	}
+}
+
+func TestAllCommandsEventuallyReplicated(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Slots = 8 // enough slots for all 4 commands plus no-ops
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("log incomplete: %v", res.Log)
+	}
+	want := []string{"a/set x=1", "a/set x=2", "b/del y", "c/incr z"}
+	got := map[string]bool{}
+	for _, e := range res.Log {
+		got[e] = true
+	}
+	for _, w := range want {
+		if !got[w] {
+			t.Errorf("command %q never replicated (log %v)", w, res.Log)
+		}
+	}
+}
+
+func TestReplicaCrashMidLog(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Processes = []string{"a", "b", "c", "d", "e"}
+	cfg.Slots = 5
+	cfg.Crashes = map[string]time.Time{
+		"a": sim.Epoch.Add(45 * time.Second), // dies during slot 2
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("log incomplete after a minority crash: %v", res.Log)
+	}
+}
+
+func TestLossyHeartbeatsStillComplete(t *testing.T) {
+	cfg := baseConfig()
+	cfg.HeartbeatLoss = 0.15
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("log incomplete under heartbeat loss: %v", res.Log)
+	}
+}
+
+func TestNoOpSlotsWhenQueuesEmpty(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Commands = nil
+	cfg.Slots = 2
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range res.Log {
+		if e != NoOp {
+			t.Errorf("entry %q with empty queues", e)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	r1, err := Run(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(r1.Log, ";") != strings.Join(r2.Log, ";") {
+		t.Errorf("logs diverge:\n%v\n%v", r1.Log, r2.Log)
+	}
+	if r1.Messages != r2.Messages {
+		t.Errorf("message counts diverge: %d vs %d", r1.Messages, r2.Messages)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Run(Config{Processes: []string{"a"}, Slots: 1}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("one process: %v", err)
+	}
+	if _, err := Run(Config{Processes: []string{"a", "b"}, Slots: 0}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("zero slots: %v", err)
+	}
+}
+
+func TestRunDoesNotMutateConfig(t *testing.T) {
+	cfg := baseConfig()
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Commands["a"]) != 2 {
+		t.Error("Run consumed the caller's command queues")
+	}
+}

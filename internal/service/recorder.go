@@ -1,0 +1,152 @@
+package service
+
+import (
+	"sync"
+	"time"
+
+	"accrual/internal/core"
+)
+
+// Recorder samples every monitored process's suspicion level on a fixed
+// cadence into per-process ring buffers, giving operators a recent level
+// history for dashboards and postmortems (served by the HTTP API as
+// /v1/history). Create one with NewRecorder; it samples on Tick, which a
+// Watcher-style goroutine (StartRecorder) or the simulator drives.
+type Recorder struct {
+	mon      *Monitor
+	capacity int
+
+	mu      sync.Mutex
+	byProc  map[string]*ring
+	samples int64
+}
+
+type ring struct {
+	buf  []core.QueryRecord
+	head int
+	n    int
+}
+
+func (r *ring) push(rec core.QueryRecord) {
+	if r.n < len(r.buf) {
+		r.buf[(r.head+r.n)%len(r.buf)] = rec
+		r.n++
+		return
+	}
+	r.buf[r.head] = rec
+	r.head = (r.head + 1) % len(r.buf)
+}
+
+func (r *ring) snapshot() []core.QueryRecord {
+	out := make([]core.QueryRecord, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	return out
+}
+
+// NewRecorder returns a recorder over mon keeping the last capacity
+// samples per process (capacity below 1 is raised to 1).
+func NewRecorder(mon *Monitor, capacity int) *Recorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Recorder{
+		mon:      mon,
+		capacity: capacity,
+		byProc:   make(map[string]*ring),
+	}
+}
+
+// Tick takes one sample of every monitored process. Call it on whatever
+// cadence the history should have.
+func (r *Recorder) Tick() {
+	snap := r.mon.Snapshot()
+	now := r.mon.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.samples++
+	for id, lvl := range snap {
+		rg, ok := r.byProc[id]
+		if !ok {
+			rg = &ring{buf: make([]core.QueryRecord, r.capacity)}
+			r.byProc[id] = rg
+		}
+		rg.push(core.QueryRecord{At: now, Level: lvl})
+	}
+}
+
+// History returns the recorded samples for one process, oldest first.
+// The second result is false when the process has never been sampled.
+func (r *Recorder) History(id string) ([]core.QueryRecord, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rg, ok := r.byProc[id]
+	if !ok {
+		return nil, false
+	}
+	return rg.snapshot(), true
+}
+
+// Ticks returns how many sampling rounds have run.
+func (r *Recorder) Ticks() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.samples
+}
+
+// RecorderRunner drives a Recorder from its own goroutine at a fixed
+// period. Stop is idempotent and joins the goroutine.
+type RecorderRunner struct {
+	rec   *Recorder
+	every time.Duration
+
+	mu      sync.Mutex
+	done    chan struct{}
+	stopped chan struct{}
+}
+
+// StartRecorder launches the sampling loop (non-positive periods default
+// to one second).
+func StartRecorder(rec *Recorder, every time.Duration) *RecorderRunner {
+	if every <= 0 {
+		every = time.Second
+	}
+	rr := &RecorderRunner{
+		rec:     rec,
+		every:   every,
+		done:    make(chan struct{}),
+		stopped: make(chan struct{}),
+	}
+	go rr.loop()
+	return rr
+}
+
+func (rr *RecorderRunner) loop() {
+	defer close(rr.stopped)
+	ticker := time.NewTicker(rr.every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-rr.done:
+			return
+		case <-ticker.C:
+			rr.rec.Tick()
+		}
+	}
+}
+
+// Stop terminates the sampling loop and waits for it to exit.
+func (rr *RecorderRunner) Stop() {
+	rr.mu.Lock()
+	select {
+	case <-rr.done:
+		rr.mu.Unlock()
+		<-rr.stopped
+		return
+	default:
+	}
+	close(rr.done)
+	rr.mu.Unlock()
+	<-rr.stopped
+}

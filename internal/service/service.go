@@ -1,0 +1,337 @@
+// Package service implements the failure-detection service architecture
+// of the paper (Figure 2 and §1.5): a single Monitor per host performs
+// the monitoring task — ingesting heartbeats and maintaining one accrual
+// detector per monitored process — while any number of application-side
+// interpreters (App) consume the suspicion levels through their own
+// thresholds and policies.
+//
+// This is the decoupling the paper argues for: the monitor outputs raw
+// suspicion levels; interpretation (conservative vs aggressive, one
+// threshold or several) lives with each application, not inside the
+// shared service. A library can still hand applications a binary
+// interface — that is exactly what App does — but there is one
+// interpretation module per application rather than one per host.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"accrual/internal/clock"
+	"accrual/internal/core"
+	"accrual/internal/transform"
+)
+
+// Factory builds a fresh accrual detector for a newly registered process.
+// start is the registration time according to the monitor's clock.
+type Factory func(id string, start time.Time) core.Detector
+
+// Errors returned by the monitor.
+var (
+	// ErrUnknownProcess is returned for operations on a process that is
+	// not registered (and auto-registration is off).
+	ErrUnknownProcess = errors.New("service: unknown process")
+	// ErrAlreadyRegistered is returned by Register for a duplicate id.
+	ErrAlreadyRegistered = errors.New("service: process already registered")
+)
+
+// Monitor is the per-host monitoring component: it owns one accrual
+// failure detector per monitored process and serialises all access to
+// them. Monitor is safe for concurrent use.
+type Monitor struct {
+	clk          clock.Clock
+	factory      Factory
+	autoRegister bool
+
+	mu    sync.Mutex
+	procs map[string]core.Detector
+}
+
+// MonitorOption configures a Monitor.
+type MonitorOption func(*Monitor)
+
+// WithoutAutoRegister makes Heartbeat reject heartbeats from unregistered
+// processes instead of registering them on first contact.
+func WithoutAutoRegister() MonitorOption {
+	return func(m *Monitor) { m.autoRegister = false }
+}
+
+// NewMonitor returns a monitor that timestamps registrations with clk and
+// creates detectors with factory. Both are required.
+func NewMonitor(clk clock.Clock, factory Factory, opts ...MonitorOption) *Monitor {
+	m := &Monitor{
+		clk:          clk,
+		factory:      factory,
+		autoRegister: true,
+		procs:        make(map[string]core.Detector),
+	}
+	for _, opt := range opts {
+		opt(m)
+	}
+	return m
+}
+
+// Register adds a monitored process. It returns ErrAlreadyRegistered if
+// the id is already present.
+func (m *Monitor) Register(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.procs[id]; ok {
+		return fmt.Errorf("%w: %q", ErrAlreadyRegistered, id)
+	}
+	m.procs[id] = m.factory(id, m.clk.Now())
+	return nil
+}
+
+// Deregister removes a monitored process and reports whether it was
+// present.
+func (m *Monitor) Deregister(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.procs[id]
+	delete(m.procs, id)
+	return ok
+}
+
+// Processes returns the sorted ids of all monitored processes.
+func (m *Monitor) Processes() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ids := make([]string, 0, len(m.procs))
+	for id := range m.procs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Heartbeat routes a heartbeat to the detector of its sender,
+// registering the sender first when auto-registration is on.
+func (m *Monitor) Heartbeat(hb core.Heartbeat) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	det, ok := m.procs[hb.From]
+	if !ok {
+		if !m.autoRegister {
+			return fmt.Errorf("%w: %q", ErrUnknownProcess, hb.From)
+		}
+		det = m.factory(hb.From, m.clk.Now())
+		m.procs[hb.From] = det
+	}
+	det.Report(hb)
+	return nil
+}
+
+// Suspicion returns the current suspicion level of one process.
+func (m *Monitor) Suspicion(id string) (core.Level, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	det, ok := m.procs[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownProcess, id)
+	}
+	return det.Suspicion(m.clk.Now()), nil
+}
+
+// Snapshot returns the suspicion level of every monitored process at one
+// instant.
+func (m *Monitor) Snapshot() map[string]core.Level {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.clk.Now()
+	out := make(map[string]core.Level, len(m.procs))
+	for id, det := range m.procs {
+		out[id] = det.Suspicion(now)
+	}
+	return out
+}
+
+// Now exposes the monitor's clock reading, so that applications and
+// interpreters share its notion of time.
+func (m *Monitor) Now() time.Time { return m.clk.Now() }
+
+// levelFunc returns a LevelFunc reading one process's level through the
+// monitor's lock. The returned function reports zero for deregistered
+// processes.
+func (m *Monitor) levelFunc(id string) transform.LevelFunc {
+	return func(now time.Time) core.Level {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		det, ok := m.procs[id]
+		if !ok {
+			return 0
+		}
+		return det.Suspicion(now)
+	}
+}
+
+// Policy builds one application-side binary interpreter over a suspicion
+// level source. The three standard policies correspond to the paper's
+// interpreters: the single-threshold D_T (Equation 2), the two-threshold
+// D'_T (Algorithm 3) and the self-tuning Algorithm 1.
+type Policy func(src transform.LevelFunc) core.BinaryDetector
+
+// ConstantPolicy interprets levels with a fixed threshold (suspect iff
+// level > threshold).
+func ConstantPolicy(threshold core.Level) Policy {
+	return func(src transform.LevelFunc) core.BinaryDetector {
+		return transform.NewConstantThreshold(src, threshold)
+	}
+}
+
+// HysteresisPolicy interprets levels with the two-threshold detector
+// D'_T: suspect above high, trust again at or below low.
+func HysteresisPolicy(high, low core.Level) Policy {
+	return func(src transform.LevelFunc) core.BinaryDetector {
+		return transform.NewHysteresis(src, high, low)
+	}
+}
+
+// AdaptivePolicy interprets levels with Algorithm 1, the self-tuning
+// ◇P transformation that needs no threshold parameter at all.
+func AdaptivePolicy() Policy {
+	return func(src transform.LevelFunc) core.BinaryDetector {
+		return transform.NewAccrualToBinary(src)
+	}
+}
+
+// TransitionHandler observes the S- and T-transitions of one application
+// view. status is the new status after the transition.
+type TransitionHandler func(proc string, tr core.Transition, status core.Status)
+
+// App is one application's interpretation module: a binary view of every
+// monitored process, built from the shared monitor's suspicion levels via
+// the application's own policy. App is safe for concurrent use.
+type App struct {
+	name    string
+	monitor *Monitor
+	policy  Policy
+	onTrans TransitionHandler
+
+	mu    sync.Mutex
+	views map[string]*appView
+}
+
+type appView struct {
+	bin  core.BinaryDetector
+	last core.Status
+}
+
+// AppOption configures an App.
+type AppOption func(*App)
+
+// WithTransitionHandler registers a callback invoked (synchronously,
+// from the polling goroutine) on every transition this app observes.
+func WithTransitionHandler(h TransitionHandler) AppOption {
+	return func(a *App) { a.onTrans = h }
+}
+
+// NewApp returns a named interpretation module over the monitor.
+func (m *Monitor) NewApp(name string, policy Policy, opts ...AppOption) *App {
+	a := &App{
+		name:    name,
+		monitor: m,
+		policy:  policy,
+		views:   make(map[string]*appView),
+	}
+	for _, opt := range opts {
+		opt(a)
+	}
+	return a
+}
+
+// Name returns the application name.
+func (a *App) Name() string { return a.name }
+
+func (a *App) view(id string) *appView {
+	v, ok := a.views[id]
+	if !ok {
+		v = &appView{bin: a.policy(a.monitor.levelFunc(id)), last: core.Trusted}
+		a.views[id] = v
+	}
+	return v
+}
+
+// Status queries this application's binary view of one process. Each call
+// is one query in the oracle model (stateful policies advance on it).
+func (a *App) Status(id string) (core.Status, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, err := a.monitor.Suspicion(id); err != nil {
+		return 0, err
+	}
+	now := a.monitor.Now()
+	v := a.view(id)
+	s := v.bin.Query(now)
+	a.noteTransition(id, v, s, now)
+	return s, nil
+}
+
+// Poll queries every monitored process and returns the set of currently
+// suspected ids, sorted. Views of processes that have been deregistered
+// from the monitor are pruned, so long-lived applications do not
+// accumulate state for departed processes.
+func (a *App) Poll() []string {
+	ids := a.monitor.Processes()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	now := a.monitor.Now()
+	current := make(map[string]bool, len(ids))
+	var suspects []string
+	for _, id := range ids {
+		current[id] = true
+		v := a.view(id)
+		s := v.bin.Query(now)
+		a.noteTransition(id, v, s, now)
+		if s == core.Suspected {
+			suspects = append(suspects, id)
+		}
+	}
+	for id := range a.views {
+		if !current[id] {
+			delete(a.views, id)
+		}
+	}
+	return suspects
+}
+
+func (a *App) noteTransition(id string, v *appView, s core.Status, now time.Time) {
+	if s == v.last {
+		return
+	}
+	kind := core.STransition
+	if s == core.Trusted {
+		kind = core.TTransition
+	}
+	v.last = s
+	if a.onTrans != nil {
+		a.onTrans(id, core.Transition{At: now, Kind: kind}, s)
+	}
+}
+
+// Ranked returns all monitored processes ordered from least to most
+// suspected (ties broken by id) — the worker-ranking usage pattern of the
+// paper's Bag-of-Tasks example (§1.3).
+func (m *Monitor) Ranked() []RankedProcess {
+	snap := m.Snapshot()
+	out := make([]RankedProcess, 0, len(snap))
+	for id, lvl := range snap {
+		out = append(out, RankedProcess{ID: id, Level: lvl})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Level != out[j].Level {
+			return out[i].Level < out[j].Level
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// RankedProcess pairs a process id with its suspicion level.
+type RankedProcess struct {
+	ID    string
+	Level core.Level
+}

@@ -1,0 +1,312 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"accrual/internal/clock"
+	"accrual/internal/core"
+	"accrual/internal/phi"
+	"accrual/internal/simple"
+)
+
+var start = time.Date(2005, 3, 22, 0, 0, 0, 0, time.UTC)
+
+func simpleFactory(_ string, start time.Time) core.Detector {
+	return simple.New(start)
+}
+
+func newTestMonitor(opts ...MonitorOption) (*Monitor, *clock.Manual) {
+	clk := clock.NewManual(start)
+	return NewMonitor(clk, simpleFactory, opts...), clk
+}
+
+func hb(from string, seq uint64, at time.Time) core.Heartbeat {
+	return core.Heartbeat{From: from, Seq: seq, Arrived: at}
+}
+
+func TestRegisterAndProcesses(t *testing.T) {
+	m, _ := newTestMonitor()
+	if err := m.Register("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register("a"); !errors.Is(err, ErrAlreadyRegistered) {
+		t.Errorf("duplicate register: %v", err)
+	}
+	got := m.Processes()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Processes = %v", got)
+	}
+}
+
+func TestDeregister(t *testing.T) {
+	m, _ := newTestMonitor()
+	_ = m.Register("a")
+	if !m.Deregister("a") {
+		t.Error("Deregister existing should return true")
+	}
+	if m.Deregister("a") {
+		t.Error("Deregister missing should return false")
+	}
+	if _, err := m.Suspicion("a"); !errors.Is(err, ErrUnknownProcess) {
+		t.Errorf("Suspicion after deregister: %v", err)
+	}
+}
+
+func TestHeartbeatAutoRegisters(t *testing.T) {
+	m, clk := newTestMonitor()
+	if err := m.Heartbeat(hb("w1", 1, clk.Now())); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Processes(); len(got) != 1 || got[0] != "w1" {
+		t.Errorf("Processes = %v", got)
+	}
+}
+
+func TestHeartbeatWithoutAutoRegister(t *testing.T) {
+	m, clk := newTestMonitor(WithoutAutoRegister())
+	if err := m.Heartbeat(hb("w1", 1, clk.Now())); !errors.Is(err, ErrUnknownProcess) {
+		t.Errorf("unregistered heartbeat: %v", err)
+	}
+	_ = m.Register("w1")
+	if err := m.Heartbeat(hb("w1", 1, clk.Now())); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSuspicionTracksClock(t *testing.T) {
+	m, clk := newTestMonitor()
+	_ = m.Heartbeat(hb("p", 1, clk.Now()))
+	clk.Advance(3 * time.Second)
+	lvl, err := m.Suspicion("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lvl != 3 {
+		t.Errorf("level = %v, want 3", lvl)
+	}
+}
+
+func TestSnapshotAndRanked(t *testing.T) {
+	m, clk := newTestMonitor()
+	_ = m.Heartbeat(hb("old", 1, clk.Now()))
+	clk.Advance(5 * time.Second)
+	_ = m.Heartbeat(hb("fresh", 1, clk.Now()))
+	clk.Advance(time.Second)
+
+	snap := m.Snapshot()
+	if len(snap) != 2 || snap["old"] != 6 || snap["fresh"] != 1 {
+		t.Errorf("Snapshot = %v", snap)
+	}
+	ranked := m.Ranked()
+	if len(ranked) != 2 || ranked[0].ID != "fresh" || ranked[1].ID != "old" {
+		t.Errorf("Ranked = %v", ranked)
+	}
+}
+
+func TestRankedTieBreaksByID(t *testing.T) {
+	m, clk := newTestMonitor()
+	_ = m.Heartbeat(hb("b", 1, clk.Now()))
+	_ = m.Heartbeat(hb("a", 1, clk.Now()))
+	ranked := m.Ranked()
+	if ranked[0].ID != "a" || ranked[1].ID != "b" {
+		t.Errorf("Ranked = %v", ranked)
+	}
+}
+
+func TestAppConstantPolicy(t *testing.T) {
+	m, clk := newTestMonitor()
+	_ = m.Heartbeat(hb("p", 1, clk.Now()))
+	app := m.NewApp("app", ConstantPolicy(2))
+	if s, err := app.Status("p"); err != nil || s != core.Trusted {
+		t.Errorf("fresh: %v %v", s, err)
+	}
+	clk.Advance(3 * time.Second)
+	if s, _ := app.Status("p"); s != core.Suspected {
+		t.Errorf("stale: %v", s)
+	}
+	// Heartbeat recovers.
+	_ = m.Heartbeat(hb("p", 2, clk.Now()))
+	if s, _ := app.Status("p"); s != core.Trusted {
+		t.Errorf("recovered: %v", s)
+	}
+	if _, err := app.Status("ghost"); !errors.Is(err, ErrUnknownProcess) {
+		t.Errorf("unknown process: %v", err)
+	}
+}
+
+func TestTwoAppsDifferentThresholds(t *testing.T) {
+	// The differentiated-QoS story of §1.2: the same monitor serves an
+	// aggressive app (low threshold) and a conservative one (high
+	// threshold); the aggressive one suspects first.
+	m, clk := newTestMonitor()
+	_ = m.Heartbeat(hb("p", 1, clk.Now()))
+	aggressive := m.NewApp("aggressive", ConstantPolicy(1))
+	conservative := m.NewApp("conservative", ConstantPolicy(10))
+
+	clk.Advance(2 * time.Second) // level 2
+	sa, _ := aggressive.Status("p")
+	sc, _ := conservative.Status("p")
+	if sa != core.Suspected || sc != core.Trusted {
+		t.Errorf("level 2: aggressive %v, conservative %v", sa, sc)
+	}
+	clk.Advance(20 * time.Second) // level 22
+	sc, _ = conservative.Status("p")
+	if sc != core.Suspected {
+		t.Errorf("level 22: conservative %v", sc)
+	}
+}
+
+func TestAppHysteresisPolicy(t *testing.T) {
+	m, clk := newTestMonitor()
+	_ = m.Heartbeat(hb("p", 1, clk.Now()))
+	app := m.NewApp("app", HysteresisPolicy(3, 0.5))
+	clk.Advance(4 * time.Second)
+	if s, _ := app.Status("p"); s != core.Suspected {
+		t.Fatal("should suspect at level 4")
+	}
+	// A heartbeat brings the level to 0 <= T0: trust again.
+	_ = m.Heartbeat(hb("p", 2, clk.Now()))
+	if s, _ := app.Status("p"); s != core.Trusted {
+		t.Error("should trust after recovery below the low threshold")
+	}
+}
+
+func TestAppAdaptivePolicy(t *testing.T) {
+	m, clk := newTestMonitor()
+	_ = m.Heartbeat(hb("p", 1, clk.Now()))
+	app := m.NewApp("app", AdaptivePolicy())
+	// Crash: level grows forever; the adaptive policy must eventually
+	// suspect and stay suspected.
+	var last core.Status
+	for i := 0; i < 200; i++ {
+		clk.Advance(time.Second)
+		last, _ = app.Status("p")
+	}
+	if last != core.Suspected {
+		t.Errorf("adaptive app did not converge to suspected: %v", last)
+	}
+}
+
+func TestAppPoll(t *testing.T) {
+	m, clk := newTestMonitor()
+	_ = m.Heartbeat(hb("a", 1, clk.Now()))
+	clk.Advance(5 * time.Second)
+	_ = m.Heartbeat(hb("b", 1, clk.Now()))
+	app := m.NewApp("app", ConstantPolicy(3))
+	suspects := app.Poll()
+	if len(suspects) != 1 || suspects[0] != "a" {
+		t.Errorf("Poll = %v, want [a]", suspects)
+	}
+}
+
+func TestAppTransitionHandler(t *testing.T) {
+	m, clk := newTestMonitor()
+	_ = m.Heartbeat(hb("p", 1, clk.Now()))
+	var events []core.Transition
+	var eventIDs []string
+	app := m.NewApp("app", ConstantPolicy(2),
+		WithTransitionHandler(func(proc string, tr core.Transition, _ core.Status) {
+			events = append(events, tr)
+			eventIDs = append(eventIDs, proc)
+		}))
+	_, _ = app.Status("p") // trusted, no transition
+	clk.Advance(3 * time.Second)
+	_, _ = app.Status("p") // S-transition
+	_ = m.Heartbeat(hb("p", 2, clk.Now()))
+	_, _ = app.Status("p") // T-transition
+	if len(events) != 2 {
+		t.Fatalf("events = %d, want 2", len(events))
+	}
+	if events[0].Kind != core.STransition || events[1].Kind != core.TTransition {
+		t.Errorf("kinds = %v, %v", events[0].Kind, events[1].Kind)
+	}
+	if eventIDs[0] != "p" || eventIDs[1] != "p" {
+		t.Errorf("ids = %v", eventIDs)
+	}
+}
+
+func TestAppName(t *testing.T) {
+	m, _ := newTestMonitor()
+	if got := m.NewApp("video", ConstantPolicy(1)).Name(); got != "video" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestMonitorWithPhiFactory(t *testing.T) {
+	clk := clock.NewManual(start)
+	m := NewMonitor(clk, func(_ string, start time.Time) core.Detector {
+		return phi.New(start, phi.WithBootstrap(100*time.Millisecond, 25*time.Millisecond))
+	})
+	for i := 1; i <= 50; i++ {
+		clk.Advance(100 * time.Millisecond)
+		_ = m.Heartbeat(hb("p", uint64(i), clk.Now()))
+	}
+	lvl, err := m.Suspicion("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lvl != 0 {
+		t.Errorf("phi right after heartbeat = %v, want 0", lvl)
+	}
+	clk.Advance(2 * time.Second)
+	lvl, _ = m.Suspicion("p")
+	if lvl < 5 {
+		t.Errorf("phi 2s late = %v, want large", lvl)
+	}
+}
+
+func TestMonitorConcurrentAccess(t *testing.T) {
+	m, clk := newTestMonitor()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			id := []string{"a", "b", "c", "d"}[w]
+			for i := 1; i <= 200; i++ {
+				_ = m.Heartbeat(hb(id, uint64(i), clk.Now()))
+				_, _ = m.Suspicion(id)
+				m.Snapshot()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		app := m.NewApp("app", ConstantPolicy(1))
+		for i := 0; i < 200; i++ {
+			app.Poll()
+			clk.Advance(time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	if got := len(m.Processes()); got != 4 {
+		t.Errorf("processes = %d, want 4", got)
+	}
+}
+
+func TestAppPollPrunesDeregisteredViews(t *testing.T) {
+	m, clk := newTestMonitor()
+	_ = m.Heartbeat(hb("a", 1, clk.Now()))
+	_ = m.Heartbeat(hb("b", 1, clk.Now()))
+	app := m.NewApp("app", ConstantPolicy(1))
+	app.Poll()
+	if len(app.views) != 2 {
+		t.Fatalf("views = %d, want 2", len(app.views))
+	}
+	m.Deregister("a")
+	app.Poll()
+	if len(app.views) != 1 {
+		t.Errorf("views = %d after deregistration, want 1", len(app.views))
+	}
+	if _, ok := app.views["b"]; !ok {
+		t.Error("surviving view pruned")
+	}
+}

@@ -1,0 +1,102 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// Watcher drives an App's queries on a fixed cadence from its own
+// goroutine, so transition handlers fire without the application running
+// a poll loop. In the oracle model this is the "correct processes query
+// their failure detector modules infinitely often" part, packaged.
+//
+// Create one with Watch; stop it with Stop (idempotent, joins the
+// goroutine).
+type Watcher struct {
+	app    *App
+	every  time.Duration
+	ticks  func() <-chan time.Time // overridable for tests
+	stopFn func()
+
+	mu      sync.Mutex
+	done    chan struct{}
+	stopped chan struct{}
+	polls   int64
+}
+
+// WatcherOption configures a Watcher.
+type WatcherOption func(*Watcher)
+
+// withTicker substitutes the tick source (used by tests to drive the
+// watcher deterministically).
+func withTicker(ticks func() <-chan time.Time, stop func()) WatcherOption {
+	return func(w *Watcher) {
+		w.ticks = ticks
+		w.stopFn = stop
+	}
+}
+
+// Watch starts polling the app every interval. Non-positive intervals
+// default to one second.
+func Watch(app *App, every time.Duration, opts ...WatcherOption) *Watcher {
+	if every <= 0 {
+		every = time.Second
+	}
+	w := &Watcher{
+		app:     app,
+		every:   every,
+		done:    make(chan struct{}),
+		stopped: make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(w)
+	}
+	if w.ticks == nil {
+		t := time.NewTicker(w.every)
+		w.ticks = func() <-chan time.Time { return t.C }
+		w.stopFn = t.Stop
+	}
+	go w.loop()
+	return w
+}
+
+func (w *Watcher) loop() {
+	defer close(w.stopped)
+	for {
+		select {
+		case <-w.done:
+			return
+		case <-w.ticks():
+			w.app.Poll()
+			w.mu.Lock()
+			w.polls++
+			w.mu.Unlock()
+		}
+	}
+}
+
+// Polls returns how many poll rounds have completed.
+func (w *Watcher) Polls() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.polls
+}
+
+// Stop terminates the watcher and waits for its goroutine to exit. Stop
+// is idempotent and safe to call concurrently.
+func (w *Watcher) Stop() {
+	w.mu.Lock()
+	select {
+	case <-w.done:
+		w.mu.Unlock()
+		<-w.stopped
+		return
+	default:
+	}
+	close(w.done)
+	w.mu.Unlock()
+	<-w.stopped
+	if w.stopFn != nil {
+		w.stopFn()
+	}
+}

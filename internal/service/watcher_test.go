@@ -1,0 +1,112 @@
+package service
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"accrual/internal/core"
+)
+
+// drivenTicker lets tests trigger watcher polls deterministically.
+type drivenTicker struct {
+	c chan time.Time
+}
+
+func (d *drivenTicker) tick() { d.c <- time.Time{} }
+
+func TestWatcherPollsAndFiresTransitions(t *testing.T) {
+	m, clk := newTestMonitor()
+	_ = m.Heartbeat(hb("p", 1, clk.Now()))
+
+	var mu sync.Mutex
+	var transitions []core.Transition
+	app := m.NewApp("app", ConstantPolicy(2),
+		WithTransitionHandler(func(_ string, tr core.Transition, _ core.Status) {
+			mu.Lock()
+			transitions = append(transitions, tr)
+			mu.Unlock()
+		}))
+
+	dt := &drivenTicker{c: make(chan time.Time)}
+	w := Watch(app, time.Second, withTicker(func() <-chan time.Time { return dt.c }, nil))
+
+	tickAndWait := func(want int64) {
+		t.Helper()
+		dt.tick()
+		deadline := time.Now().Add(2 * time.Second)
+		for w.Polls() < want {
+			if time.Now().After(deadline) {
+				t.Fatalf("poll %d never completed", want)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+
+	tickAndWait(1) // trusted: no transition
+	clk.Advance(5 * time.Second)
+	tickAndWait(2) // level 5 > 2: S-transition
+	_ = m.Heartbeat(hb("p", 2, clk.Now()))
+	tickAndWait(3) // recovered: T-transition
+	w.Stop()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(transitions) != 2 {
+		t.Fatalf("transitions = %d, want 2", len(transitions))
+	}
+	if transitions[0].Kind != core.STransition || transitions[1].Kind != core.TTransition {
+		t.Errorf("kinds = %v, %v", transitions[0].Kind, transitions[1].Kind)
+	}
+	if w.Polls() != 3 {
+		t.Errorf("polls = %d, want 3", w.Polls())
+	}
+}
+
+func TestWatcherStopIdempotent(t *testing.T) {
+	m, _ := newTestMonitor()
+	app := m.NewApp("app", ConstantPolicy(1))
+	w := Watch(app, time.Millisecond)
+	w.Stop()
+	w.Stop() // must not panic or block
+}
+
+func TestWatcherStopConcurrent(t *testing.T) {
+	m, _ := newTestMonitor()
+	app := m.NewApp("app", ConstantPolicy(1))
+	w := Watch(app, time.Millisecond)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Stop()
+		}()
+	}
+	wg.Wait()
+}
+
+func TestWatcherRealTicker(t *testing.T) {
+	m, clk := newTestMonitor()
+	_ = m.Heartbeat(hb("p", 1, clk.Now()))
+	app := m.NewApp("app", ConstantPolicy(1))
+	w := Watch(app, 2*time.Millisecond)
+	defer w.Stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for w.Polls() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if w.Polls() < 3 {
+		t.Error("watcher did not poll with a real ticker")
+	}
+}
+
+func TestWatcherDefaultInterval(t *testing.T) {
+	m, _ := newTestMonitor()
+	app := m.NewApp("app", ConstantPolicy(1))
+	w := Watch(app, 0) // defaults to 1s; just ensure it starts and stops
+	w.Stop()
+	if w.every != time.Second {
+		t.Errorf("default interval = %v", w.every)
+	}
+}

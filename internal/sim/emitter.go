@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"time"
+
+	"accrual/internal/core"
+	"accrual/internal/stats"
+)
+
+// Emitter periodically sends sequence-numbered heartbeats from one process
+// to another over the network, exactly as the monitored process of
+// Algorithm 4 does. The emitter stops at its crash time (a crashed process
+// sends no further heartbeats; messages already in flight still arrive)
+// and in any case at the end of the configured horizon.
+type Emitter struct {
+	// Sim and Net drive time and message delivery. Both are required.
+	Sim *Sim
+	Net *Network
+	// From and To name the monitored and monitoring processes.
+	From, To string
+	// Interval is the nominal heartbeat period in the sender's local
+	// clock. Required (> 0).
+	Interval time.Duration
+	// Jitter, when non-nil, adds a per-heartbeat perturbation (seconds,
+	// may be negative) to each send time, modelling scheduling noise at
+	// the sender. The perturbation is clamped so send times stay
+	// strictly increasing.
+	Jitter stats.Sampler
+	// DriftRate scales the sender's local clock relative to simulated
+	// global time (the θ of the paper's model). 0 means 1 (no drift).
+	DriftRate float64
+	// CrashAt, when non-zero, is the instant the sender crashes.
+	CrashAt time.Time
+	// Until bounds the emission horizon; required (the simulator cannot
+	// run unbounded periodic sources).
+	Until time.Time
+	// Sink receives each delivered heartbeat at its arrival time.
+	// Required.
+	Sink func(hb core.Heartbeat)
+
+	seq uint64
+}
+
+// Start schedules the first heartbeat. The first send happens one interval
+// after the current simulated time.
+func (e *Emitter) Start() {
+	e.scheduleNext(e.Sim.Now())
+}
+
+func (e *Emitter) globalPeriod() time.Duration {
+	rate := e.DriftRate
+	if rate <= 0 {
+		rate = 1
+	}
+	return time.Duration(float64(e.Interval) / rate)
+}
+
+func (e *Emitter) scheduleNext(from time.Time) {
+	next := from.Add(e.globalPeriod())
+	if e.Jitter != nil {
+		j := time.Duration(e.Jitter.Sample(e.Sim.Rand()) * float64(time.Second))
+		if next.Add(j).After(from) {
+			next = next.Add(j)
+		}
+	}
+	if next.After(e.Until) {
+		return
+	}
+	e.Sim.At(next, e.tick)
+}
+
+func (e *Emitter) tick() {
+	now := e.Sim.Now()
+	if !e.CrashAt.IsZero() && !now.Before(e.CrashAt) {
+		return // crashed: no more heartbeats, no rescheduling
+	}
+	e.seq++
+	seq := e.seq
+	sent := now
+	e.Net.Send(e.From, e.To, func(arrived time.Time) {
+		e.Sink(core.Heartbeat{From: e.From, Seq: seq, Sent: sent, Arrived: arrived})
+	})
+	e.scheduleNext(now)
+}
+
+// Sent returns the number of heartbeats emitted so far.
+func (e *Emitter) Sent() uint64 { return e.seq }
+
+// Prober invokes a query callback at a fixed period, modelling the
+// application-side query loop of the oracle model (correct processes query
+// their failure detector module infinitely often; here, until the
+// horizon).
+type Prober struct {
+	// Sim drives time. Required.
+	Sim *Sim
+	// Every is the query period. Required (> 0).
+	Every time.Duration
+	// Until bounds the probing horizon. Required.
+	Until time.Time
+	// Query is called at each probe time. Required.
+	Query func(now time.Time)
+}
+
+// Start schedules the periodic queries.
+func (p *Prober) Start() {
+	p.Sim.Every(p.Every, p.Until, p.Query)
+}

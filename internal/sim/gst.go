@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// GSTDelay models the partial synchrony of the paper's system model
+// (§2, A.4, after Dwork/Lynch/Stockmeyer and Chandra–Toueg): before the
+// global stabilisation time GST the channel behaves arbitrarily badly
+// (the Before model), and from GST on the bounds of the After model hold
+// forever. Algorithms must work without knowing GST; experiments use this
+// to check that detectors and transformations stabilise after it.
+type GSTDelay struct {
+	// Sim supplies the current time; required.
+	Sim *Sim
+	// GST is the global stabilisation time.
+	GST time.Time
+	// Before and After are the pre- and post-GST delay models (nil
+	// means zero delay).
+	Before, After DelayModel
+}
+
+var _ DelayModel = GSTDelay{}
+
+// Delay dispatches on whether the send happens before GST.
+func (d GSTDelay) Delay(rng *rand.Rand) time.Duration {
+	m := d.After
+	if d.Sim.Now().Before(d.GST) {
+		m = d.Before
+	}
+	if m == nil {
+		return 0
+	}
+	return m.Delay(rng)
+}
+
+// GSTLoss is the loss-model analogue of GSTDelay: lossy (or arbitrarily
+// bad) before GST, well-behaved after.
+type GSTLoss struct {
+	// Sim supplies the current time; required.
+	Sim *Sim
+	// GST is the global stabilisation time.
+	GST time.Time
+	// Before and After are the pre- and post-GST loss models (nil means
+	// no loss).
+	Before, After LossModel
+}
+
+var _ LossModel = GSTLoss{}
+
+// Lost dispatches on whether the send happens before GST.
+func (l GSTLoss) Lost(rng *rand.Rand) bool {
+	m := l.After
+	if l.Sim.Now().Before(l.GST) {
+		m = l.Before
+	}
+	if m == nil {
+		return false
+	}
+	return m.Lost(rng)
+}

@@ -1,0 +1,141 @@
+// Package sim is a deterministic discrete-event simulator for the
+// message-passing system model of the paper (§2 and Appendix A.4): a set
+// of processes exchanging heartbeats over links with configurable delay
+// distributions, probabilistic and bursty message loss, partitions, crash
+// schedules and bounded clock drift.
+//
+// The paper's companion experiments ran on real LAN/WAN testbeds; this
+// simulator is the laptop-scale substitute documented in DESIGN.md. All
+// randomness flows through a single seeded PRNG, so a run is a pure
+// function of its configuration.
+package sim
+
+import (
+	"container/heap"
+	"math/rand/v2"
+	"time"
+
+	"accrual/internal/stats"
+)
+
+// Epoch is the origin of simulated time. The concrete date is arbitrary
+// (it is the paper's publication date); only differences matter.
+var Epoch = time.Date(2005, 3, 22, 0, 0, 0, 0, time.UTC)
+
+type event struct {
+	at  time.Time
+	seq uint64 // tiebreaker for equal times: FIFO
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event   { return h[0] }
+
+// Sim is a discrete-event simulator. Create one with New; the zero value
+// is not usable because it lacks a random source.
+type Sim struct {
+	now    time.Time
+	events eventHeap
+	seq    uint64
+	rng    *rand.Rand
+}
+
+// New returns a simulator whose clock starts at Epoch, with all
+// randomness derived from seed.
+func New(seed uint64) *Sim {
+	return &Sim{now: Epoch, rng: stats.NewRand(seed)}
+}
+
+// Now returns the current simulated time. Sim implements clock.Clock.
+func (s *Sim) Now() time.Time { return s.now }
+
+// Rand returns the simulator's random source.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// At schedules fn to run at time t. Events scheduled in the past run at
+// the current time, preserving causality. Events at equal times run in
+// scheduling order.
+func (s *Sim) At(t time.Time, fn func()) {
+	if t.Before(s.now) {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d from now. Negative durations run at the
+// current time.
+func (s *Sim) After(d time.Duration, fn func()) { s.At(s.now.Add(d), fn) }
+
+// Every schedules fn at each multiple of d starting at the next tick from
+// now, until (and including events at) until. fn receives the tick time.
+func (s *Sim) Every(d time.Duration, until time.Time, fn func(t time.Time)) {
+	if d <= 0 {
+		return
+	}
+	var tick func()
+	next := s.now.Add(d)
+	tick = func() {
+		t := s.now
+		fn(t)
+		nxt := t.Add(d)
+		if !nxt.After(until) {
+			s.At(nxt, tick)
+		}
+	}
+	if !next.After(until) {
+		s.At(next, tick)
+	}
+}
+
+// Step runs the earliest pending event, advancing the clock to its time.
+// It returns false when no events remain.
+func (s *Sim) Step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.events).(event)
+	s.now = e.at
+	e.fn()
+	return true
+}
+
+// RunUntil runs all events scheduled at or before t, then advances the
+// clock to t. Events scheduled after t remain pending. It returns the
+// number of events executed.
+func (s *Sim) RunUntil(t time.Time) int {
+	n := 0
+	for len(s.events) > 0 && !s.events.peek().at.After(t) {
+		s.Step()
+		n++
+	}
+	if t.After(s.now) {
+		s.now = t
+	}
+	return n
+}
+
+// Run executes events until none remain and returns the number executed.
+// Do not call Run with self-rescheduling event sources that have no end
+// time; use RunUntil instead.
+func (s *Sim) Run() int {
+	n := 0
+	for s.Step() {
+		n++
+	}
+	return n
+}
+
+// Pending returns the number of scheduled events not yet executed.
+func (s *Sim) Pending() int { return len(s.events) }

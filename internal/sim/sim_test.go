@@ -1,0 +1,424 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"accrual/internal/core"
+	"accrual/internal/stats"
+)
+
+func TestSimEventOrdering(t *testing.T) {
+	s := New(1)
+	var order []int
+	s.After(2*time.Second, func() { order = append(order, 2) })
+	s.After(1*time.Second, func() { order = append(order, 1) })
+	s.After(3*time.Second, func() { order = append(order, 3) })
+	if n := s.Run(); n != 3 {
+		t.Fatalf("Run executed %d events, want 3", n)
+	}
+	for i, v := range []int{1, 2, 3} {
+		if order[i] != v {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if want := Epoch.Add(3 * time.Second); !s.Now().Equal(want) {
+		t.Errorf("Now = %v, want %v", s.Now(), want)
+	}
+}
+
+func TestSimFIFOAtEqualTimes(t *testing.T) {
+	s := New(1)
+	var order []int
+	at := Epoch.Add(time.Second)
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(at, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("equal-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestSimPastEventsRunNow(t *testing.T) {
+	s := New(1)
+	s.After(time.Second, func() {
+		s.At(Epoch, func() {
+			if !s.Now().Equal(Epoch.Add(time.Second)) {
+				t.Errorf("past event ran at %v", s.Now())
+			}
+		})
+	})
+	s.Run()
+}
+
+func TestSimRunUntil(t *testing.T) {
+	s := New(1)
+	ran := 0
+	for i := 1; i <= 5; i++ {
+		s.After(time.Duration(i)*time.Second, func() { ran++ })
+	}
+	n := s.RunUntil(Epoch.Add(3 * time.Second))
+	if n != 3 || ran != 3 {
+		t.Errorf("RunUntil executed %d/%d, want 3", n, ran)
+	}
+	if !s.Now().Equal(Epoch.Add(3 * time.Second)) {
+		t.Errorf("Now = %v", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", s.Pending())
+	}
+	// RunUntil past everything advances the clock to the target.
+	s.RunUntil(Epoch.Add(10 * time.Second))
+	if !s.Now().Equal(Epoch.Add(10 * time.Second)) {
+		t.Errorf("Now = %v, want +10s", s.Now())
+	}
+}
+
+func TestSimEvery(t *testing.T) {
+	s := New(1)
+	var ticks []time.Time
+	s.Every(time.Second, Epoch.Add(3500*time.Millisecond), func(at time.Time) {
+		ticks = append(ticks, at)
+	})
+	s.Run()
+	if len(ticks) != 3 {
+		t.Fatalf("got %d ticks, want 3", len(ticks))
+	}
+	for i, tick := range ticks {
+		want := Epoch.Add(time.Duration(i+1) * time.Second)
+		if !tick.Equal(want) {
+			t.Errorf("tick %d at %v, want %v", i, tick, want)
+		}
+	}
+	// Zero period is ignored.
+	s.Every(0, Epoch.Add(time.Hour), func(time.Time) { t.Error("must not tick") })
+	s.Run()
+}
+
+func TestSimStepEmpty(t *testing.T) {
+	s := New(1)
+	if s.Step() {
+		t.Error("Step on empty sim should return false")
+	}
+}
+
+func TestSimDeterminism(t *testing.T) {
+	run := func() []time.Duration {
+		s := New(42)
+		net := NewNetwork(s, Link{
+			Delay: RandomDelay{Dist: stats.Exponential{MeanValue: 0.05}},
+			Loss:  BernoulliLoss{P: 0.2},
+		})
+		var arrivals []time.Duration
+		for i := 0; i < 200; i++ {
+			s.After(time.Duration(i)*10*time.Millisecond, func() {
+				net.Send("p", "q", func(at time.Time) {
+					arrivals = append(arrivals, at.Sub(Epoch))
+				})
+			})
+		}
+		s.Run()
+		return arrivals
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestNetworkDelay(t *testing.T) {
+	s := New(1)
+	net := NewNetwork(s, Link{Delay: ConstantDelay(30 * time.Millisecond)})
+	var arrived time.Time
+	net.Send("a", "b", func(at time.Time) { arrived = at })
+	s.Run()
+	if want := Epoch.Add(30 * time.Millisecond); !arrived.Equal(want) {
+		t.Errorf("arrived at %v, want %v", arrived, want)
+	}
+	c := net.Counters()
+	if c.Sent != 1 || c.Delivered != 1 || c.Lost != 0 {
+		t.Errorf("counters = %+v", c)
+	}
+}
+
+func TestNetworkPerLink(t *testing.T) {
+	s := New(1)
+	net := NewNetwork(s, Link{Delay: ConstantDelay(time.Millisecond)})
+	net.SetLink("a", "b", Link{Delay: ConstantDelay(100 * time.Millisecond)})
+	var ab, ba time.Time
+	net.Send("a", "b", func(at time.Time) { ab = at })
+	net.Send("b", "a", func(at time.Time) { ba = at })
+	s.Run()
+	if !ab.Equal(Epoch.Add(100 * time.Millisecond)) {
+		t.Errorf("a->b arrived at %v", ab)
+	}
+	if !ba.Equal(Epoch.Add(time.Millisecond)) {
+		t.Errorf("b->a arrived at %v (should use default link)", ba)
+	}
+}
+
+func TestNetworkBernoulliLoss(t *testing.T) {
+	s := New(7)
+	net := NewNetwork(s, Link{Loss: BernoulliLoss{P: 0.5}})
+	delivered := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		net.Send("a", "b", func(time.Time) { delivered++ })
+	}
+	s.Run()
+	if delivered < 4700 || delivered > 5300 {
+		t.Errorf("delivered %d of %d with P=0.5", delivered, n)
+	}
+	c := net.Counters()
+	if c.Sent != n || c.Delivered != int64(delivered) || c.Lost != n-int64(delivered) {
+		t.Errorf("counters = %+v", c)
+	}
+}
+
+func TestNetworkPartition(t *testing.T) {
+	s := New(1)
+	net := NewNetwork(s, Link{})
+	from := Epoch.Add(time.Second)
+	to := Epoch.Add(2 * time.Second)
+	net.Partition("a", "b", from, to)
+	var delivered []string
+	send := func(tag, src, dst string, at time.Duration) {
+		s.At(Epoch.Add(at), func() {
+			net.Send(src, dst, func(time.Time) { delivered = append(delivered, tag) })
+		})
+	}
+	send("before", "a", "b", 500*time.Millisecond)
+	send("during-ab", "a", "b", 1500*time.Millisecond)
+	send("during-ba", "b", "a", 1500*time.Millisecond)
+	send("other", "a", "c", 1500*time.Millisecond)
+	send("after", "a", "b", 2500*time.Millisecond)
+	s.Run()
+	want := map[string]bool{"before": true, "other": true, "after": true}
+	if len(delivered) != len(want) {
+		t.Fatalf("delivered %v", delivered)
+	}
+	for _, tag := range delivered {
+		if !want[tag] {
+			t.Errorf("unexpected delivery %q", tag)
+		}
+	}
+	if c := net.Counters(); c.Partitioned != 2 {
+		t.Errorf("Partitioned = %d, want 2", c.Partitioned)
+	}
+}
+
+func TestGilbertElliottBursts(t *testing.T) {
+	// With rare transitions and LossBad=1, losses must cluster: the
+	// number of loss runs should be far below the number of losses.
+	rng := stats.NewRand(3)
+	ge := &GilbertElliott{PGoodToBad: 0.01, PBadToGood: 0.2, LossGood: 0, LossBad: 1}
+	const n = 20000
+	losses, runs := 0, 0
+	prev := false
+	for i := 0; i < n; i++ {
+		lost := ge.Lost(rng)
+		if lost {
+			losses++
+			if !prev {
+				runs++
+			}
+		}
+		prev = lost
+	}
+	if losses == 0 {
+		t.Fatal("no losses generated")
+	}
+	meanRun := float64(losses) / float64(runs)
+	if meanRun < 2 {
+		t.Errorf("mean loss burst length %v, want >= 2 (bursty)", meanRun)
+	}
+}
+
+func TestRandomDelayFloor(t *testing.T) {
+	rng := stats.NewRand(1)
+	d := RandomDelay{Dist: stats.Normal{Mu: -1, Sigma: 0.1}, Min: 2 * time.Millisecond}
+	for i := 0; i < 100; i++ {
+		if got := d.Delay(rng); got < 2*time.Millisecond {
+			t.Fatalf("delay %v below floor", got)
+		}
+	}
+}
+
+func TestEmitterDeliversSequencedHeartbeats(t *testing.T) {
+	s := New(1)
+	net := NewNetwork(s, Link{Delay: ConstantDelay(10 * time.Millisecond)})
+	var got []core.Heartbeat
+	e := &Emitter{
+		Sim: s, Net: net, From: "p", To: "q",
+		Interval: 100 * time.Millisecond,
+		Until:    Epoch.Add(time.Second),
+		Sink:     func(hb core.Heartbeat) { got = append(got, hb) },
+	}
+	e.Start()
+	s.Run()
+	if len(got) != 10 {
+		t.Fatalf("got %d heartbeats, want 10", len(got))
+	}
+	for i, hb := range got {
+		if hb.Seq != uint64(i+1) {
+			t.Errorf("heartbeat %d has seq %d", i, hb.Seq)
+		}
+		if hb.From != "p" {
+			t.Errorf("heartbeat from %q", hb.From)
+		}
+		wantSent := Epoch.Add(time.Duration(i+1) * 100 * time.Millisecond)
+		if !hb.Sent.Equal(wantSent) {
+			t.Errorf("heartbeat %d sent at %v, want %v", i, hb.Sent, wantSent)
+		}
+		if got := hb.Arrived.Sub(hb.Sent); got != 10*time.Millisecond {
+			t.Errorf("heartbeat %d delay %v", i, got)
+		}
+	}
+	if e.Sent() != 10 {
+		t.Errorf("Sent = %d", e.Sent())
+	}
+}
+
+func TestEmitterCrashStopsHeartbeats(t *testing.T) {
+	s := New(1)
+	net := NewNetwork(s, Link{})
+	count := 0
+	e := &Emitter{
+		Sim: s, Net: net, From: "p", To: "q",
+		Interval: 100 * time.Millisecond,
+		CrashAt:  Epoch.Add(450 * time.Millisecond),
+		Until:    Epoch.Add(10 * time.Second),
+		Sink:     func(core.Heartbeat) { count++ },
+	}
+	e.Start()
+	s.Run()
+	if count != 4 {
+		t.Errorf("got %d heartbeats, want 4 (crash at 450ms)", count)
+	}
+}
+
+func TestEmitterDrift(t *testing.T) {
+	// A fast clock (rate 2) sends twice as often in global time.
+	s := New(1)
+	net := NewNetwork(s, Link{})
+	count := 0
+	e := &Emitter{
+		Sim: s, Net: net, From: "p", To: "q",
+		Interval:  100 * time.Millisecond,
+		DriftRate: 2,
+		Until:     Epoch.Add(time.Second),
+		Sink:      func(core.Heartbeat) { count++ },
+	}
+	e.Start()
+	s.Run()
+	if count != 20 {
+		t.Errorf("got %d heartbeats, want 20", count)
+	}
+}
+
+func TestEmitterJitterKeepsOrdering(t *testing.T) {
+	s := New(5)
+	net := NewNetwork(s, Link{})
+	var sent []time.Time
+	e := &Emitter{
+		Sim: s, Net: net, From: "p", To: "q",
+		Interval: 100 * time.Millisecond,
+		Jitter:   stats.Normal{Mu: 0, Sigma: 0.03},
+		Until:    Epoch.Add(5 * time.Second),
+		Sink:     func(hb core.Heartbeat) { sent = append(sent, hb.Sent) },
+	}
+	e.Start()
+	s.Run()
+	if len(sent) < 30 {
+		t.Fatalf("too few heartbeats: %d", len(sent))
+	}
+	for i := 1; i < len(sent); i++ {
+		if !sent[i].After(sent[i-1]) {
+			t.Fatalf("send times not strictly increasing at %d", i)
+		}
+	}
+}
+
+func TestProber(t *testing.T) {
+	s := New(1)
+	var at []time.Time
+	p := &Prober{
+		Sim: s, Every: 250 * time.Millisecond,
+		Until: Epoch.Add(time.Second),
+		Query: func(now time.Time) { at = append(at, now) },
+	}
+	p.Start()
+	s.Run()
+	if len(at) != 4 {
+		t.Fatalf("got %d probes, want 4", len(at))
+	}
+}
+
+func TestGSTDelaySwitchesAtGST(t *testing.T) {
+	s := New(1)
+	gst := Epoch.Add(10 * time.Second)
+	d := GSTDelay{
+		Sim: s, GST: gst,
+		Before: ConstantDelay(500 * time.Millisecond),
+		After:  ConstantDelay(5 * time.Millisecond),
+	}
+	net := NewNetwork(s, Link{Delay: d})
+	var delays []time.Duration
+	send := func(at time.Duration) {
+		s.At(Epoch.Add(at), func() {
+			sent := s.Now()
+			net.Send("a", "b", func(arrived time.Time) {
+				delays = append(delays, arrived.Sub(sent))
+			})
+		})
+	}
+	send(time.Second)      // pre-GST: slow
+	send(20 * time.Second) // post-GST: fast
+	s.Run()
+	if len(delays) != 2 {
+		t.Fatalf("deliveries = %d", len(delays))
+	}
+	if delays[0] != 500*time.Millisecond || delays[1] != 5*time.Millisecond {
+		t.Errorf("delays = %v", delays)
+	}
+}
+
+func TestGSTDelayNilModels(t *testing.T) {
+	s := New(1)
+	d := GSTDelay{Sim: s, GST: Epoch.Add(time.Second)}
+	if got := d.Delay(s.Rand()); got != 0 {
+		t.Errorf("nil before model delay = %v", got)
+	}
+	s.RunUntil(Epoch.Add(2 * time.Second))
+	if got := d.Delay(s.Rand()); got != 0 {
+		t.Errorf("nil after model delay = %v", got)
+	}
+}
+
+func TestGSTLossStopsAtGST(t *testing.T) {
+	s := New(2)
+	gst := Epoch.Add(5 * time.Second)
+	l := GSTLoss{Sim: s, GST: gst, Before: BernoulliLoss{P: 1}}
+	net := NewNetwork(s, Link{Loss: l})
+	delivered := 0
+	for i := 0; i < 20; i++ {
+		at := Epoch.Add(time.Duration(i) * time.Second)
+		s.At(at, func() {
+			net.Send("a", "b", func(time.Time) { delivered++ })
+		})
+	}
+	s.Run()
+	// Sends at t=0..4 are all lost; t=5..19 all delivered.
+	if delivered != 15 {
+		t.Errorf("delivered = %d, want 15", delivered)
+	}
+}

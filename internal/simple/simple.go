@@ -1,0 +1,90 @@
+// Package simple implements the paper's simplest accrual failure detector
+// (§5.1, Algorithm 4): upon a query, return the time elapsed since the
+// arrival of the most recent heartbeat, rounded to the resolution ε.
+//
+// Under the partially synchronous model the detector is of class ◇P_ac
+// (Theorem 15): if the monitored process crashes the level grows without
+// bound (Accruement), and if it is correct the level is bounded by the
+// maximum inter-arrival gap (Upper Bound). Comparing the level to a
+// constant threshold T yields exactly a binary heartbeat detector with
+// timeout T.
+package simple
+
+import (
+	"time"
+
+	"accrual/internal/core"
+)
+
+// Detector is the Algorithm 4 accrual failure detector for one monitored
+// process. Levels are expressed in seconds. Create one with New.
+type Detector struct {
+	start  time.Time
+	tLast  time.Time
+	snLast uint64
+	eps    core.Level
+	unit   time.Duration
+}
+
+var _ core.Detector = (*Detector)(nil)
+
+// Option configures a Detector.
+type Option func(*Detector)
+
+// WithResolution sets the level resolution ε (Definition 1), in level
+// units (seconds). The default keeps the raw floating-point value, whose
+// resolution is the clock granularity.
+func WithResolution(eps core.Level) Option {
+	return func(d *Detector) { d.eps = eps }
+}
+
+// WithUnit sets the duration represented by one level unit. The default
+// is one second: a level of 2.5 means the last heartbeat arrived 2.5
+// seconds ago.
+func WithUnit(u time.Duration) Option {
+	return func(d *Detector) {
+		if u > 0 {
+			d.unit = u
+		}
+	}
+}
+
+// New returns a detector whose initialisation time is start: as in
+// Algorithm 4, T_last(p) is initialised to the local start time, so the
+// suspicion level before the first heartbeat is the time since start.
+func New(start time.Time, opts ...Option) *Detector {
+	d := &Detector{start: start, tLast: start, unit: time.Second}
+	for _, opt := range opts {
+		opt(d)
+	}
+	return d
+}
+
+// Report records a heartbeat arrival, keeping only heartbeats with a
+// sequence number greater than the last accepted one (lines 7–10 of
+// Algorithm 4).
+func (d *Detector) Report(hb core.Heartbeat) {
+	if hb.Seq > d.snLast {
+		d.tLast = hb.Arrived
+		d.snLast = hb.Seq
+	}
+}
+
+// Suspicion returns sl(now) = now − T_last in level units, quantised to
+// the resolution. Queries before the last arrival (out-of-order clocks)
+// return zero.
+func (d *Detector) Suspicion(now time.Time) core.Level {
+	elapsed := now.Sub(d.tLast)
+	if elapsed < 0 {
+		return 0
+	}
+	return core.Level(float64(elapsed) / float64(d.unit)).Quantize(d.eps)
+}
+
+// LastArrival returns the arrival time of the most recent accepted
+// heartbeat (the detector start time if none arrived yet).
+func (d *Detector) LastArrival() time.Time { return d.tLast }
+
+// LastSeq returns the sequence number of the most recent accepted
+// heartbeat, zero if none arrived yet.
+func (d *Detector) LastSeq() uint64 { return d.snLast }

@@ -1,0 +1,140 @@
+package simple
+
+import (
+	"testing"
+	"time"
+
+	"accrual/internal/core"
+)
+
+var start = time.Date(2005, 3, 22, 0, 0, 0, 0, time.UTC)
+
+func hb(seq uint64, at time.Time) core.Heartbeat {
+	return core.Heartbeat{From: "p", Seq: seq, Arrived: at}
+}
+
+func TestSuspicionBeforeFirstHeartbeat(t *testing.T) {
+	d := New(start)
+	if got := d.Suspicion(start.Add(2 * time.Second)); got != 2 {
+		t.Errorf("level = %v, want 2 (seconds since start)", got)
+	}
+}
+
+func TestSuspicionTracksLastArrival(t *testing.T) {
+	d := New(start)
+	d.Report(hb(1, start.Add(time.Second)))
+	if got := d.Suspicion(start.Add(1500 * time.Millisecond)); got != 0.5 {
+		t.Errorf("level = %v, want 0.5", got)
+	}
+	d.Report(hb(2, start.Add(2*time.Second)))
+	if got := d.Suspicion(start.Add(2 * time.Second)); got != 0 {
+		t.Errorf("level immediately after arrival = %v, want 0", got)
+	}
+}
+
+func TestStaleSequenceNumbersIgnored(t *testing.T) {
+	d := New(start)
+	d.Report(hb(5, start.Add(5*time.Second)))
+	d.Report(hb(3, start.Add(6*time.Second))) // late, stale
+	d.Report(hb(5, start.Add(7*time.Second))) // duplicate
+	if got := d.LastArrival(); !got.Equal(start.Add(5 * time.Second)) {
+		t.Errorf("LastArrival = %v", got)
+	}
+	if d.LastSeq() != 5 {
+		t.Errorf("LastSeq = %d", d.LastSeq())
+	}
+}
+
+func TestOutOfOrderQueryClamps(t *testing.T) {
+	d := New(start)
+	d.Report(hb(1, start.Add(10*time.Second)))
+	if got := d.Suspicion(start.Add(9 * time.Second)); got != 0 {
+		t.Errorf("query before last arrival = %v, want 0", got)
+	}
+}
+
+func TestResolutionQuantisation(t *testing.T) {
+	d := New(start, WithResolution(0.5))
+	d.Report(hb(1, start))
+	if got := d.Suspicion(start.Add(740 * time.Millisecond)); got != 0.5 {
+		t.Errorf("quantised level = %v, want 0.5", got)
+	}
+}
+
+func TestUnit(t *testing.T) {
+	d := New(start, WithUnit(time.Millisecond))
+	d.Report(hb(1, start))
+	if got := d.Suspicion(start.Add(250 * time.Millisecond)); got != 250 {
+		t.Errorf("level = %v, want 250 ms units", got)
+	}
+	// Non-positive units are ignored.
+	d2 := New(start, WithUnit(0))
+	d2.Report(hb(1, start))
+	if got := d2.Suspicion(start.Add(time.Second)); got != 1 {
+		t.Errorf("level = %v, want 1 (default unit)", got)
+	}
+}
+
+func TestAccruementAfterCrash(t *testing.T) {
+	// After the last heartbeat, the level grows monotonically without
+	// bound: Property 1 on any finite prefix.
+	d := New(start)
+	d.Report(hb(1, start.Add(time.Second)))
+	var history []core.QueryRecord
+	for i := 0; i < 1000; i++ {
+		at := start.Add(time.Second + time.Duration(i)*100*time.Millisecond)
+		history = append(history, core.QueryRecord{At: at, Level: d.Suspicion(at)})
+	}
+	rep := core.CheckAccruement(history, 0, 0)
+	if !rep.Holds {
+		t.Fatalf("Accruement violated: %s", rep.Violation)
+	}
+	if history[len(history)-1].Level <= history[0].Level {
+		t.Error("level did not grow")
+	}
+}
+
+func TestUpperBoundWhileHeartbeatsArrive(t *testing.T) {
+	// With heartbeats every second and queries in between, the level
+	// never exceeds the maximum inter-arrival gap.
+	d := New(start)
+	var history []core.QueryRecord
+	for i := 1; i <= 100; i++ {
+		at := start.Add(time.Duration(i) * time.Second)
+		d.Report(hb(uint64(i), at))
+		q := at.Add(500 * time.Millisecond)
+		history = append(history, core.QueryRecord{At: q, Level: d.Suspicion(q)})
+	}
+	rep := core.CheckUpperBound(history, 1.0)
+	if !rep.Holds {
+		t.Fatalf("Upper Bound violated: %s", rep.Violation)
+	}
+}
+
+// TestThresholdEqualsHeartbeatTimeout verifies the §5.1 note: comparing
+// the simple detector's level to a constant threshold T is exactly a
+// binary heartbeat failure detector with timeout T.
+func TestThresholdEqualsHeartbeatTimeout(t *testing.T) {
+	d := New(start)
+	const timeout = 1.5 // seconds
+	arrivals := []time.Duration{
+		1 * time.Second, 2 * time.Second, 3500 * time.Millisecond,
+		7 * time.Second, 8 * time.Second,
+	}
+	seq := uint64(0)
+	next := 0
+	for off := time.Duration(0); off <= 10*time.Second; off += 100 * time.Millisecond {
+		now := start.Add(off)
+		for next < len(arrivals) && arrivals[next] <= off {
+			seq++
+			d.Report(hb(seq, start.Add(arrivals[next])))
+			next++
+		}
+		suspectedByLevel := d.Suspicion(now) > timeout
+		elapsed := now.Sub(d.LastArrival()).Seconds()
+		suspectedByTimeout := elapsed > timeout
+		if suspectedByLevel != suspectedByTimeout {
+			t.Fatalf("at +%v: level-threshold %v, heartbeat-timeout %v", off, suspectedByLevel, suspectedByTimeout)
+		}
+	}
+}

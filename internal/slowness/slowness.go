@@ -1,0 +1,127 @@
+// Package slowness implements a slowness oracle in the sense of Sampaio,
+// Brasileiro, Cirne and Figueiredo ("How bad are wrong suspicions?", DSN
+// 2003), which the paper discusses in §1.3/§6: an oracle that outputs the
+// processes ordered by their perceived responsiveness. The paper notes
+// that accrual suspicion levels quantify responsiveness, "hence their
+// output values could be used to establish (or estimate) this order" —
+// this package is that construction.
+//
+// The raw level ranking of service.Monitor flickers with every network
+// hiccup; a slowness oracle wants a *stable* order for decisions such as
+// "dispatch to the three most responsive workers". The oracle therefore
+// smooths each process's level with an exponentially weighted moving
+// average and breaks near-ties by the previous order, so two equally
+// responsive processes do not leapfrog on noise.
+package slowness
+
+import (
+	"sort"
+
+	"accrual/internal/core"
+	"accrual/internal/service"
+)
+
+// Oracle maintains a stable responsiveness order over smoothed suspicion
+// levels. It is a plain state machine: feed it rank snapshots with
+// Update and read the current order with Order. Not safe for concurrent
+// use.
+type Oracle struct {
+	alpha    float64
+	deadband float64
+	smoothed map[string]float64
+	order    []string
+}
+
+// New returns an oracle. alpha is the EWMA smoothing factor in (0, 1]
+// (1 = no smoothing; default 0.2 when out of range). deadband is the
+// smoothed-level difference below which the previous order is kept
+// (default 0 — strict ordering).
+func New(alpha, deadband float64) *Oracle {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.2
+	}
+	if deadband < 0 {
+		deadband = 0
+	}
+	return &Oracle{
+		alpha:    alpha,
+		deadband: deadband,
+		smoothed: make(map[string]float64),
+	}
+}
+
+// Update folds a new snapshot of suspicion levels into the smoothed state
+// and recomputes the order. Processes absent from the snapshot are
+// forgotten; new ones start at their observed level.
+func (o *Oracle) Update(snapshot []service.RankedProcess) {
+	seen := make(map[string]bool, len(snapshot))
+	for _, rp := range snapshot {
+		seen[rp.ID] = true
+		lvl := float64(rp.Level)
+		if prev, ok := o.smoothed[rp.ID]; ok {
+			o.smoothed[rp.ID] = prev + o.alpha*(lvl-prev)
+		} else {
+			o.smoothed[rp.ID] = lvl
+		}
+	}
+	for id := range o.smoothed {
+		if !seen[id] {
+			delete(o.smoothed, id)
+		}
+	}
+	o.reorder()
+}
+
+// reorder sorts by smoothed level with a dead band that preserves the
+// previous relative order for near-ties.
+func (o *Oracle) reorder() {
+	prevPos := make(map[string]int, len(o.order))
+	for i, id := range o.order {
+		prevPos[id] = i
+	}
+	next := make([]string, 0, len(o.smoothed))
+	for id := range o.smoothed {
+		next = append(next, id)
+	}
+	sort.Slice(next, func(i, j int) bool {
+		a, b := next[i], next[j]
+		la, lb := o.smoothed[a], o.smoothed[b]
+		if diff := la - lb; diff > o.deadband || diff < -o.deadband {
+			return la < lb
+		}
+		pa, oka := prevPos[a]
+		pb, okb := prevPos[b]
+		switch {
+		case oka && okb:
+			return pa < pb
+		case oka:
+			return true // known processes rank before newcomers on ties
+		case okb:
+			return false
+		default:
+			return a < b
+		}
+	})
+	o.order = next
+}
+
+// Order returns the current responsiveness order, most responsive (least
+// suspected) first. The caller must not modify the returned slice.
+func (o *Oracle) Order() []string { return o.order }
+
+// Fastest returns up to n most responsive processes.
+func (o *Oracle) Fastest(n int) []string {
+	if n > len(o.order) {
+		n = len(o.order)
+	}
+	if n < 0 {
+		n = 0
+	}
+	return o.order[:n]
+}
+
+// Level returns the smoothed level of a process and whether it is known.
+func (o *Oracle) Level(id string) (core.Level, bool) {
+	l, ok := o.smoothed[id]
+	return core.Level(l), ok
+}

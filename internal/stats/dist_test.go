@@ -1,0 +1,261 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalCDF(t *testing.T) {
+	n := Normal{Mu: 0, Sigma: 1}
+	tests := []struct {
+		x, want, tol float64
+	}{
+		{0, 0.5, 1e-12},
+		{1, 0.8413447460685429, 1e-10},
+		{-1, 0.15865525393145707, 1e-10},
+		{2, 0.9772498680518208, 1e-10},
+		{-3, 0.0013498980316300933, 1e-12},
+	}
+	for _, tt := range tests {
+		if got := n.CDF(tt.x); !almostEqual(got, tt.want, tt.tol) {
+			t.Errorf("CDF(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestNormalShifted(t *testing.T) {
+	n := Normal{Mu: 10, Sigma: 2}
+	if got := n.CDF(10); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("CDF(mu) = %v, want 0.5", got)
+	}
+	if got := n.Tail(12); !almostEqual(got, 0.15865525393145707, 1e-10) {
+		t.Errorf("Tail(mu+sigma) = %v", got)
+	}
+	if n.Mean() != 10 {
+		t.Errorf("Mean = %v", n.Mean())
+	}
+}
+
+func TestNormalDegenerate(t *testing.T) {
+	n := Normal{Mu: 5, Sigma: 0}
+	if n.CDF(4.9) != 0 || n.CDF(5) != 1 || n.Tail(4.9) != 1 || n.Tail(5) != 0 {
+		t.Error("degenerate normal should be a step at mu")
+	}
+}
+
+func TestExponential(t *testing.T) {
+	e := Exponential{MeanValue: 2}
+	if got := e.Tail(0); got != 1 {
+		t.Errorf("Tail(0) = %v", got)
+	}
+	if got := e.Tail(2); !almostEqual(got, math.Exp(-1), 1e-12) {
+		t.Errorf("Tail(mean) = %v, want 1/e", got)
+	}
+	if got := e.CDF(-1); got != 0 {
+		t.Errorf("CDF(-1) = %v", got)
+	}
+	if e.Mean() != 2 {
+		t.Errorf("Mean = %v", e.Mean())
+	}
+	if (Exponential{}).Tail(1) != 0 {
+		t.Error("zero-mean exponential tail should be 0 for positive x")
+	}
+}
+
+func TestErlang(t *testing.T) {
+	// Erlang with K=1 is exponential with rate lambda.
+	er := Erlang{K: 1, Lambda: 0.5}
+	ex := Exponential{MeanValue: 2}
+	for _, x := range []float64{0.1, 1, 3, 10} {
+		if !almostEqual(er.Tail(x), ex.Tail(x), 1e-12) {
+			t.Errorf("Erlang(1) tail at %v = %v, exponential %v", x, er.Tail(x), ex.Tail(x))
+		}
+	}
+	// Erlang K=2, lambda=1: Tail(x) = e^-x (1+x).
+	er2 := Erlang{K: 2, Lambda: 1}
+	for _, x := range []float64{0.5, 1, 2, 5} {
+		want := math.Exp(-x) * (1 + x)
+		if !almostEqual(er2.Tail(x), want, 1e-12) {
+			t.Errorf("Erlang(2) tail at %v = %v, want %v", x, er2.Tail(x), want)
+		}
+	}
+	if !almostEqual(er2.Mean(), 2, 1e-12) {
+		t.Errorf("Erlang(2,1) mean = %v, want 2", er2.Mean())
+	}
+	if er.Tail(-1) != 1 {
+		t.Error("Tail below 0 should be 1")
+	}
+}
+
+func TestLogNormal(t *testing.T) {
+	ln := LogNormal{Mu: 0, Sigma: 1}
+	if got := ln.CDF(1); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("CDF(1) = %v, want 0.5 (median of LogNormal(0,1))", got)
+	}
+	if ln.CDF(0) != 0 || ln.Tail(0) != 1 || ln.Tail(-5) != 1 {
+		t.Error("log-normal support is positive reals")
+	}
+	if got, want := ln.Mean(), math.Exp(0.5); !almostEqual(got, want, 1e-12) {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	u := Uniform{A: 2, B: 6}
+	if u.CDF(1) != 0 || u.CDF(7) != 1 {
+		t.Error("CDF outside support")
+	}
+	if got := u.CDF(4); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("CDF(4) = %v", got)
+	}
+	if u.Mean() != 4 {
+		t.Errorf("Mean = %v", u.Mean())
+	}
+}
+
+func TestPareto(t *testing.T) {
+	p := Pareto{Xm: 1, Alpha: 2}
+	if p.Tail(0.5) != 1 {
+		t.Error("tail below xm should be 1")
+	}
+	if got := p.Tail(2); !almostEqual(got, 0.25, 1e-12) {
+		t.Errorf("Tail(2) = %v, want 0.25", got)
+	}
+	if got := p.Mean(); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+	if !math.IsInf(Pareto{Xm: 1, Alpha: 1}.Mean(), 1) {
+		t.Error("alpha<=1 mean should be +Inf")
+	}
+}
+
+func TestConstant(t *testing.T) {
+	c := Constant{V: 3}
+	if c.CDF(2.9) != 0 || c.CDF(3) != 1 || c.Mean() != 3 {
+		t.Error("constant distribution misbehaves")
+	}
+	if c.Sample(NewRand(1)) != 3 {
+		t.Error("Sample should return V")
+	}
+}
+
+// TestCDFMonotone checks that every distribution's CDF is non-decreasing
+// and within [0,1], and that Tail complements it.
+func TestCDFMonotone(t *testing.T) {
+	dists := map[string]Dist{
+		"normal":    Normal{Mu: 1, Sigma: 2},
+		"exp":       Exponential{MeanValue: 3},
+		"erlang":    Erlang{K: 3, Lambda: 2},
+		"lognormal": LogNormal{Mu: 0.5, Sigma: 0.8},
+		"uniform":   Uniform{A: -1, B: 4},
+		"pareto":    Pareto{Xm: 0.5, Alpha: 1.5},
+	}
+	for name, d := range dists {
+		t.Run(name, func(t *testing.T) {
+			prev := -0.001
+			for x := -5.0; x <= 25; x += 0.25 {
+				c := d.CDF(x)
+				if c < 0 || c > 1 {
+					t.Fatalf("CDF(%v) = %v out of range", x, c)
+				}
+				if c < prev-1e-12 {
+					t.Fatalf("CDF decreased at %v: %v < %v", x, c, prev)
+				}
+				if tail := d.Tail(x); !almostEqual(c+tail, 1, 1e-9) {
+					t.Fatalf("CDF+Tail at %v = %v", x, c+tail)
+				}
+				prev = c
+			}
+		})
+	}
+}
+
+// TestSamplerMoments draws from each sampler and checks the empirical
+// mean against the analytic one.
+func TestSamplerMoments(t *testing.T) {
+	const n = 200000
+	tests := []struct {
+		name string
+		s    Sampler
+		mean float64
+		tol  float64
+	}{
+		{"normal", Normal{Mu: 5, Sigma: 2}, 5, 0.05},
+		{"exp", Exponential{MeanValue: 3}, 3, 0.05},
+		{"erlang", Erlang{K: 4, Lambda: 2}, 2, 0.05},
+		{"lognormal", LogNormal{Mu: 0, Sigma: 0.5}, math.Exp(0.125), 0.05},
+		{"uniform", Uniform{A: 0, B: 10}, 5, 0.05},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			rng := NewRand(99)
+			var w Welford
+			for i := 0; i < n; i++ {
+				w.Add(tt.s.Sample(rng))
+			}
+			if math.Abs(w.Mean()-tt.mean) > tt.tol*math.Max(1, tt.mean) {
+				t.Errorf("empirical mean %v, want %v", w.Mean(), tt.mean)
+			}
+		})
+	}
+}
+
+func TestParetoSampleAboveXm(t *testing.T) {
+	rng := NewRand(5)
+	p := Pareto{Xm: 2, Alpha: 3}
+	for i := 0; i < 1000; i++ {
+		if v := p.Sample(rng); v < 2 {
+			t.Fatalf("Pareto sample %v below xm", v)
+		}
+	}
+}
+
+func TestNewRandDeterminism(t *testing.T) {
+	a, b := NewRand(123), NewRand(123)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must produce the same stream")
+		}
+	}
+	c := NewRand(124)
+	same := true
+	for i := 0; i < 10; i++ {
+		if NewRand(123).Float64() == c.Float64() {
+			continue
+		}
+		same = false
+	}
+	if same {
+		t.Error("different seeds should diverge")
+	}
+}
+
+func TestErlangTailProperty(t *testing.T) {
+	// Erlang(K) tail is pointwise >= Erlang(K-1) tail at the same rate
+	// (adding a stage only delays completion).
+	f := func(xRaw float64, kRaw uint8) bool {
+		x := math.Abs(xRaw)
+		if math.IsNaN(x) || math.IsInf(x, 0) || x > 1e6 {
+			return true
+		}
+		k := int(kRaw%6) + 2
+		hi := Erlang{K: k, Lambda: 1}
+		lo := Erlang{K: k - 1, Lambda: 1}
+		return hi.Tail(x) >= lo.Tail(x)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	for _, s := range []interface{ String() string }{
+		Normal{1, 2}, Exponential{3}, Erlang{2, 1}, LogNormal{0, 1},
+		Uniform{0, 1}, Pareto{1, 2}, Constant{5},
+	} {
+		if s.String() == "" {
+			t.Errorf("%T has empty String()", s)
+		}
+	}
+}

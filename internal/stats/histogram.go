@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a fixed-range, equal-width histogram with overflow and
+// underflow buckets, used by the experiment harness to summarise
+// suspicion-level and delay distributions.
+type Histogram struct {
+	lo, hi  float64
+	buckets []int64
+	under   int64
+	over    int64
+	n       int64
+}
+
+// NewHistogram returns a histogram over [lo, hi) with the given number of
+// equal-width buckets. Inverted bounds are swapped; bucket counts below 1
+// are raised to 1.
+func NewHistogram(lo, hi float64, buckets int) *Histogram {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	if buckets < 1 {
+		buckets = 1
+	}
+	return &Histogram{lo: lo, hi: hi, buckets: make([]int64, buckets)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	h.n++
+	switch {
+	case math.IsNaN(v):
+		h.over++ // treat NaN as out of range above
+	case v < h.lo:
+		h.under++
+	case v >= h.hi:
+		h.over++
+	default:
+		i := int((v - h.lo) / (h.hi - h.lo) * float64(len(h.buckets)))
+		if i >= len(h.buckets) { // guard against rounding at the edge
+			i = len(h.buckets) - 1
+		}
+		h.buckets[i]++
+	}
+}
+
+// N returns the total number of observations.
+func (h *Histogram) N() int64 { return h.n }
+
+// Bucket returns the count in bucket i and the bucket's bounds.
+func (h *Histogram) Bucket(i int) (count int64, lo, hi float64) {
+	width := (h.hi - h.lo) / float64(len(h.buckets))
+	return h.buckets[i], h.lo + float64(i)*width, h.lo + float64(i+1)*width
+}
+
+// Buckets returns the number of buckets.
+func (h *Histogram) Buckets() int { return len(h.buckets) }
+
+// Under and Over return the out-of-range counts.
+func (h *Histogram) Under() int64 { return h.under }
+
+// Over returns the count of observations at or above the upper bound.
+func (h *Histogram) Over() int64 { return h.over }
+
+// String renders a compact textual histogram.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hist[%g,%g) n=%d under=%d over=%d:", h.lo, h.hi, h.n, h.under, h.over)
+	for i := range h.buckets {
+		fmt.Fprintf(&b, " %d", h.buckets[i])
+	}
+	return b.String()
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the samples using
+// linear interpolation between order statistics. It returns 0 and false on
+// an empty slice. The input is not modified.
+func Quantile(samples []float64, q float64) (float64, bool) {
+	if len(samples) == 0 {
+		return 0, false
+	}
+	sorted := make([]float64, len(samples))
+	copy(sorted, samples)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q), true
+}
+
+// Quantiles returns several quantiles at once, sorting only once.
+func Quantiles(samples []float64, qs ...float64) ([]float64, bool) {
+	if len(samples) == 0 {
+		return nil, false
+	}
+	sorted := make([]float64, len(samples))
+	copy(sorted, samples)
+	sort.Float64s(sorted)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = quantileSorted(sorted, q)
+	}
+	return out, true
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean of samples, or 0 on an empty slice.
+func Mean(samples []float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range samples {
+		sum += v
+	}
+	return sum / float64(len(samples))
+}

@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, v := range []float64{-1, 0, 1.9, 2, 5, 9.99, 10, 42} {
+		h.Add(v)
+	}
+	if h.N() != 8 {
+		t.Errorf("N = %d, want 8", h.N())
+	}
+	if h.Under() != 1 {
+		t.Errorf("Under = %d, want 1", h.Under())
+	}
+	if h.Over() != 2 {
+		t.Errorf("Over = %d, want 2", h.Over())
+	}
+	count, lo, hi := h.Bucket(0)
+	if count != 2 || lo != 0 || hi != 2 {
+		t.Errorf("bucket 0: count=%d [%v,%v), want 2 [0,2)", count, lo, hi)
+	}
+	count, _, _ = h.Bucket(1)
+	if count != 1 {
+		t.Errorf("bucket 1 count = %d, want 1 (value 2)", count)
+	}
+	count, _, _ = h.Bucket(4)
+	if count != 1 {
+		t.Errorf("bucket 4 count = %d, want 1 (value 9.99)", count)
+	}
+	if h.Buckets() != 5 {
+		t.Errorf("Buckets = %d", h.Buckets())
+	}
+	if !strings.Contains(h.String(), "n=8") {
+		t.Errorf("String() = %q", h.String())
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	h := NewHistogram(5, 0, 0) // swapped bounds, bucket count raised
+	if h.Buckets() != 1 {
+		t.Errorf("Buckets = %d, want 1", h.Buckets())
+	}
+	h.Add(math.NaN())
+	if h.Over() != 1 {
+		t.Error("NaN should count as out of range")
+	}
+	h.Add(2.5)
+	count, lo, hi := h.Bucket(0)
+	if count != 1 || lo != 0 || hi != 5 {
+		t.Errorf("bucket: %d [%v,%v)", count, lo, hi)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	samples := []float64{4, 1, 3, 2, 5}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1},
+		{0.25, 2},
+		{0.5, 3},
+		{0.75, 4},
+		{1, 5},
+		{-0.5, 1},
+		{1.5, 5},
+	}
+	for _, tt := range tests {
+		got, ok := Quantile(samples, tt.q)
+		if !ok {
+			t.Fatalf("Quantile(%v) not ok", tt.q)
+		}
+		if !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	// Input must stay unmodified.
+	if samples[0] != 4 {
+		t.Error("Quantile modified its input")
+	}
+	if _, ok := Quantile(nil, 0.5); ok {
+		t.Error("empty input should not produce a quantile")
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	got, _ := Quantile([]float64{0, 10}, 0.35)
+	if !almostEqual(got, 3.5, 1e-12) {
+		t.Errorf("interpolated quantile = %v, want 3.5", got)
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	qs, ok := Quantiles([]float64{1, 2, 3, 4, 5}, 0.5, 0.99, 0)
+	if !ok || len(qs) != 3 {
+		t.Fatalf("Quantiles returned %v, %v", qs, ok)
+	}
+	if qs[0] != 3 || qs[2] != 1 {
+		t.Errorf("Quantiles = %v", qs)
+	}
+	if _, ok := Quantiles(nil, 0.5); ok {
+		t.Error("empty input should not produce quantiles")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("mean of empty should be 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("Mean = %v", got)
+	}
+}

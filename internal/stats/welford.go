@@ -1,0 +1,68 @@
+package stats
+
+import "math"
+
+// Welford accumulates mean and variance online over an unbounded stream
+// using Welford's numerically stable recurrence. The zero value is an
+// empty accumulator ready to use.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one sample.
+func (w *Welford) Add(v float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = v, v
+	} else {
+		if v < w.min {
+			w.min = v
+		}
+		if v > w.max {
+			w.max = v
+		}
+	}
+	delta := v - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (v - w.mean)
+}
+
+// N returns the number of samples seen.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the running mean, or 0 when empty.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the population variance, or 0 for fewer than two
+// samples.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// SampleVariance returns the unbiased (n−1) variance, or 0 for fewer than
+// two samples.
+func (w *Welford) SampleVariance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Min returns the smallest sample seen, or 0 when empty.
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest sample seen, or 0 when empty.
+func (w *Welford) Max() float64 { return w.max }
+
+// Reset empties the accumulator.
+func (w *Welford) Reset() { *w = Welford{} }

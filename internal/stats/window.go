@@ -1,0 +1,132 @@
+// Package stats provides the statistical substrate shared by the adaptive
+// detectors (internal/chen, internal/phi, internal/kappa) and the
+// simulator (internal/sim): sliding sample windows, online moments,
+// probability distributions with tail functions, and histograms.
+package stats
+
+import "math"
+
+// Window is a fixed-capacity sliding window of float64 samples with O(1)
+// mean and variance queries. When full, pushing a new sample evicts the
+// oldest one. This is the arrival-interval window used by the adaptive
+// failure detectors (Chen's estimator keeps the last n arrival times; the
+// φ detector keeps the last n inter-arrival intervals).
+//
+// The running sums are maintained incrementally; to keep floating-point
+// drift negligible over very long runs they are recomputed from scratch
+// every rebuildEvery evictions.
+type Window struct {
+	buf    []float64
+	head   int // index of the oldest sample
+	n      int // number of valid samples
+	sum    float64
+	sumSq  float64
+	evicts int
+}
+
+const rebuildEvery = 4096
+
+// NewWindow returns a window holding at most capacity samples.
+// Capacities below 1 are raised to 1.
+func NewWindow(capacity int) *Window {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Window{buf: make([]float64, capacity)}
+}
+
+// Push adds a sample, evicting the oldest one if the window is full.
+func (w *Window) Push(v float64) {
+	if w.n == len(w.buf) {
+		old := w.buf[w.head]
+		w.sum -= old
+		w.sumSq -= old * old
+		w.buf[w.head] = v
+		w.head = (w.head + 1) % len(w.buf)
+		w.evicts++
+	} else {
+		w.buf[(w.head+w.n)%len(w.buf)] = v
+		w.n++
+	}
+	w.sum += v
+	w.sumSq += v * v
+	if w.evicts >= rebuildEvery {
+		w.rebuild()
+	}
+}
+
+func (w *Window) rebuild() {
+	w.evicts = 0
+	w.sum, w.sumSq = 0, 0
+	for i := 0; i < w.n; i++ {
+		v := w.buf[(w.head+i)%len(w.buf)]
+		w.sum += v
+		w.sumSq += v * v
+	}
+}
+
+// Len returns the number of samples currently held.
+func (w *Window) Len() int { return w.n }
+
+// Cap returns the window capacity.
+func (w *Window) Cap() int { return len(w.buf) }
+
+// Full reports whether the window holds Cap() samples.
+func (w *Window) Full() bool { return w.n == len(w.buf) }
+
+// Mean returns the sample mean, or 0 when the window is empty.
+func (w *Window) Mean() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.sum / float64(w.n)
+}
+
+// Variance returns the population variance, or 0 for fewer than two
+// samples. Tiny negative values caused by floating-point cancellation are
+// clamped to zero.
+func (w *Window) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	m := w.Mean()
+	v := w.sumSq/float64(w.n) - m*m
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// StdDev returns the population standard deviation.
+func (w *Window) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// At returns the i-th sample, where 0 is the oldest. It panics if i is out
+// of range, mirroring slice indexing.
+func (w *Window) At(i int) float64 {
+	if i < 0 || i >= w.n {
+		panic("stats: Window.At index out of range")
+	}
+	return w.buf[(w.head+i)%len(w.buf)]
+}
+
+// Last returns the newest sample, or 0 when the window is empty.
+func (w *Window) Last() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.buf[(w.head+w.n-1)%len(w.buf)]
+}
+
+// Samples appends all samples, oldest first, to dst and returns the
+// extended slice.
+func (w *Window) Samples(dst []float64) []float64 {
+	for i := 0; i < w.n; i++ {
+		dst = append(dst, w.At(i))
+	}
+	return dst
+}
+
+// Reset empties the window without releasing its buffer.
+func (w *Window) Reset() {
+	w.head, w.n, w.sum, w.sumSq, w.evicts = 0, 0, 0, 0, 0
+}

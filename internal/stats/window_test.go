@@ -1,0 +1,205 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestWindowBasics(t *testing.T) {
+	w := NewWindow(3)
+	if w.Len() != 0 || w.Cap() != 3 || w.Full() {
+		t.Fatalf("fresh window: len=%d cap=%d full=%v", w.Len(), w.Cap(), w.Full())
+	}
+	if w.Mean() != 0 || w.Variance() != 0 {
+		t.Error("empty window should have zero moments")
+	}
+	w.Push(1)
+	w.Push(2)
+	w.Push(3)
+	if !w.Full() {
+		t.Error("window should be full")
+	}
+	if !almostEqual(w.Mean(), 2, 1e-12) {
+		t.Errorf("Mean = %v, want 2", w.Mean())
+	}
+	// Population variance of {1,2,3} is 2/3.
+	if !almostEqual(w.Variance(), 2.0/3.0, 1e-12) {
+		t.Errorf("Variance = %v, want 2/3", w.Variance())
+	}
+	// Evict the 1.
+	w.Push(4)
+	if !almostEqual(w.Mean(), 3, 1e-12) {
+		t.Errorf("after eviction Mean = %v, want 3", w.Mean())
+	}
+	if w.Len() != 3 {
+		t.Errorf("Len = %d, want 3", w.Len())
+	}
+}
+
+func TestWindowOrder(t *testing.T) {
+	w := NewWindow(3)
+	for i := 1; i <= 5; i++ {
+		w.Push(float64(i))
+	}
+	want := []float64{3, 4, 5}
+	got := w.Samples(nil)
+	if len(got) != len(want) {
+		t.Fatalf("Samples len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Samples[%d] = %v, want %v", i, got[i], want[i])
+		}
+		if w.At(i) != want[i] {
+			t.Errorf("At(%d) = %v, want %v", i, w.At(i), want[i])
+		}
+	}
+	if w.Last() != 5 {
+		t.Errorf("Last = %v, want 5", w.Last())
+	}
+}
+
+func TestWindowAtPanics(t *testing.T) {
+	w := NewWindow(2)
+	w.Push(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("At out of range should panic")
+		}
+	}()
+	w.At(1)
+}
+
+func TestWindowReset(t *testing.T) {
+	w := NewWindow(4)
+	w.Push(1)
+	w.Push(2)
+	w.Reset()
+	if w.Len() != 0 || w.Mean() != 0 {
+		t.Error("Reset should empty the window")
+	}
+	w.Push(7)
+	if w.Mean() != 7 {
+		t.Errorf("after reset Mean = %v, want 7", w.Mean())
+	}
+}
+
+func TestWindowTinyCapacity(t *testing.T) {
+	w := NewWindow(0) // raised to 1
+	if w.Cap() != 1 {
+		t.Fatalf("Cap = %d, want 1", w.Cap())
+	}
+	w.Push(3)
+	w.Push(9)
+	if w.Mean() != 9 || w.Len() != 1 {
+		t.Errorf("single-slot window: mean=%v len=%d", w.Mean(), w.Len())
+	}
+}
+
+func TestWindowLongRunStability(t *testing.T) {
+	// After many evictions (forcing periodic rebuilds), the incremental
+	// moments must match a from-scratch computation.
+	w := NewWindow(64)
+	rng := NewRand(7)
+	for i := 0; i < 3*rebuildEvery; i++ {
+		w.Push(rng.Float64()*100 - 50)
+	}
+	var sum, sumSq float64
+	for i := 0; i < w.Len(); i++ {
+		v := w.At(i)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(w.Len())
+	variance := sumSq/float64(w.Len()) - mean*mean
+	if !almostEqual(w.Mean(), mean, 1e-6) {
+		t.Errorf("Mean drifted: %v vs %v", w.Mean(), mean)
+	}
+	if !almostEqual(w.Variance(), variance, 1e-6) {
+		t.Errorf("Variance drifted: %v vs %v", w.Variance(), variance)
+	}
+}
+
+func TestWindowMomentsProperty(t *testing.T) {
+	// Mean is always within [min, max] of the current samples and the
+	// variance is non-negative.
+	f := func(vals []float64, capRaw uint8) bool {
+		capacity := int(capRaw%32) + 1
+		w := NewWindow(capacity)
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				continue
+			}
+			w.Push(v)
+		}
+		if w.Len() == 0 {
+			return w.Mean() == 0 && w.Variance() == 0
+		}
+		min, max := math.Inf(1), math.Inf(-1)
+		for i := 0; i < w.Len(); i++ {
+			v := w.At(i)
+			min = math.Min(min, v)
+			max = math.Max(max, v)
+		}
+		m := w.Mean()
+		const slack = 1e-6
+		return m >= min-slack && m <= max+slack && w.Variance() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	if w.N() != 0 || w.Mean() != 0 || w.Variance() != 0 {
+		t.Error("zero Welford should be empty")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(v)
+	}
+	if w.N() != 8 {
+		t.Errorf("N = %d, want 8", w.N())
+	}
+	if !almostEqual(w.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", w.Mean())
+	}
+	if !almostEqual(w.Variance(), 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", w.Variance())
+	}
+	if !almostEqual(w.StdDev(), 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", w.StdDev())
+	}
+	if !almostEqual(w.SampleVariance(), 32.0/7.0, 1e-12) {
+		t.Errorf("SampleVariance = %v, want 32/7", w.SampleVariance())
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", w.Min(), w.Max())
+	}
+	w.Reset()
+	if w.N() != 0 || w.Mean() != 0 {
+		t.Error("Reset should empty the accumulator")
+	}
+}
+
+func TestWelfordMatchesWindow(t *testing.T) {
+	rng := NewRand(42)
+	var wf Welford
+	w := NewWindow(1000)
+	for i := 0; i < 1000; i++ {
+		v := rng.NormFloat64()*3 + 10
+		wf.Add(v)
+		w.Push(v)
+	}
+	if !almostEqual(wf.Mean(), w.Mean(), 1e-9) {
+		t.Errorf("means differ: %v vs %v", wf.Mean(), w.Mean())
+	}
+	if !almostEqual(wf.Variance(), w.Variance(), 1e-6) {
+		t.Errorf("variances differ: %v vs %v", wf.Variance(), w.Variance())
+	}
+}

@@ -1,0 +1,182 @@
+// Package trace records failure detector histories — suspicion-level
+// query records and binary transition logs — and exports them as CSV or
+// JSON for offline plotting. It is the bridge between the simulator's
+// query loops and the QoS analysis of internal/qos.
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"accrual/internal/core"
+)
+
+// History is an append-only sequence of answered suspicion-level queries
+// for one (monitor, monitored) pair. The zero value is ready to use.
+type History struct {
+	records []core.QueryRecord
+}
+
+// Append records one answered query. Queries must be appended in
+// chronological order.
+func (h *History) Append(at time.Time, level core.Level) {
+	h.records = append(h.records, core.QueryRecord{At: at, Level: level})
+}
+
+// Records returns the underlying records. The caller must not modify the
+// returned slice.
+func (h *History) Records() []core.QueryRecord { return h.records }
+
+// Len returns the number of recorded queries.
+func (h *History) Len() int { return len(h.records) }
+
+// Max returns the maximum recorded level, or 0 for an empty history.
+func (h *History) Max() core.Level {
+	var max core.Level
+	for _, r := range h.records {
+		if r.Level > max {
+			max = r.Level
+		}
+	}
+	return max
+}
+
+// Last returns the most recent record and whether the history is
+// non-empty.
+func (h *History) Last() (core.QueryRecord, bool) {
+	if len(h.records) == 0 {
+		return core.QueryRecord{}, false
+	}
+	return h.records[len(h.records)-1], true
+}
+
+// WriteCSV writes "time_s,level" rows, with times in seconds relative to
+// the first record.
+func (h *History) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_s", "level"}); err != nil {
+		return fmt.Errorf("trace: write csv header: %w", err)
+	}
+	var t0 time.Time
+	if len(h.records) > 0 {
+		t0 = h.records[0].At
+	}
+	for _, r := range h.records {
+		row := []string{
+			strconv.FormatFloat(r.At.Sub(t0).Seconds(), 'f', 6, 64),
+			strconv.FormatFloat(float64(r.Level), 'g', -1, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("trace: flush csv: %w", err)
+	}
+	return nil
+}
+
+// historyJSON is the JSON shape of a history record.
+type historyJSON struct {
+	At    time.Time `json:"at"`
+	Level float64   `json:"level"`
+}
+
+// WriteJSON writes the history as a JSON array of {at, level} objects.
+func (h *History) WriteJSON(w io.Writer) error {
+	out := make([]historyJSON, len(h.records))
+	for i, r := range h.records {
+		out[i] = historyJSON{At: r.At, Level: float64(r.Level)}
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("trace: encode json: %w", err)
+	}
+	return nil
+}
+
+// StatusObserver turns a stream of sampled binary statuses into a
+// transition log. Feed it the detector output at every query; it detects
+// S- and T-transitions. The zero value starts from the Trusted state.
+type StatusObserver struct {
+	cur         core.Status
+	transitions []core.Transition
+	queries     int
+}
+
+// NewStatusObserver returns an observer whose initial state is initial
+// (Trusted if zero).
+func NewStatusObserver(initial core.Status) *StatusObserver {
+	if initial == 0 {
+		initial = core.Trusted
+	}
+	return &StatusObserver{cur: initial}
+}
+
+// Observe records the status at a query time, appending a transition if
+// the status changed.
+func (o *StatusObserver) Observe(at time.Time, s core.Status) {
+	if o.cur == 0 {
+		o.cur = core.Trusted
+	}
+	o.queries++
+	if s == o.cur || !s.Valid() {
+		return
+	}
+	kind := core.STransition
+	if s == core.Trusted {
+		kind = core.TTransition
+	}
+	o.transitions = append(o.transitions, core.Transition{At: at, Kind: kind})
+	o.cur = s
+}
+
+// Transitions returns the recorded transitions. The caller must not
+// modify the returned slice.
+func (o *StatusObserver) Transitions() []core.Transition { return o.transitions }
+
+// Current returns the most recently observed status.
+func (o *StatusObserver) Current() core.Status {
+	if o.cur == 0 {
+		return core.Trusted
+	}
+	return o.cur
+}
+
+// Queries returns how many statuses have been observed.
+func (o *StatusObserver) Queries() int { return o.queries }
+
+// LastTransition returns the final transition and whether any occurred.
+func (o *StatusObserver) LastTransition() (core.Transition, bool) {
+	if len(o.transitions) == 0 {
+		return core.Transition{}, false
+	}
+	return o.transitions[len(o.transitions)-1], true
+}
+
+// WriteTransitionsCSV writes "time_s,kind" rows relative to start.
+func WriteTransitionsCSV(w io.Writer, start time.Time, trs []core.Transition) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_s", "kind"}); err != nil {
+		return fmt.Errorf("trace: write csv header: %w", err)
+	}
+	for _, tr := range trs {
+		row := []string{
+			strconv.FormatFloat(tr.At.Sub(start).Seconds(), 'f', 6, 64),
+			tr.Kind.String(),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("trace: flush csv: %w", err)
+	}
+	return nil
+}

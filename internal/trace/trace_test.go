@@ -1,0 +1,196 @@
+package trace
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"accrual/internal/core"
+)
+
+var start = time.Date(2005, 3, 22, 0, 0, 0, 0, time.UTC)
+
+func TestHistoryAppendAndAccessors(t *testing.T) {
+	var h History
+	if h.Len() != 0 || h.Max() != 0 {
+		t.Error("zero history should be empty")
+	}
+	if _, ok := h.Last(); ok {
+		t.Error("Last on empty history")
+	}
+	h.Append(start, 1)
+	h.Append(start.Add(time.Second), 3)
+	h.Append(start.Add(2*time.Second), 2)
+	if h.Len() != 3 {
+		t.Errorf("Len = %d", h.Len())
+	}
+	if h.Max() != 3 {
+		t.Errorf("Max = %v", h.Max())
+	}
+	last, ok := h.Last()
+	if !ok || last.Level != 2 {
+		t.Errorf("Last = %+v, %v", last, ok)
+	}
+	if len(h.Records()) != 3 {
+		t.Error("Records length")
+	}
+}
+
+func TestHistoryWriteCSV(t *testing.T) {
+	var h History
+	h.Append(start, 0.5)
+	h.Append(start.Add(1500*time.Millisecond), 2)
+	var sb strings.Builder
+	if err := h.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d: %q", len(lines), sb.String())
+	}
+	if lines[0] != "time_s,level" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "0.000000,0.5" {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	if lines[2] != "1.500000,2" {
+		t.Errorf("row 2 = %q", lines[2])
+	}
+}
+
+func TestHistoryWriteJSON(t *testing.T) {
+	var h History
+	h.Append(start, 1.25)
+	var sb strings.Builder
+	if err := h.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []struct {
+		At    time.Time `json:"at"`
+		Level float64   `json:"level"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 1 || decoded[0].Level != 1.25 || !decoded[0].At.Equal(start) {
+		t.Errorf("decoded = %+v", decoded)
+	}
+}
+
+func TestStatusObserverDetectsTransitions(t *testing.T) {
+	o := NewStatusObserver(core.Trusted)
+	seq := []struct {
+		at     time.Time
+		status core.Status
+	}{
+		{start, core.Trusted},
+		{start.Add(1 * time.Second), core.Suspected}, // S
+		{start.Add(2 * time.Second), core.Suspected},
+		{start.Add(3 * time.Second), core.Trusted},   // T
+		{start.Add(4 * time.Second), core.Suspected}, // S
+	}
+	for _, s := range seq {
+		o.Observe(s.at, s.status)
+	}
+	trs := o.Transitions()
+	if len(trs) != 3 {
+		t.Fatalf("transitions = %d, want 3", len(trs))
+	}
+	wantKinds := []core.TransitionKind{core.STransition, core.TTransition, core.STransition}
+	for i, k := range wantKinds {
+		if trs[i].Kind != k {
+			t.Errorf("transition %d kind = %v, want %v", i, trs[i].Kind, k)
+		}
+	}
+	if o.Current() != core.Suspected {
+		t.Errorf("Current = %v", o.Current())
+	}
+	if o.Queries() != 5 {
+		t.Errorf("Queries = %d", o.Queries())
+	}
+	last, ok := o.LastTransition()
+	if !ok || last.Kind != core.STransition || !last.At.Equal(start.Add(4*time.Second)) {
+		t.Errorf("LastTransition = %+v, %v", last, ok)
+	}
+}
+
+func TestStatusObserverZeroValue(t *testing.T) {
+	var o StatusObserver
+	if o.Current() != core.Trusted {
+		t.Error("zero observer should start trusted")
+	}
+	o.Observe(start, core.Suspected)
+	if len(o.Transitions()) != 1 {
+		t.Error("zero observer should record transitions")
+	}
+	if _, ok := (&StatusObserver{}).LastTransition(); ok {
+		t.Error("LastTransition on fresh observer")
+	}
+}
+
+func TestStatusObserverIgnoresInvalid(t *testing.T) {
+	o := NewStatusObserver(0)
+	o.Observe(start, core.Status(42))
+	if len(o.Transitions()) != 0 {
+		t.Error("invalid status must not create a transition")
+	}
+}
+
+func TestWriteTransitionsCSV(t *testing.T) {
+	trs := []core.Transition{
+		{At: start.Add(2 * time.Second), Kind: core.STransition},
+		{At: start.Add(3 * time.Second), Kind: core.TTransition},
+	}
+	var sb strings.Builder
+	if err := WriteTransitionsCSV(&sb, start, trs); err != nil {
+		t.Fatal(err)
+	}
+	want := "time_s,kind\n2.000000,S\n3.000000,T\n"
+	if sb.String() != want {
+		t.Errorf("csv = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestHistoryFeedsPropertyCheckers(t *testing.T) {
+	// trace.History records are directly usable by core's checkers.
+	var h History
+	for i := 0; i < 10; i++ {
+		h.Append(start.Add(time.Duration(i)*time.Second), core.Level(i))
+	}
+	rep := core.CheckAccruement(h.Records(), 0, 1)
+	if !rep.Holds {
+		t.Errorf("Accruement on increasing history: %s", rep.Violation)
+	}
+}
+
+// failWriter fails after n successful writes, to exercise the error
+// paths of the CSV/JSON writers.
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errFail
+	}
+	w.n--
+	return len(p), nil
+}
+
+var errFail = errors.New("synthetic write failure")
+
+func TestWriteErrorsPropagate(t *testing.T) {
+	var h History
+	h.Append(start, 1)
+	if err := h.WriteCSV(&failWriter{n: 0}); err == nil {
+		t.Error("CSV header write failure not propagated")
+	}
+	if err := h.WriteJSON(&failWriter{n: 0}); err == nil {
+		t.Error("JSON write failure not propagated")
+	}
+	trs := []core.Transition{{At: start, Kind: core.STransition}}
+	if err := WriteTransitionsCSV(&failWriter{n: 0}, start, trs); err == nil {
+		t.Error("transitions CSV write failure not propagated")
+	}
+}

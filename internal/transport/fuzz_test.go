@@ -1,0 +1,42 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"accrual/internal/core"
+)
+
+// FuzzUnmarshalHeartbeat feeds arbitrary bytes through the decoder: it
+// must never panic, and everything it accepts must survive a re-encode /
+// re-decode round trip unchanged.
+func FuzzUnmarshalHeartbeat(f *testing.F) {
+	good, _ := MarshalHeartbeat(core.Heartbeat{
+		From: "worker-7", Seq: 42,
+		Sent: time.Date(2005, 3, 22, 0, 0, 0, 12345, time.UTC),
+	})
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte("AFD1"))
+	f.Add(append(append([]byte(nil), good...), 0xff))
+	trunc := append([]byte(nil), good[:len(good)-3]...)
+	f.Add(trunc)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		hb, err := UnmarshalHeartbeat(data)
+		if err != nil {
+			return // rejected: fine, as long as it did not panic
+		}
+		buf, err := MarshalHeartbeat(hb)
+		if err != nil {
+			t.Fatalf("decoded heartbeat does not re-encode: %v (%+v)", err, hb)
+		}
+		hb2, err := UnmarshalHeartbeat(buf)
+		if err != nil {
+			t.Fatalf("re-encoded packet does not decode: %v", err)
+		}
+		if hb2.From != hb.From || hb2.Seq != hb.Seq || !hb2.Sent.Equal(hb.Sent) {
+			t.Fatalf("round trip changed the heartbeat: %+v vs %+v", hb, hb2)
+		}
+	})
+}

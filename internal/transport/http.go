@@ -1,0 +1,196 @@
+package transport
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"accrual/internal/core"
+	"accrual/internal/service"
+)
+
+// API serves a monitor's suspicion levels over HTTP/JSON. Interpretation
+// stays client-side, faithful to the paper's architecture: the service
+// returns raw levels, and the optional threshold parameter of /v1/status
+// is evaluated per request (the client owns the threshold, not the
+// service).
+//
+// Routes:
+//
+//	GET /v1/processes            all processes, ranked least→most suspected
+//	GET /v1/suspicion?id=X       one process's current suspicion level
+//	GET /v1/status?id=X&threshold=T   D_T interpretation of the level
+//	GET /v1/healthz              liveness probe
+type API struct {
+	mon *service.Monitor
+	rec *service.Recorder
+	mux *http.ServeMux
+}
+
+// APIOption configures the HTTP handler.
+type APIOption func(*API)
+
+// WithRecorder enables the /v1/history endpoint, serving the recorder's
+// recent level samples per process.
+func WithRecorder(rec *service.Recorder) APIOption {
+	return func(a *API) { a.rec = rec }
+}
+
+// NewAPI returns the HTTP handler for a monitor.
+func NewAPI(mon *service.Monitor, opts ...APIOption) *API {
+	a := &API{mon: mon, mux: http.NewServeMux()}
+	for _, opt := range opts {
+		opt(a)
+	}
+	a.mux.HandleFunc("GET /v1/processes", a.handleProcesses)
+	a.mux.HandleFunc("GET /v1/suspicion", a.handleSuspicion)
+	a.mux.HandleFunc("GET /v1/status", a.handleStatus)
+	a.mux.HandleFunc("GET /v1/history", a.handleHistory)
+	a.mux.HandleFunc("GET /v1/healthz", a.handleHealthz)
+	return a
+}
+
+// ServeHTTP implements http.Handler.
+func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	a.mux.ServeHTTP(w, r)
+}
+
+// ProcessLevel is the JSON shape of one ranked process.
+type ProcessLevel struct {
+	ID    string  `json:"id"`
+	Level float64 `json:"level"`
+}
+
+// ProcessesResponse is the JSON shape of /v1/processes.
+type ProcessesResponse struct {
+	Processes []ProcessLevel `json:"processes"`
+}
+
+// StatusResponse is the JSON shape of /v1/status.
+type StatusResponse struct {
+	ID        string  `json:"id"`
+	Level     float64 `json:"level"`
+	Threshold float64 `json:"threshold"`
+	Status    string  `json:"status"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (a *API) handleProcesses(w http.ResponseWriter, _ *http.Request) {
+	ranked := a.mon.Ranked()
+	resp := ProcessesResponse{Processes: make([]ProcessLevel, len(ranked))}
+	for i, rp := range ranked {
+		resp.Processes[i] = ProcessLevel{ID: rp.ID, Level: jsonLevel(rp.Level)}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (a *API) handleSuspicion(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing id parameter"})
+		return
+	}
+	level, err := a.mon.Suspicion(id)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, service.ErrUnknownProcess) {
+			status = http.StatusNotFound
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, ProcessLevel{ID: id, Level: jsonLevel(level)})
+}
+
+func (a *API) handleStatus(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	id := q.Get("id")
+	if id == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing id parameter"})
+		return
+	}
+	threshold, err := strconv.ParseFloat(q.Get("threshold"), 64)
+	if err != nil || math.IsNaN(threshold) || threshold < 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing or invalid threshold parameter"})
+		return
+	}
+	level, err := a.mon.Suspicion(id)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, service.ErrUnknownProcess) {
+			status = http.StatusNotFound
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+	st := core.Trusted
+	if level > core.Level(threshold) {
+		st = core.Suspected
+	}
+	writeJSON(w, http.StatusOK, StatusResponse{
+		ID:        id,
+		Level:     jsonLevel(level),
+		Threshold: threshold,
+		Status:    st.String(),
+	})
+}
+
+// HistorySample is one recorded level sample in /v1/history.
+type HistorySample struct {
+	At    time.Time `json:"at"`
+	Level float64   `json:"level"`
+}
+
+// HistoryResponse is the JSON shape of /v1/history.
+type HistoryResponse struct {
+	ID      string          `json:"id"`
+	Samples []HistorySample `json:"samples"`
+}
+
+func (a *API) handleHistory(w http.ResponseWriter, r *http.Request) {
+	if a.rec == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "history recording not enabled"})
+		return
+	}
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing id parameter"})
+		return
+	}
+	records, ok := a.rec.History(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "no history for " + id})
+		return
+	}
+	resp := HistoryResponse{ID: id, Samples: make([]HistorySample, len(records))}
+	for i, rec := range records {
+		resp.Samples[i] = HistorySample{At: rec.At, Level: jsonLevel(rec.Level)}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (a *API) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// jsonLevel clamps non-finite levels to the largest finite float64 so the
+// response stays valid JSON.
+func jsonLevel(l core.Level) float64 {
+	f := float64(l)
+	if math.IsInf(f, 1) || math.IsNaN(f) {
+		return math.MaxFloat64
+	}
+	return f
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

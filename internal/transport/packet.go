@@ -1,0 +1,92 @@
+// Package transport carries heartbeats over real networks (UDP) and
+// exposes the monitoring service over HTTP, turning the library into the
+// generic failure-detection service the paper advocates: monitored
+// processes run a Sender, the monitoring host runs a Listener feeding a
+// service.Monitor, and applications query suspicion levels over HTTP with
+// their own thresholds.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"accrual/internal/core"
+)
+
+// Wire format (big endian):
+//
+//	offset  size  field
+//	0       4     magic "AFD1"
+//	4       1     version (1)
+//	5       1     id length n (1..255)
+//	6       n     process id (UTF-8)
+//	6+n     8     sequence number
+//	14+n    8     send time, Unix nanoseconds
+const (
+	packetVersion = 1
+	headerLen     = 6
+	trailerLen    = 16
+	maxIDLen      = 255
+	// MaxPacketSize is the largest encoded heartbeat packet.
+	MaxPacketSize = headerLen + maxIDLen + trailerLen
+)
+
+var packetMagic = [4]byte{'A', 'F', 'D', '1'}
+
+// Errors returned by the packet codec.
+var (
+	// ErrBadPacket is wrapped by every decoding error.
+	ErrBadPacket = errors.New("transport: bad packet")
+	// ErrIDTooLong is returned when a process id exceeds 255 bytes.
+	ErrIDTooLong = errors.New("transport: process id too long")
+)
+
+// MarshalHeartbeat encodes a heartbeat for the wire. Only From, Seq and
+// Sent are carried; Arrived is assigned by the receiver.
+func MarshalHeartbeat(hb core.Heartbeat) ([]byte, error) {
+	if len(hb.From) == 0 || len(hb.From) > maxIDLen {
+		return nil, fmt.Errorf("%w: %d bytes", ErrIDTooLong, len(hb.From))
+	}
+	buf := make([]byte, headerLen+len(hb.From)+trailerLen)
+	copy(buf[0:4], packetMagic[:])
+	buf[4] = packetVersion
+	buf[5] = byte(len(hb.From))
+	copy(buf[headerLen:], hb.From)
+	off := headerLen + len(hb.From)
+	binary.BigEndian.PutUint64(buf[off:], hb.Seq)
+	var sent int64
+	if !hb.Sent.IsZero() {
+		sent = hb.Sent.UnixNano()
+	}
+	binary.BigEndian.PutUint64(buf[off+8:], uint64(sent))
+	return buf, nil
+}
+
+// UnmarshalHeartbeat decodes a wire packet. The returned heartbeat has a
+// zero Arrived time; the caller stamps it on receipt.
+func UnmarshalHeartbeat(buf []byte) (core.Heartbeat, error) {
+	if len(buf) < headerLen+1+trailerLen {
+		return core.Heartbeat{}, fmt.Errorf("%w: %d bytes", ErrBadPacket, len(buf))
+	}
+	if [4]byte(buf[0:4]) != packetMagic {
+		return core.Heartbeat{}, fmt.Errorf("%w: bad magic", ErrBadPacket)
+	}
+	if buf[4] != packetVersion {
+		return core.Heartbeat{}, fmt.Errorf("%w: version %d", ErrBadPacket, buf[4])
+	}
+	n := int(buf[5])
+	if n == 0 || len(buf) != headerLen+n+trailerLen {
+		return core.Heartbeat{}, fmt.Errorf("%w: length mismatch (id %d, packet %d)", ErrBadPacket, n, len(buf))
+	}
+	id := string(buf[headerLen : headerLen+n])
+	off := headerLen + n
+	seq := binary.BigEndian.Uint64(buf[off:])
+	sentNano := int64(binary.BigEndian.Uint64(buf[off+8:]))
+	var sent time.Time
+	if sentNano != 0 {
+		sent = time.Unix(0, sentNano)
+	}
+	return core.Heartbeat{From: id, Seq: seq, Sent: sent}, nil
+}

@@ -1,0 +1,125 @@
+package transport
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"accrual/internal/core"
+)
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	sent := time.Date(2005, 3, 22, 12, 0, 0, 12345, time.UTC)
+	in := core.Heartbeat{From: "worker-7", Seq: 42, Sent: sent}
+	buf, err := MarshalHeartbeat(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := UnmarshalHeartbeat(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.From != in.From || out.Seq != in.Seq || !out.Sent.Equal(in.Sent) {
+		t.Errorf("round trip: %+v -> %+v", in, out)
+	}
+	if !out.Arrived.IsZero() {
+		t.Error("Arrived must be zero after decode")
+	}
+}
+
+func TestMarshalZeroSentTime(t *testing.T) {
+	buf, err := MarshalHeartbeat(core.Heartbeat{From: "p", Seq: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := UnmarshalHeartbeat(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Sent.IsZero() {
+		t.Errorf("Sent = %v, want zero", out.Sent)
+	}
+}
+
+func TestMarshalIDValidation(t *testing.T) {
+	if _, err := MarshalHeartbeat(core.Heartbeat{From: "", Seq: 1}); !errors.Is(err, ErrIDTooLong) {
+		t.Errorf("empty id: %v", err)
+	}
+	long := strings.Repeat("x", 256)
+	if _, err := MarshalHeartbeat(core.Heartbeat{From: long, Seq: 1}); !errors.Is(err, ErrIDTooLong) {
+		t.Errorf("long id: %v", err)
+	}
+	max := strings.Repeat("x", 255)
+	if _, err := MarshalHeartbeat(core.Heartbeat{From: max, Seq: 1}); err != nil {
+		t.Errorf("255-byte id should be fine: %v", err)
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	good, _ := MarshalHeartbeat(core.Heartbeat{From: "p", Seq: 1})
+	tests := []struct {
+		name string
+		buf  []byte
+	}{
+		{"empty", nil},
+		{"short", good[:5]},
+		{"bad magic", append([]byte("XXXX"), good[4:]...)},
+		{"bad version", func() []byte {
+			b := append([]byte(nil), good...)
+			b[4] = 99
+			return b
+		}()},
+		{"zero id length", func() []byte {
+			b := append([]byte(nil), good...)
+			b[5] = 0
+			return b
+		}()},
+		{"truncated", good[:len(good)-1]},
+		{"trailing junk", append(append([]byte(nil), good...), 0)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := UnmarshalHeartbeat(tt.buf); !errors.Is(err, ErrBadPacket) {
+				t.Errorf("err = %v, want ErrBadPacket", err)
+			}
+		})
+	}
+}
+
+func TestPacketSizeBound(t *testing.T) {
+	buf, err := MarshalHeartbeat(core.Heartbeat{From: strings.Repeat("x", 255), Seq: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != MaxPacketSize {
+		t.Errorf("max packet = %d bytes, constant says %d", len(buf), MaxPacketSize)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(idRaw []byte, seq uint64, sentNano int64) bool {
+		id := strings.Map(func(r rune) rune { return r }, string(idRaw))
+		if len(id) == 0 || len(id) > 255 {
+			return true
+		}
+		var sent time.Time
+		if sentNano != 0 {
+			sent = time.Unix(0, sentNano)
+		}
+		in := core.Heartbeat{From: id, Seq: seq, Sent: sent}
+		buf, err := MarshalHeartbeat(in)
+		if err != nil {
+			return false
+		}
+		out, err := UnmarshalHeartbeat(buf)
+		if err != nil {
+			return false
+		}
+		return out.From == in.From && out.Seq == in.Seq && out.Sent.Equal(in.Sent)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,227 @@
+package transport
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"accrual/internal/clock"
+	"accrual/internal/core"
+	"accrual/internal/service"
+)
+
+// Sender periodically emits heartbeats for one process over UDP — the
+// monitored side of the simple implementation (§5.1). Create one with
+// NewSender, start it with Start and stop it with Stop; the goroutine is
+// always joined on Stop.
+type Sender struct {
+	id       string
+	target   string
+	interval time.Duration
+	clk      clock.Clock
+
+	mu      sync.Mutex
+	conn    net.Conn
+	seq     uint64
+	done    chan struct{}
+	stopped chan struct{}
+}
+
+// SenderOption configures a Sender.
+type SenderOption func(*Sender)
+
+// WithSenderClock substitutes the clock used for the Sent timestamps
+// (default: the wall clock).
+func WithSenderClock(clk clock.Clock) SenderOption {
+	return func(s *Sender) { s.clk = clk }
+}
+
+// NewSender returns a heartbeat sender for process id targeting the UDP
+// address target (host:port), sending every interval.
+func NewSender(id, target string, interval time.Duration, opts ...SenderOption) (*Sender, error) {
+	if id == "" || len(id) > maxIDLen {
+		return nil, fmt.Errorf("%w: %d bytes", ErrIDTooLong, len(id))
+	}
+	if interval <= 0 {
+		return nil, fmt.Errorf("transport: non-positive heartbeat interval %v", interval)
+	}
+	s := &Sender{
+		id:       id,
+		target:   target,
+		interval: interval,
+		clk:      clock.Wall{},
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s, nil
+}
+
+// Start dials the target and launches the heartbeat loop. The first
+// heartbeat is sent immediately so the monitor learns about the process
+// without waiting a full interval.
+func (s *Sender) Start() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done != nil {
+		return fmt.Errorf("transport: sender %q already started", s.id)
+	}
+	conn, err := net.Dial("udp", s.target)
+	if err != nil {
+		return fmt.Errorf("transport: dial %s: %w", s.target, err)
+	}
+	s.conn = conn
+	s.done = make(chan struct{})
+	s.stopped = make(chan struct{})
+	go s.loop(conn, s.done, s.stopped)
+	return nil
+}
+
+func (s *Sender) loop(conn net.Conn, done <-chan struct{}, stopped chan<- struct{}) {
+	defer close(stopped)
+	ticker := time.NewTicker(s.interval)
+	defer ticker.Stop()
+	s.sendOne(conn)
+	for {
+		select {
+		case <-done:
+			return
+		case <-ticker.C:
+			s.sendOne(conn)
+		}
+	}
+}
+
+func (s *Sender) sendOne(conn net.Conn) {
+	s.mu.Lock()
+	s.seq++
+	hb := core.Heartbeat{From: s.id, Seq: s.seq, Sent: s.clk.Now()}
+	s.mu.Unlock()
+	buf, err := MarshalHeartbeat(hb)
+	if err != nil {
+		return // cannot happen: id validated at construction
+	}
+	if _, err := conn.Write(buf); err != nil {
+		// UDP writes fail transiently (e.g. ICMP unreachable); the next
+		// tick retries, which is exactly heartbeat semantics.
+		log.Printf("transport: sender %q: %v", s.id, err)
+	}
+}
+
+// Sent returns the number of heartbeats emitted so far.
+func (s *Sender) Sent() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// Stop terminates the heartbeat loop and waits for it to exit. Stop is
+// idempotent.
+func (s *Sender) Stop() {
+	s.mu.Lock()
+	done, stopped, conn := s.done, s.stopped, s.conn
+	s.done, s.stopped, s.conn = nil, nil, nil
+	s.mu.Unlock()
+	if done == nil {
+		return
+	}
+	close(done)
+	<-stopped
+	_ = conn.Close()
+}
+
+// Listener receives heartbeats over UDP and feeds them into a
+// service.Monitor, stamping arrival times with the monitor host's clock —
+// the monitoring side of §5.1. Create one with Listen; Close stops and
+// joins the read loop.
+type Listener struct {
+	conn *net.UDPConn
+	clk  clock.Clock
+	mon  *service.Monitor
+
+	stopped chan struct{}
+
+	mu       sync.Mutex
+	received uint64
+	rejected uint64
+}
+
+// ListenerOption configures a Listener.
+type ListenerOption func(*Listener)
+
+// WithListenerClock substitutes the clock used for arrival timestamps
+// (default: the wall clock).
+func WithListenerClock(clk clock.Clock) ListenerOption {
+	return func(l *Listener) { l.clk = clk }
+}
+
+// Listen binds a UDP socket on addr (host:port, port 0 for ephemeral) and
+// starts forwarding decoded heartbeats to mon.
+func Listen(addr string, mon *service.Monitor, opts ...ListenerOption) (*Listener, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %s: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	l := &Listener{
+		conn:    conn,
+		clk:     clock.Wall{},
+		mon:     mon,
+		stopped: make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(l)
+	}
+	go l.loop()
+	return l, nil
+}
+
+// Addr returns the bound UDP address.
+func (l *Listener) Addr() net.Addr { return l.conn.LocalAddr() }
+
+func (l *Listener) loop() {
+	defer close(l.stopped)
+	buf := make([]byte, MaxPacketSize)
+	for {
+		n, _, err := l.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		hb, err := UnmarshalHeartbeat(buf[:n])
+		if err != nil {
+			l.count(&l.rejected)
+			continue
+		}
+		hb.Arrived = l.clk.Now()
+		if err := l.mon.Heartbeat(hb); err != nil {
+			l.count(&l.rejected)
+			continue
+		}
+		l.count(&l.received)
+	}
+}
+
+func (l *Listener) count(c *uint64) {
+	l.mu.Lock()
+	*c++
+	l.mu.Unlock()
+}
+
+// Stats returns how many heartbeats were accepted and rejected.
+func (l *Listener) Stats() (received, rejected uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.received, l.rejected
+}
+
+// Close stops the read loop and waits for it to exit.
+func (l *Listener) Close() error {
+	err := l.conn.Close()
+	<-l.stopped
+	return err
+}
