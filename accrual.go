@@ -86,6 +86,8 @@ type (
 	App = service.App
 	// Policy builds an application-side binary interpreter.
 	Policy = service.Policy
+	// MonitorOption configures a Monitor at creation.
+	MonitorOption = service.MonitorOption
 	// AppOption configures an App at creation.
 	AppOption = service.AppOption
 	// TransitionHandler observes an App's S- and T-transitions.
@@ -163,9 +165,23 @@ func NewAdaptiveBinary(d Detector) BinaryDetector {
 // NewMonitor returns the shared monitoring service: it creates one
 // detector per monitored process using factory and routes heartbeats by
 // sender. Attach per-application interpreters with Monitor.NewApp.
-func NewMonitor(clk Clock, factory func(id string, start time.Time) Detector) *Monitor {
-	return service.NewMonitor(clk, factory)
+//
+// The monitor's registry is sharded so heartbeats and queries for
+// different processes never contend on one lock; see WithShardCount for
+// the (rarely needed) tuning knob.
+func NewMonitor(clk Clock, factory func(id string, start time.Time) Detector, opts ...MonitorOption) *Monitor {
+	return service.NewMonitor(clk, factory, opts...)
 }
+
+// WithShardCount fixes the monitor registry's shard count (rounded up to
+// the next power of two). The default of 64 suits almost every
+// deployment; raise it only for very large memberships with heavy
+// registration churn.
+func WithShardCount(n int) MonitorOption { return service.WithShardCount(n) }
+
+// WithoutAutoRegister makes the monitor reject heartbeats from processes
+// that were not explicitly registered.
+func WithoutAutoRegister() MonitorOption { return service.WithoutAutoRegister() }
 
 // WallClock returns the system clock for use with NewMonitor.
 func WallClock() Clock { return clock.Wall{} }

@@ -6,15 +6,18 @@ package accrual_test
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"accrual/internal/chen"
+	"accrual/internal/clock"
 	"accrual/internal/core"
 	"accrual/internal/experiments"
 	"accrual/internal/kappa"
 	"accrual/internal/phi"
 	"accrual/internal/qos"
+	"accrual/internal/service"
 	"accrual/internal/simple"
 	"accrual/internal/stats"
 	"accrual/internal/transform"
@@ -138,6 +141,107 @@ func BenchmarkQueryCrashed(b *testing.B) {
 			_ = sink
 		})
 	}
+}
+
+// simpleMonitorFactory is the cheapest detector, so the Monitor benches
+// below measure the service's locking overhead, not detector math.
+func simpleMonitorFactory(_ string, start time.Time) core.Detector {
+	return simple.New(start)
+}
+
+// BenchmarkIngestParallel measures heartbeat ingest throughput with one
+// goroutine per core, each hammering its own monitored process — the
+// workload the sharded registry is built for: heartbeats for different
+// processes must never contend.
+func BenchmarkIngestParallel(b *testing.B) {
+	mon := service.NewMonitor(clock.NewManual(benchStart), simpleMonitorFactory)
+	var nextID atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := fmt.Sprintf("proc-%d", nextID.Add(1))
+		at := benchStart
+		var seq uint64
+		for pb.Next() {
+			seq++
+			at = at.Add(100 * time.Millisecond)
+			if err := mon.Heartbeat(core.Heartbeat{From: id, Seq: seq, Arrived: at}); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkQueryParallel measures suspicion-query throughput with one
+// goroutine per core querying across a warm 128-process registry.
+func BenchmarkQueryParallel(b *testing.B) {
+	mon := service.NewMonitor(clock.Wall{}, simpleMonitorFactory)
+	const procs = 128
+	ids := make([]string, procs)
+	at := time.Now()
+	for i := range ids {
+		ids[i] = fmt.Sprintf("proc-%d", i)
+		if err := mon.Heartbeat(core.Heartbeat{From: ids[i], Seq: 1, Arrived: at}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var nextOff atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(nextOff.Add(31)) // co-prime stride spreads goroutines over ids
+		for pb.Next() {
+			i++
+			if _, err := mon.Suspicion(ids[i%procs]); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkMonitorManyProcs measures a 10k-process fan-in: parallel
+// ingest across the whole membership with a suspicion query mixed in
+// every eighth operation, the shape of a large gossip-scale deployment.
+func BenchmarkMonitorManyProcs(b *testing.B) {
+	mon := service.NewMonitor(clock.Wall{}, simpleMonitorFactory)
+	const procs = 10_000
+	ids := make([]string, procs)
+	at := time.Now()
+	for i := range ids {
+		ids[i] = fmt.Sprintf("proc-%05d", i)
+		if err := mon.Heartbeat(core.Heartbeat{From: ids[i], Seq: 1, Arrived: at}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// One global sequence counter: values are unique and increasing, so
+	// every process sees a strictly increasing heartbeat stream no matter
+	// how goroutines interleave over the id space.
+	var seq atomic.Uint64
+	seq.Store(1)
+	var nextOff atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(nextOff.Add(7919)) // co-prime stride over the 10k ids
+		for pb.Next() {
+			i++
+			id := ids[i%procs]
+			if i%8 == 0 {
+				if _, err := mon.Suspicion(id); err != nil {
+					b.Error(err)
+					return
+				}
+				continue
+			}
+			hb := core.Heartbeat{From: id, Seq: seq.Add(1), Arrived: at}
+			if err := mon.Heartbeat(hb); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
 }
 
 // BenchmarkTransformAlgorithm1 measures one query step of the paper's

@@ -26,6 +26,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -59,6 +60,8 @@ func run(ctx context.Context, args []string, ready chan<- [2]string) error {
 		interval = fs.Duration("interval", time.Second, "expected heartbeat interval")
 		logTrans = fs.Bool("log-transitions", true, "log S-/T-transitions observed by an internal Algorithm 1 view")
 		history  = fs.Int("history", 600, "level samples kept per process for /v1/history (0 disables)")
+		shards   = fs.Int("shards", 0, "monitor registry shard count, rounded up to a power of two (0 = default 64)")
+		ingestWk = fs.Int("ingest-workers", runtime.GOMAXPROCS(0), "parallel heartbeat ingest goroutines (0 = ingest from the read loop)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,14 +70,22 @@ func run(ctx context.Context, args []string, ready chan<- [2]string) error {
 	if err != nil {
 		return err
 	}
-	mon := service.NewMonitor(clock.Wall{}, factory)
+	var monOpts []service.MonitorOption
+	if *shards > 0 {
+		monOpts = append(monOpts, service.WithShardCount(*shards))
+	}
+	mon := service.NewMonitor(clock.Wall{}, factory, monOpts...)
 
-	listener, err := transport.Listen(*udpAddr, mon)
+	var lnOpts []transport.ListenerOption
+	if *ingestWk > 0 {
+		lnOpts = append(lnOpts, transport.WithIngestWorkers(*ingestWk))
+	}
+	listener, err := transport.Listen(*udpAddr, mon, lnOpts...)
 	if err != nil {
 		return err
 	}
 	defer listener.Close()
-	log.Printf("heartbeat listener on %s (detector=%s interval=%v)", listener.Addr(), *detName, *interval)
+	log.Printf("heartbeat listener on %s (detector=%s interval=%v ingest-workers=%d)", listener.Addr(), *detName, *interval, *ingestWk)
 
 	if *logTrans {
 		// An internal observer application using the paper's

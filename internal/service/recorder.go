@@ -59,21 +59,22 @@ func NewRecorder(mon *Monitor, capacity int) *Recorder {
 }
 
 // Tick takes one sample of every monitored process. Call it on whatever
-// cadence the history should have.
+// cadence the history should have. It streams the levels shard by shard
+// through Monitor.EachLevel, so a tick neither pauses the whole registry
+// nor allocates an intermediate snapshot map.
 func (r *Recorder) Tick() {
-	snap := r.mon.Snapshot()
 	now := r.mon.Now()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.samples++
-	for id, lvl := range snap {
+	r.mon.EachLevel(func(id string, lvl core.Level) {
 		rg, ok := r.byProc[id]
 		if !ok {
 			rg = &ring{buf: make([]core.QueryRecord, r.capacity)}
 			r.byProc[id] = rg
 		}
 		rg.push(core.QueryRecord{At: now, Level: lvl})
-	}
+	})
 }
 
 // History returns the recorded samples for one process, oldest first.

@@ -11,6 +11,24 @@
 // shared service. A library can still hand applications a binary
 // interface — that is exactly what App does — but there is one
 // interpretation module per application rather than one per host.
+//
+// # Concurrency
+//
+// The Monitor is the hot path of the whole service: every heartbeat from
+// every monitored process and every suspicion query from every
+// application lands on it. Its registry is therefore sharded — process
+// ids are FNV-1a-hashed onto a fixed power-of-two number of shards, each
+// with its own RWMutex-protected map — and each registered process
+// carries its own small mutex around its detector. Heartbeats and
+// queries for different processes never contend: they take a read lock
+// on (usually different) shards plus the per-process lock. Registration
+// and deregistration take one shard's write lock and never pause the
+// other shards. Snapshot and Ranked walk the shards one at a time, so a
+// full-registry read never stops the world either.
+//
+// Lock ordering is shard lock → entry lock; no code path acquires a
+// shard lock while holding an entry lock, and no code path holds two
+// entry locks at once.
 package service
 
 import (
@@ -18,6 +36,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"accrual/internal/clock"
@@ -26,7 +45,9 @@ import (
 )
 
 // Factory builds a fresh accrual detector for a newly registered process.
-// start is the registration time according to the monitor's clock.
+// start is the registration time according to the monitor's clock, or the
+// arrival timestamp of the registering heartbeat when auto-registration
+// triggered the creation.
 type Factory func(id string, start time.Time) core.Detector
 
 // Errors returned by the monitor.
@@ -38,16 +59,54 @@ var (
 	ErrAlreadyRegistered = errors.New("service: process already registered")
 )
 
+// defaultShardCount is the registry shard count used unless overridden
+// with WithShardCount. 64 shards keep the collision probability low into
+// the tens of thousands of processes while costing ~6 KiB per idle
+// Monitor.
+const defaultShardCount = 64
+
+// entry is one monitored process: its detector plus the small mutex that
+// serialises access to it. Detectors are not required to be safe for
+// concurrent use (see core.Detector), so every Report/Suspicion goes
+// through e.mu — but only heartbeats and queries for the *same* process
+// ever meet on it.
+type entry struct {
+	mu  sync.Mutex
+	det core.Detector
+	// removed is set on deregistration so that cached handles (see
+	// levelFunc) know to re-resolve instead of reading an orphan.
+	removed atomic.Bool
+}
+
+func (e *entry) report(hb core.Heartbeat) {
+	e.mu.Lock()
+	e.det.Report(hb)
+	e.mu.Unlock()
+}
+
+func (e *entry) level(now time.Time) core.Level {
+	e.mu.Lock()
+	l := e.det.Suspicion(now)
+	e.mu.Unlock()
+	return l
+}
+
+// shard is one slice of the registry with its own lock.
+type shard struct {
+	mu    sync.RWMutex
+	procs map[string]*entry
+}
+
 // Monitor is the per-host monitoring component: it owns one accrual
-// failure detector per monitored process and serialises all access to
-// them. Monitor is safe for concurrent use.
+// failure detector per monitored process. Monitor is safe for concurrent
+// use; see the package comment for the sharded locking design.
 type Monitor struct {
 	clk          clock.Clock
 	factory      Factory
 	autoRegister bool
 
-	mu    sync.Mutex
-	procs map[string]core.Detector
+	shardMask uint32
+	shards    []shard
 }
 
 // MonitorOption configures a Monitor.
@@ -59,6 +118,27 @@ func WithoutAutoRegister() MonitorOption {
 	return func(m *Monitor) { m.autoRegister = false }
 }
 
+// WithShardCount fixes the registry shard count (rounded up to the next
+// power of two, clamped to [1, 65536]). More shards reduce registration
+// contention for very large memberships; fewer shrink the idle footprint
+// for tiny ones. The default of 64 is right for almost everyone.
+func WithShardCount(n int) MonitorOption {
+	return func(m *Monitor) {
+		if n < 1 {
+			n = 1
+		}
+		if n > 1<<16 {
+			n = 1 << 16
+		}
+		p := 1
+		for p < n {
+			p <<= 1
+		}
+		m.shards = make([]shard, p)
+		m.shardMask = uint32(p - 1)
+	}
+}
+
 // NewMonitor returns a monitor that timestamps registrations with clk and
 // creates detectors with factory. Both are required.
 func NewMonitor(clk clock.Clock, factory Factory, opts ...MonitorOption) *Monitor {
@@ -66,86 +146,191 @@ func NewMonitor(clk clock.Clock, factory Factory, opts ...MonitorOption) *Monito
 		clk:          clk,
 		factory:      factory,
 		autoRegister: true,
-		procs:        make(map[string]core.Detector),
+		shards:       make([]shard, defaultShardCount),
+		shardMask:    defaultShardCount - 1,
 	}
 	for _, opt := range opts {
 		opt(m)
 	}
+	for i := range m.shards {
+		m.shards[i].procs = make(map[string]*entry)
+	}
 	return m
+}
+
+// fnv1a is the 32-bit FNV-1a hash, inlined so shard selection costs a few
+// nanoseconds and zero allocations.
+func fnv1a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (m *Monitor) shardFor(id string) *shard {
+	return &m.shards[fnv1a(id)&m.shardMask]
+}
+
+// lookup returns the live entry for id, or nil.
+func (m *Monitor) lookup(id string) *entry {
+	sh := m.shardFor(id)
+	sh.mu.RLock()
+	e := sh.procs[id]
+	sh.mu.RUnlock()
+	return e
 }
 
 // Register adds a monitored process. It returns ErrAlreadyRegistered if
 // the id is already present.
 func (m *Monitor) Register(id string) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if _, ok := m.procs[id]; ok {
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.procs[id]; ok {
 		return fmt.Errorf("%w: %q", ErrAlreadyRegistered, id)
 	}
-	m.procs[id] = m.factory(id, m.clk.Now())
+	sh.procs[id] = &entry{det: m.factory(id, m.clk.Now())}
 	return nil
 }
 
 // Deregister removes a monitored process and reports whether it was
 // present.
 func (m *Monitor) Deregister(id string) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	_, ok := m.procs[id]
-	delete(m.procs, id)
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	e, ok := sh.procs[id]
+	delete(sh.procs, id)
+	sh.mu.Unlock()
+	if ok {
+		e.removed.Store(true)
+	}
 	return ok
+}
+
+// Known reports whether id is currently registered, without evaluating
+// its detector — the cheap existence probe App.Status uses so that one
+// application query costs exactly one detector evaluation.
+func (m *Monitor) Known(id string) bool {
+	return m.lookup(id) != nil
+}
+
+// Len returns the number of monitored processes.
+func (m *Monitor) Len() int {
+	n := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		n += len(sh.procs)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // Processes returns the sorted ids of all monitored processes.
 func (m *Monitor) Processes() []string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	ids := make([]string, 0, len(m.procs))
-	for id := range m.procs {
-		ids = append(ids, id)
-	}
+	ids := m.appendIDs(nil)
 	sort.Strings(ids)
 	return ids
 }
 
+// appendIDs appends every monitored id to buf (unsorted, shard by shard)
+// and returns the extended slice. Callers that poll repeatedly pass their
+// previous buffer back to avoid re-allocating.
+func (m *Monitor) appendIDs(buf []string) []string {
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		for id := range sh.procs {
+			buf = append(buf, id)
+		}
+		sh.mu.RUnlock()
+	}
+	return buf
+}
+
 // Heartbeat routes a heartbeat to the detector of its sender,
-// registering the sender first when auto-registration is on.
+// registering the sender first when auto-registration is on. A process
+// auto-registered by a heartbeat is stamped with the heartbeat's arrival
+// time when it carries one, so replayed or simulated streams do not skew
+// the first inter-arrival sample with the ingestion-time clock reading.
 func (m *Monitor) Heartbeat(hb core.Heartbeat) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	det, ok := m.procs[hb.From]
-	if !ok {
+	sh := m.shardFor(hb.From)
+	sh.mu.RLock()
+	e := sh.procs[hb.From]
+	sh.mu.RUnlock()
+	if e == nil {
 		if !m.autoRegister {
 			return fmt.Errorf("%w: %q", ErrUnknownProcess, hb.From)
 		}
-		det = m.factory(hb.From, m.clk.Now())
-		m.procs[hb.From] = det
+		start := hb.Arrived
+		if start.IsZero() {
+			start = m.clk.Now()
+		}
+		sh.mu.Lock()
+		if e = sh.procs[hb.From]; e == nil {
+			e = &entry{det: m.factory(hb.From, start)}
+			sh.procs[hb.From] = e
+		}
+		sh.mu.Unlock()
 	}
-	det.Report(hb)
+	e.report(hb)
 	return nil
 }
 
 // Suspicion returns the current suspicion level of one process.
 func (m *Monitor) Suspicion(id string) (core.Level, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	det, ok := m.procs[id]
-	if !ok {
+	e := m.lookup(id)
+	if e == nil {
 		return 0, fmt.Errorf("%w: %q", ErrUnknownProcess, id)
 	}
-	return det.Suspicion(m.clk.Now()), nil
+	return e.level(m.clk.Now()), nil
+}
+
+// procRef pairs an id with its entry during shard iteration; the slices
+// are pooled so steady-state EachLevel/Snapshot/Ranked traffic does not
+// re-allocate the scratch space on every call.
+type procRef struct {
+	id string
+	e  *entry
+}
+
+var refPool = sync.Pool{
+	New: func() any {
+		s := make([]procRef, 0, 64)
+		return &s
+	},
+}
+
+// EachLevel calls fn with every monitored process and its suspicion level
+// at one clock reading. It walks the registry shard by shard — heartbeats
+// to other shards proceed while one shard is being read — holding no
+// locks at all while fn runs.
+func (m *Monitor) EachLevel(fn func(id string, lvl core.Level)) {
+	now := m.clk.Now()
+	refs := refPool.Get().(*[]procRef)
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		*refs = (*refs)[:0]
+		for id, e := range sh.procs {
+			*refs = append(*refs, procRef{id, e})
+		}
+		sh.mu.RUnlock()
+		for _, r := range *refs {
+			fn(r.id, r.e.level(now))
+		}
+	}
+	*refs = (*refs)[:0]
+	refPool.Put(refs)
 }
 
 // Snapshot returns the suspicion level of every monitored process at one
-// instant.
+// clock reading.
 func (m *Monitor) Snapshot() map[string]core.Level {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	now := m.clk.Now()
-	out := make(map[string]core.Level, len(m.procs))
-	for id, det := range m.procs {
-		out[id] = det.Suspicion(now)
-	}
+	out := make(map[string]core.Level, m.Len())
+	m.EachLevel(func(id string, lvl core.Level) { out[id] = lvl })
 	return out
 }
 
@@ -153,18 +338,22 @@ func (m *Monitor) Snapshot() map[string]core.Level {
 // interpreters share its notion of time.
 func (m *Monitor) Now() time.Time { return m.clk.Now() }
 
-// levelFunc returns a LevelFunc reading one process's level through the
-// monitor's lock. The returned function reports zero for deregistered
-// processes.
+// levelFunc returns a LevelFunc reading one process's level. The handle
+// caches the per-process entry so steady-state queries skip the registry
+// lookup entirely, re-resolving only after a deregistration (which may
+// find a re-registered successor, or nothing — then it reports zero).
 func (m *Monitor) levelFunc(id string) transform.LevelFunc {
+	var cached *entry
 	return func(now time.Time) core.Level {
-		m.mu.Lock()
-		defer m.mu.Unlock()
-		det, ok := m.procs[id]
-		if !ok {
-			return 0
+		e := cached
+		if e == nil || e.removed.Load() {
+			e = m.lookup(id)
+			cached = e
+			if e == nil {
+				return 0
+			}
 		}
-		return det.Suspicion(now)
+		return e.level(now)
 	}
 }
 
@@ -211,8 +400,10 @@ type App struct {
 	policy  Policy
 	onTrans TransitionHandler
 
-	mu    sync.Mutex
-	views map[string]*appView
+	mu      sync.Mutex
+	views   map[string]*appView
+	pollIDs []string        // reused id scratch across Poll calls
+	current map[string]bool // reused membership scratch across Poll calls
 }
 
 type appView struct {
@@ -236,6 +427,7 @@ func (m *Monitor) NewApp(name string, policy Policy, opts ...AppOption) *App {
 		monitor: m,
 		policy:  policy,
 		views:   make(map[string]*appView),
+		current: make(map[string]bool),
 	}
 	for _, opt := range opts {
 		opt(a)
@@ -256,13 +448,15 @@ func (a *App) view(id string) *appView {
 }
 
 // Status queries this application's binary view of one process. Each call
-// is one query in the oracle model (stateful policies advance on it).
+// is one query in the oracle model (stateful policies advance on it) and
+// costs exactly one detector evaluation: existence is checked without
+// reading the suspicion level.
 func (a *App) Status(id string) (core.Status, error) {
+	if !a.monitor.Known(id) {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownProcess, id)
+	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if _, err := a.monitor.Suspicion(id); err != nil {
-		return 0, err
-	}
 	now := a.monitor.Now()
 	v := a.view(id)
 	s := v.bin.Query(now)
@@ -275,14 +469,14 @@ func (a *App) Status(id string) (core.Status, error) {
 // from the monitor are pruned, so long-lived applications do not
 // accumulate state for departed processes.
 func (a *App) Poll() []string {
-	ids := a.monitor.Processes()
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	a.pollIDs = a.monitor.appendIDs(a.pollIDs[:0])
 	now := a.monitor.Now()
-	current := make(map[string]bool, len(ids))
+	clear(a.current)
 	var suspects []string
-	for _, id := range ids {
-		current[id] = true
+	for _, id := range a.pollIDs {
+		a.current[id] = true
 		v := a.view(id)
 		s := v.bin.Query(now)
 		a.noteTransition(id, v, s, now)
@@ -291,10 +485,11 @@ func (a *App) Poll() []string {
 		}
 	}
 	for id := range a.views {
-		if !current[id] {
+		if !a.current[id] {
 			delete(a.views, id)
 		}
 	}
+	sort.Strings(suspects)
 	return suspects
 }
 
@@ -316,11 +511,10 @@ func (a *App) noteTransition(id string, v *appView, s core.Status, now time.Time
 // suspected (ties broken by id) — the worker-ranking usage pattern of the
 // paper's Bag-of-Tasks example (§1.3).
 func (m *Monitor) Ranked() []RankedProcess {
-	snap := m.Snapshot()
-	out := make([]RankedProcess, 0, len(snap))
-	for id, lvl := range snap {
+	out := make([]RankedProcess, 0, m.Len())
+	m.EachLevel(func(id string, lvl core.Level) {
 		out = append(out, RankedProcess{ID: id, Level: lvl})
-	}
+	})
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Level != out[j].Level {
 			return out[i].Level < out[j].Level

@@ -2,6 +2,7 @@ package service
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -289,6 +290,151 @@ func TestMonitorConcurrentAccess(t *testing.T) {
 	wg.Wait()
 	if got := len(m.Processes()); got != 4 {
 		t.Errorf("processes = %d, want 4", got)
+	}
+}
+
+func TestKnown(t *testing.T) {
+	m, clk := newTestMonitor()
+	if m.Known("p") {
+		t.Error("Known before registration")
+	}
+	_ = m.Heartbeat(hb("p", 1, clk.Now()))
+	if !m.Known("p") {
+		t.Error("not Known after heartbeat")
+	}
+	m.Deregister("p")
+	if m.Known("p") {
+		t.Error("Known after deregistration")
+	}
+}
+
+func TestLen(t *testing.T) {
+	m, clk := newTestMonitor()
+	if m.Len() != 0 {
+		t.Errorf("Len = %d, want 0", m.Len())
+	}
+	for i := 0; i < 100; i++ {
+		_ = m.Heartbeat(hb(fmt.Sprintf("p%d", i), 1, clk.Now()))
+	}
+	if m.Len() != 100 {
+		t.Errorf("Len = %d, want 100", m.Len())
+	}
+}
+
+// TestHeartbeatAutoRegisterStampsArrival verifies that a process created
+// by auto-registration gets the heartbeat's arrival time as its detector
+// start time — not the ingestion-time clock reading — so replayed or
+// simulated heartbeat streams don't skew the first inter-arrival sample.
+func TestHeartbeatAutoRegisterStampsArrival(t *testing.T) {
+	var starts []time.Time
+	clk := clock.NewManual(start)
+	m := NewMonitor(clk, func(_ string, st time.Time) core.Detector {
+		starts = append(starts, st)
+		return simple.New(st)
+	})
+	arrived := start.Add(-30 * time.Second) // replayed: before "now"
+	if err := m.Heartbeat(hb("replayed", 1, arrived)); err != nil {
+		t.Fatal(err)
+	}
+	// A heartbeat without an arrival stamp falls back to the clock.
+	if err := m.Heartbeat(core.Heartbeat{From: "live", Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if len(starts) != 2 {
+		t.Fatalf("factory calls = %d, want 2", len(starts))
+	}
+	if !starts[0].Equal(arrived) {
+		t.Errorf("replayed start = %v, want %v", starts[0], arrived)
+	}
+	if !starts[1].Equal(start) {
+		t.Errorf("live start = %v, want clock now %v", starts[1], start)
+	}
+}
+
+// countingDetector counts Suspicion evaluations.
+type countingDetector struct {
+	simple.Detector
+	evals int
+}
+
+func (d *countingDetector) Suspicion(now time.Time) core.Level {
+	d.evals++
+	return d.Detector.Suspicion(now)
+}
+
+// TestAppStatusSingleEvaluation pins the satellite fix for the doubled
+// detector query: one App.Status call must evaluate the underlying
+// detector exactly once (the old existence probe via Monitor.Suspicion
+// read a level and threw it away).
+func TestAppStatusSingleEvaluation(t *testing.T) {
+	var det *countingDetector
+	clk := clock.NewManual(start)
+	m := NewMonitor(clk, func(_ string, st time.Time) core.Detector {
+		det = &countingDetector{Detector: *simple.New(st)}
+		return det
+	})
+	_ = m.Heartbeat(hb("p", 1, clk.Now()))
+	app := m.NewApp("app", ConstantPolicy(1))
+	if _, err := app.Status("p"); err != nil {
+		t.Fatal(err)
+	}
+	if det.evals != 1 {
+		t.Errorf("detector evaluations per Status = %d, want 1", det.evals)
+	}
+}
+
+func TestWithShardCount(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{-3, 1}, {1, 1}, {3, 4}, {64, 64}, {100, 128}, {1 << 20, 1 << 16},
+	} {
+		m := NewMonitor(clock.NewManual(start), simpleFactory, WithShardCount(tc.in))
+		if got := len(m.shards); got != tc.want {
+			t.Errorf("WithShardCount(%d): shards = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	// All operations still work with a single shard.
+	m := NewMonitor(clock.NewManual(start), simpleFactory, WithShardCount(1))
+	for i := 0; i < 50; i++ {
+		_ = m.Heartbeat(hb(fmt.Sprintf("p%d", i), 1, m.Now()))
+	}
+	if got := m.Len(); got != 50 {
+		t.Errorf("Len = %d, want 50", got)
+	}
+	if got := len(m.Processes()); got != 50 {
+		t.Errorf("Processes = %d, want 50", got)
+	}
+}
+
+// TestLevelFuncSurvivesReregistration ensures an App view's cached
+// per-process handle re-resolves after a deregister/register cycle
+// instead of reading the orphaned detector.
+func TestLevelFuncSurvivesReregistration(t *testing.T) {
+	m, clk := newTestMonitor()
+	_ = m.Heartbeat(hb("p", 1, clk.Now()))
+	app := m.NewApp("app", ConstantPolicy(2))
+	clk.Advance(5 * time.Second)
+	if s, _ := app.Status("p"); s != core.Suspected {
+		t.Fatalf("stale status = %v, want suspected", s)
+	}
+	m.Deregister("p")
+	// Re-register with a fresh heartbeat: the level resets to zero, so
+	// the existing view must flip back to trusted.
+	_ = m.Heartbeat(hb("p", 1, clk.Now()))
+	if s, err := app.Status("p"); err != nil || s != core.Trusted {
+		t.Errorf("re-registered status = %v (%v), want trusted", s, err)
+	}
+}
+
+func TestEachLevel(t *testing.T) {
+	m, clk := newTestMonitor()
+	_ = m.Heartbeat(hb("a", 1, clk.Now()))
+	clk.Advance(2 * time.Second)
+	_ = m.Heartbeat(hb("b", 1, clk.Now()))
+	clk.Advance(time.Second)
+	got := map[string]core.Level{}
+	m.EachLevel(func(id string, lvl core.Level) { got[id] = lvl })
+	if len(got) != 2 || got["a"] != 3 || got["b"] != 1 {
+		t.Errorf("EachLevel = %v", got)
 	}
 }
 

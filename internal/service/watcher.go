@@ -2,6 +2,7 @@ package service
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -21,7 +22,7 @@ type Watcher struct {
 	mu      sync.Mutex
 	done    chan struct{}
 	stopped chan struct{}
-	polls   int64
+	polls   atomic.Int64
 }
 
 // WatcherOption configures a Watcher.
@@ -68,19 +69,13 @@ func (w *Watcher) loop() {
 			return
 		case <-w.ticks():
 			w.app.Poll()
-			w.mu.Lock()
-			w.polls++
-			w.mu.Unlock()
+			w.polls.Add(1)
 		}
 	}
 }
 
 // Polls returns how many poll rounds have completed.
-func (w *Watcher) Polls() int64 {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.polls
-}
+func (w *Watcher) Polls() int64 { return w.polls.Load() }
 
 // Stop terminates the watcher and waits for its goroutine to exit. Stop
 // is idempotent and safe to call concurrently.

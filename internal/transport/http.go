@@ -176,7 +176,10 @@ func (a *API) handleHistory(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *API) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, map[string]string{
+		"status":    "ok",
+		"processes": strconv.Itoa(a.mon.Len()),
+	})
 }
 
 // jsonLevel clamps non-finite levels to the largest finite float64 so the

@@ -69,6 +69,48 @@ func TestSenderListenerEndToEnd(t *testing.T) {
 	}
 }
 
+// TestListenerIngestWorkers exercises the parallel ingest pool: many
+// senders, hash-routed workers, and per-process sequence ordering must
+// survive (the monitor's detectors reject out-of-order sequences, so a
+// full registration with fresh levels proves order was preserved).
+func TestListenerIngestWorkers(t *testing.T) {
+	mon := newMonitor()
+	l, err := Listen("127.0.0.1:0", mon, WithIngestWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	const senders = 8
+	for i := 0; i < senders; i++ {
+		s, err := NewSender("w"+string(rune('a'+i)), l.Addr().String(), 10*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer s.Stop()
+	}
+
+	waitUntil(t, 3*time.Second, func() bool {
+		received, _ := l.Stats()
+		return received >= senders*3 && mon.Len() == senders
+	})
+	for _, id := range mon.Processes() {
+		lvl, err := mon.Suspicion(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if lvl > 1 {
+			t.Errorf("%s: suspicion = %v, want small while heartbeats flow", id, lvl)
+		}
+	}
+	if _, rejected := l.Stats(); rejected != 0 {
+		t.Errorf("rejected = %d, want 0", rejected)
+	}
+}
+
 func TestSenderStopIdempotent(t *testing.T) {
 	mon := newMonitor()
 	l, err := Listen("127.0.0.1:0", mon)

@@ -5,6 +5,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"accrual/internal/clock"
@@ -136,16 +137,25 @@ func (s *Sender) Stop() {
 // service.Monitor, stamping arrival times with the monitor host's clock —
 // the monitoring side of §5.1. Create one with Listen; Close stops and
 // joins the read loop.
+//
+// By default decoded heartbeats are ingested synchronously from the read
+// loop. With WithIngestWorkers the listener instead fans packets out to a
+// pool of ingest goroutines, routed by an FNV-1a hash of the sender id —
+// the same hash the Monitor shards on — so heartbeats from one process
+// are always ingested in arrival order while different processes proceed
+// on different cores.
 type Listener struct {
-	conn *net.UDPConn
-	clk  clock.Clock
-	mon  *service.Monitor
+	conn    *net.UDPConn
+	clk     clock.Clock
+	mon     *service.Monitor
+	workers int
 
+	queues  []chan core.Heartbeat
+	wg      sync.WaitGroup
 	stopped chan struct{}
 
-	mu       sync.Mutex
-	received uint64
-	rejected uint64
+	received atomic.Uint64
+	rejected atomic.Uint64
 }
 
 // ListenerOption configures a Listener.
@@ -155,6 +165,15 @@ type ListenerOption func(*Listener)
 // (default: the wall clock).
 func WithListenerClock(clk clock.Clock) ListenerOption {
 	return func(l *Listener) { l.clk = clk }
+}
+
+// WithIngestWorkers enables parallel heartbeat ingestion with n worker
+// goroutines (n < 1 keeps the synchronous single-loop default). Workers
+// apply backpressure: when every ingest queue is full the read loop
+// blocks and the kernel socket buffer absorbs — and eventually drops —
+// the excess, which is exactly heartbeat semantics under overload.
+func WithIngestWorkers(n int) ListenerOption {
+	return func(l *Listener) { l.workers = n }
 }
 
 // Listen binds a UDP socket on addr (host:port, port 0 for ephemeral) and
@@ -177,6 +196,14 @@ func Listen(addr string, mon *service.Monitor, opts ...ListenerOption) (*Listene
 	for _, opt := range opts {
 		opt(l)
 	}
+	if l.workers > 0 {
+		l.queues = make([]chan core.Heartbeat, l.workers)
+		for i := range l.queues {
+			l.queues[i] = make(chan core.Heartbeat, 256)
+			l.wg.Add(1)
+			go l.ingest(l.queues[i])
+		}
+	}
 	go l.loop()
 	return l, nil
 }
@@ -185,7 +212,13 @@ func Listen(addr string, mon *service.Monitor, opts ...ListenerOption) (*Listene
 func (l *Listener) Addr() net.Addr { return l.conn.LocalAddr() }
 
 func (l *Listener) loop() {
-	defer close(l.stopped)
+	defer func() {
+		for _, q := range l.queues {
+			close(q)
+		}
+		l.wg.Wait()
+		close(l.stopped)
+	}()
 	buf := make([]byte, MaxPacketSize)
 	for {
 		n, _, err := l.conn.ReadFromUDP(buf)
@@ -194,32 +227,52 @@ func (l *Listener) loop() {
 		}
 		hb, err := UnmarshalHeartbeat(buf[:n])
 		if err != nil {
-			l.count(&l.rejected)
+			l.rejected.Add(1)
 			continue
 		}
 		hb.Arrived = l.clk.Now()
-		if err := l.mon.Heartbeat(hb); err != nil {
-			l.count(&l.rejected)
+		if l.queues == nil {
+			l.deliver(hb)
 			continue
 		}
-		l.count(&l.received)
+		l.queues[fnv1a(hb.From)%uint32(len(l.queues))] <- hb
 	}
 }
 
-func (l *Listener) count(c *uint64) {
-	l.mu.Lock()
-	*c++
-	l.mu.Unlock()
+// ingest drains one worker queue into the monitor.
+func (l *Listener) ingest(q <-chan core.Heartbeat) {
+	defer l.wg.Done()
+	for hb := range q {
+		l.deliver(hb)
+	}
+}
+
+func (l *Listener) deliver(hb core.Heartbeat) {
+	if err := l.mon.Heartbeat(hb); err != nil {
+		l.rejected.Add(1)
+		return
+	}
+	l.received.Add(1)
+}
+
+// fnv1a is the 32-bit FNV-1a hash used for worker routing; it matches the
+// Monitor's shard hash so one process's heartbeats stay on one worker.
+func fnv1a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
 }
 
 // Stats returns how many heartbeats were accepted and rejected.
 func (l *Listener) Stats() (received, rejected uint64) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.received, l.rejected
+	return l.received.Load(), l.rejected.Load()
 }
 
-// Close stops the read loop and waits for it to exit.
+// Close stops the read loop, drains the ingest workers and waits for all
+// of them to exit.
 func (l *Listener) Close() error {
 	err := l.conn.Close()
 	<-l.stopped
