@@ -67,6 +67,12 @@ type (
 	Status = core.Status
 	// Transition is one S- or T-transition of a binary detector.
 	Transition = core.Transition
+	// State is the exportable learned state of one detector — the
+	// payload of warm restarts and live state handoff.
+	State = core.State
+	// Snapshotter is implemented by detectors whose learned state can be
+	// exported and restored. All detectors in this package implement it.
+	Snapshotter = core.Snapshotter
 )
 
 // Binary detector statuses.
@@ -94,6 +100,12 @@ type (
 	TransitionHandler = service.TransitionHandler
 	// Clock abstracts the local clock (wall clock, simulated, manual).
 	Clock = clock.Clock
+	// MonitorState is a snapshot of every snapshotable detector in a
+	// Monitor, produced by Monitor.ExportState and consumed by
+	// Monitor.ImportState — the unit of warm restart and state handoff.
+	MonitorState = service.MonitorState
+	// ProcessState pairs one process id with its detector's state.
+	ProcessState = service.ProcessState
 )
 
 // WithTransitionHandler registers a callback invoked on every transition
@@ -174,9 +186,9 @@ func NewMonitor(clk Clock, factory func(id string, start time.Time) Detector, op
 }
 
 // WithShardCount fixes the monitor registry's shard count (rounded up to
-// the next power of two). The default of 64 suits almost every
-// deployment; raise it only for very large memberships with heavy
-// registration churn.
+// the next power of two; counts below one fall back to the default). The
+// default of 64 suits almost every deployment; raise it only for very
+// large memberships with heavy registration churn.
 func WithShardCount(n int) MonitorOption { return service.WithShardCount(n) }
 
 // WithoutAutoRegister makes the monitor reject heartbeats from processes

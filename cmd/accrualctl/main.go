@@ -14,6 +14,14 @@
 //	    poll and print the level periodically
 //	accrualctl history -id node-1 [-api ...]
 //	    print the daemon's recorded level samples for a process
+//	accrualctl state dump [-api ...] [-o state.bin]
+//	    download the daemon's detector state (binary snapshot)
+//	accrualctl state restore [-api ...] [-i state.bin]
+//	    upload a snapshot into a (typically fresh) daemon
+//
+// `state dump | state restore` is the live handoff path: pipe one
+// daemon's learned estimator state straight into its replacement so the
+// new daemon starts warm instead of re-learning the network.
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"net/url"
 	"os"
@@ -55,6 +64,8 @@ func run(args []string) int {
 		err = cmdWatch(args[1:])
 	case "history":
 		err = cmdHistory(args[1:])
+	case "state":
+		err = cmdState(args[1:])
 	default:
 		usage()
 		return 2
@@ -67,7 +78,7 @@ func run(args []string) int {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: accrualctl <beat|ls|get|status|watch|history> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: accrualctl <beat|ls|get|status|watch|history|state> [flags]")
 }
 
 func cmdHistory(args []string) error {
@@ -87,6 +98,95 @@ func cmdHistory(args []string) error {
 	for _, s := range resp.Samples {
 		fmt.Printf("%s  %.6f\n", s.At.Format(time.RFC3339Nano), s.Level)
 	}
+	return nil
+}
+
+func cmdState(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: accrualctl state <dump|restore> [flags]")
+	}
+	switch args[0] {
+	case "dump":
+		return cmdStateDump(args[1:])
+	case "restore":
+		return cmdStateRestore(args[1:])
+	default:
+		return fmt.Errorf("unknown state subcommand %q (want dump or restore)", args[0])
+	}
+}
+
+func cmdStateDump(args []string) error {
+	fs := flag.NewFlagSet("state dump", flag.ContinueOnError)
+	api := fs.String("api", "http://127.0.0.1:8080", "daemon HTTP address")
+	out := fs.String("o", "", "write the snapshot here (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	resp, err := http.Get(*api + "/v1/state")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/v1/state: %s", resp.Status)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	n, err := io.Copy(w, resp.Body)
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %d bytes to %s\n", n, *out)
+	}
+	return nil
+}
+
+func cmdStateRestore(args []string) error {
+	fs := flag.NewFlagSet("state restore", flag.ContinueOnError)
+	api := fs.String("api", "http://127.0.0.1:8080", "daemon HTTP address")
+	in := fs.String("i", "", "read the snapshot from here (default stdin)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	req, err := http.NewRequest(http.MethodPut, *api+"/v1/state", r)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("/v1/state: %s (%s)", resp.Status, e.Error)
+	}
+	var restored transport.StateRestoreResponse
+	if err := json.NewDecoder(resp.Body).Decode(&restored); err != nil {
+		return err
+	}
+	fmt.Printf("restored %d processes\n", restored.Restored)
 	return nil
 }
 

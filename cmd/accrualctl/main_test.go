@@ -2,6 +2,8 @@ package main
 
 import (
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -10,6 +12,7 @@ import (
 	"accrual/internal/service"
 	"accrual/internal/simple"
 	"accrual/internal/transport"
+	"accrual/internal/transport/statecodec"
 )
 
 func newAPIServer(t *testing.T) (*httptest.Server, *clock.Manual, *service.Monitor) {
@@ -69,6 +72,53 @@ func TestGetAndStatusAgainstLiveAPI(t *testing.T) {
 func TestAPIUnreachable(t *testing.T) {
 	if code := run([]string{"ls", "-api", "http://127.0.0.1:1"}); code != 1 {
 		t.Errorf("unreachable API exit = %d, want 1", code)
+	}
+}
+
+func TestStateDumpRestore(t *testing.T) {
+	srv, clk, mon := newAPIServer(t)
+	_ = mon.Heartbeat(core.Heartbeat{From: "n1", Seq: 1, Arrived: clk.Now()})
+	clk.Advance(time.Second)
+	_ = mon.Heartbeat(core.Heartbeat{From: "n1", Seq: 2, Arrived: clk.Now()})
+
+	dir := t.TempDir()
+	dump := filepath.Join(dir, "state.bin")
+	if code := run([]string{"state", "dump", "-api", srv.URL, "-o", dump}); code != 0 {
+		t.Fatalf("state dump exit = %d", code)
+	}
+	data, err := os.ReadFile(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err := statecodec.Decode(data); err != nil || st.Len() != 1 {
+		t.Fatalf("dumped state: %v procs, %v", st.Len(), err)
+	}
+
+	// Restore into a second fresh daemon.
+	srv2, _, mon2 := newAPIServer(t)
+	if code := run([]string{"state", "restore", "-api", srv2.URL, "-i", dump}); code != 0 {
+		t.Fatalf("state restore exit = %d", code)
+	}
+	if !mon2.Known("n1") {
+		t.Error("restored daemon does not know n1")
+	}
+
+	// Error paths.
+	if code := run([]string{"state"}); code != 1 {
+		t.Errorf("bare state exit = %d, want 1", code)
+	}
+	if code := run([]string{"state", "frobnicate"}); code != 1 {
+		t.Errorf("unknown state subcommand exit = %d, want 1", code)
+	}
+	junk := filepath.Join(dir, "junk.bin")
+	if err := os.WriteFile(junk, []byte("junk"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"state", "restore", "-api", srv2.URL, "-i", junk}); code != 1 {
+		t.Errorf("junk restore exit = %d, want 1", code)
+	}
+	if code := run([]string{"state", "restore", "-api", srv2.URL, "-i", filepath.Join(dir, "absent")}); code != 1 {
+		t.Errorf("absent file restore exit = %d, want 1", code)
 	}
 }
 

@@ -6,6 +6,12 @@
 // Usage:
 //
 //	accruald [-udp :7946] [-http :8080] [-detector phi] [-interval 1s]
+//	         [-state-file accrual.state] [-state-interval 30s]
+//
+// With -state-file the daemon persists its detectors' learned state
+// (estimator windows, arrival cursors) periodically and on shutdown, and
+// warm-boots from the file on startup: a restarted daemon resumes with
+// calibrated estimators instead of re-learning the network from scratch.
 //
 // Monitored processes send heartbeats with `accrualctl beat` (or any
 // client speaking the packet format of internal/transport). Applications
@@ -26,6 +32,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"syscall"
 	"time"
@@ -38,6 +45,7 @@ import (
 	"accrual/internal/service"
 	"accrual/internal/simple"
 	"accrual/internal/transport"
+	"accrual/internal/transport/statecodec"
 )
 
 func main() {
@@ -54,14 +62,16 @@ func main() {
 func run(ctx context.Context, args []string, ready chan<- [2]string) error {
 	fs := flag.NewFlagSet("accruald", flag.ContinueOnError)
 	var (
-		udpAddr  = fs.String("udp", ":7946", "UDP address for incoming heartbeats")
-		httpAddr = fs.String("http", ":8080", "HTTP address for the query API")
-		detName  = fs.String("detector", "phi", "detector per process: phi, chen, kappa, simple")
-		interval = fs.Duration("interval", time.Second, "expected heartbeat interval")
-		logTrans = fs.Bool("log-transitions", true, "log S-/T-transitions observed by an internal Algorithm 1 view")
-		history  = fs.Int("history", 600, "level samples kept per process for /v1/history (0 disables)")
-		shards   = fs.Int("shards", 0, "monitor registry shard count, rounded up to a power of two (0 = default 64)")
-		ingestWk = fs.Int("ingest-workers", runtime.GOMAXPROCS(0), "parallel heartbeat ingest goroutines (0 = ingest from the read loop)")
+		udpAddr   = fs.String("udp", ":7946", "UDP address for incoming heartbeats")
+		httpAddr  = fs.String("http", ":8080", "HTTP address for the query API")
+		detName   = fs.String("detector", "phi", "detector per process: phi, chen, kappa, simple")
+		interval  = fs.Duration("interval", time.Second, "expected heartbeat interval")
+		logTrans  = fs.Bool("log-transitions", true, "log S-/T-transitions observed by an internal Algorithm 1 view")
+		history   = fs.Int("history", 600, "level samples kept per process for /v1/history (0 disables)")
+		shards    = fs.Int("shards", 0, "monitor registry shard count, rounded up to a power of two (0 = default 64)")
+		ingestWk  = fs.Int("ingest-workers", runtime.GOMAXPROCS(0), "parallel heartbeat ingest goroutines (0 = ingest from the read loop)")
+		stateFile = fs.String("state-file", "", "persist detector state here for warm restarts (empty disables)")
+		stateIntv = fs.Duration("state-interval", 30*time.Second, "period between state-file saves")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,6 +85,22 @@ func run(ctx context.Context, args []string, ready chan<- [2]string) error {
 		monOpts = append(monOpts, service.WithShardCount(*shards))
 	}
 	mon := service.NewMonitor(clock.Wall{}, factory, monOpts...)
+
+	// Warm boot: restore any persisted detector state before the
+	// listeners open, so the first heartbeats land on calibrated
+	// estimators. A missing file is a cold start, not an error.
+	if *stateFile != "" {
+		switch n, err := loadState(mon, *stateFile); {
+		case errors.Is(err, os.ErrNotExist):
+			log.Printf("state file %s absent: cold start", *stateFile)
+		case err != nil:
+			// A corrupt or mismatched state file must not keep the
+			// detector down; log and run cold.
+			log.Printf("warm boot from %s failed (running cold): %v", *stateFile, err)
+		default:
+			log.Printf("warm boot: restored %d processes from %s", n, *stateFile)
+		}
+	}
 
 	var lnOpts []transport.ListenerOption
 	if *ingestWk > 0 {
@@ -122,9 +148,38 @@ func run(ctx context.Context, args []string, ready chan<- [2]string) error {
 		ready <- [2]string{listener.Addr().String(), httpLn.Addr().String()}
 	}
 
+	// Periodic state persistence, so even a hard kill loses at most one
+	// save interval of learning.
+	saverDone := make(chan struct{})
+	if *stateFile != "" {
+		go func() {
+			defer close(saverDone)
+			ticker := time.NewTicker(*stateIntv)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					if err := saveState(mon, *stateFile); err != nil {
+						log.Printf("state save: %v", err)
+					}
+				}
+			}
+		}()
+	}
+
 	select {
 	case <-ctx.Done():
 		log.Print("shutting down")
+		if *stateFile != "" {
+			<-saverDone
+			if err := saveState(mon, *stateFile); err != nil {
+				log.Printf("final state save: %v", err)
+			} else {
+				log.Printf("state saved to %s", *stateFile)
+			}
+		}
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		return srv.Shutdown(shutCtx)
@@ -134,6 +189,44 @@ func run(ctx context.Context, args []string, ready chan<- [2]string) error {
 		}
 		return err
 	}
+}
+
+// saveState writes the monitor's exported state atomically: encode to a
+// temp file in the target directory, fsync, rename. A crash mid-save
+// leaves the previous snapshot intact.
+func saveState(mon *service.Monitor, path string) error {
+	data := statecodec.Encode(mon.ExportState())
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// loadState restores persisted state into the monitor, returning how
+// many processes were restored.
+func loadState(mon *service.Monitor, path string) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	st, err := statecodec.Decode(data)
+	if err != nil {
+		return 0, err
+	}
+	return mon.ImportState(st)
 }
 
 func detectorFactory(name string, interval time.Duration) (service.Factory, error) {

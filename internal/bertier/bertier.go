@@ -21,6 +21,7 @@
 package bertier
 
 import (
+	"fmt"
 	"math"
 	"time"
 
@@ -148,6 +149,45 @@ func (d *Detector) Suspicion(now time.Time) core.Level {
 	}
 	margin := d.Margin().Seconds()
 	return (core.Level(float64(lateness) / margin)).Quantize(d.eps)
+}
+
+// Snapshotable state identity (see core.State).
+const (
+	// StateKind identifies Bertier-detector state payloads.
+	StateKind = "bertier"
+	// StateVersion is the current payload schema version.
+	StateVersion = 1
+)
+
+var _ core.Snapshotter = (*Detector)(nil)
+
+// SnapshotState exports the detector's learned state: the Jacobson
+// smoothed lateness and deviation plus the embedded Chen estimator's
+// state as a nested payload.
+func (d *Detector) SnapshotState() core.State {
+	st := core.NewState(StateKind, StateVersion)
+	st.SetScalar("delay", d.delay)
+	st.SetScalar("dev", d.dev)
+	st.SetSub("estimator", d.est.SnapshotState())
+	return st
+}
+
+// RestoreState replaces the detector's learned state with a snapshot,
+// restoring both the Jacobson terms and the embedded estimator.
+func (d *Detector) RestoreState(st core.State) error {
+	if err := st.Check(StateKind, StateVersion); err != nil {
+		return err
+	}
+	sub, ok := st.SubOf("estimator")
+	if !ok {
+		return fmt.Errorf("bertier: state has no estimator payload")
+	}
+	if err := d.est.RestoreState(sub); err != nil {
+		return err
+	}
+	d.delay = st.Scalar("delay")
+	d.dev = st.Scalar("dev")
+	return nil
 }
 
 // Binary is the original Bertier binary detector: suspect iff the level

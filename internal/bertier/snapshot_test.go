@@ -1,0 +1,65 @@
+package bertier
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"accrual/internal/core"
+)
+
+func TestSnapshotRestore(t *testing.T) {
+	const interval = 100 * time.Millisecond
+	live := New(start, interval)
+	at := start
+	for i := 1; i <= 120; i++ {
+		at = at.Add(interval + time.Duration(i%9)*time.Millisecond)
+		live.Report(core.Heartbeat{From: "p", Seq: uint64(i), Arrived: at})
+	}
+
+	restored := New(start.Add(time.Hour), interval)
+	if err := restored.RestoreState(live.SnapshotState()); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	if got, want := restored.Margin(), live.Margin(); got != want {
+		if d := got - want; d > time.Microsecond || d < -time.Microsecond {
+			t.Errorf("Margin = %v, want %v", got, want)
+		}
+	}
+	for _, off := range []time.Duration{0, 80 * time.Millisecond, time.Second, 20 * time.Second} {
+		now := at.Add(off)
+		got, want := float64(restored.Suspicion(now)), float64(live.Suspicion(now))
+		if math.Abs(got-want) > 1e-6 {
+			t.Errorf("Suspicion(+%v) = %v, want %v", off, got, want)
+		}
+	}
+
+	// The Jacobson adaptation continues identically: the next heartbeat's
+	// error term updates both detectors the same way.
+	at = at.Add(interval + 40*time.Millisecond)
+	hb := core.Heartbeat{From: "p", Seq: 121, Arrived: at}
+	live.Report(hb)
+	restored.Report(hb)
+	now := at.Add(300 * time.Millisecond)
+	if got, want := float64(restored.Suspicion(now)), float64(live.Suspicion(now)); math.Abs(got-want) > 1e-6 {
+		t.Errorf("post-restore adaptation diverged: %v vs %v", got, want)
+	}
+}
+
+func TestRestoreRejectsForeignAndHollowState(t *testing.T) {
+	d := New(start, time.Second)
+	if err := d.RestoreState(core.NewState("phi", 1)); !errors.Is(err, core.ErrStateKind) {
+		t.Errorf("foreign kind = %v, want ErrStateKind", err)
+	}
+	// A bertier envelope without the nested estimator payload is invalid.
+	if err := d.RestoreState(core.NewState(StateKind, StateVersion)); err == nil {
+		t.Error("accepted state without estimator payload")
+	}
+	// A bertier envelope whose nested payload is of the wrong kind too.
+	bad := core.NewState(StateKind, StateVersion)
+	bad.SetSub("estimator", core.NewState("phi", 1))
+	if err := d.RestoreState(bad); !errors.Is(err, core.ErrStateKind) {
+		t.Errorf("foreign nested kind = %v, want ErrStateKind", err)
+	}
+}

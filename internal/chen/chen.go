@@ -128,6 +128,45 @@ func (d *Detector) Suspicion(now time.Time) core.Level {
 // LastSeq returns the largest sequence number received.
 func (d *Detector) LastSeq() uint64 { return d.snLast }
 
+// Snapshotable state identity (see core.State).
+const (
+	// StateKind identifies Chen-estimator state payloads.
+	StateKind = "chen"
+	// StateVersion is the current payload schema version.
+	StateVersion = 1
+)
+
+var _ core.Snapshotter = (*Detector)(nil)
+
+// SnapshotState exports the estimator's learned state: the start time
+// the window samples are relative to, the nominal interval they were
+// shifted by, the sequence cursor and the sample window itself.
+func (d *Detector) SnapshotState() core.State {
+	st := core.NewState(StateKind, StateVersion)
+	st.SetTime("start", d.start)
+	st.SetInt("interval", int64(d.interval))
+	st.SetUint("sn_last", d.snLast)
+	st.SetSeries("window", d.window.Samples(nil))
+	return st
+}
+
+// RestoreState replaces the estimator's learned state with a snapshot.
+// The start time and nominal interval are restored along with the
+// window, because the stored samples are A_i − η·s_i relative to both: a
+// snapshot is self-consistent even when the restoring factory was
+// configured with a different interval. When the receiving window is
+// smaller than the snapshot, only the newest samples are kept.
+func (d *Detector) RestoreState(st core.State) error {
+	if err := st.Check(StateKind, StateVersion); err != nil {
+		return err
+	}
+	d.start = st.Time("start")
+	d.interval = time.Duration(st.Int("interval"))
+	d.snLast = st.Uint("sn_last")
+	d.window.Restore(st.SeriesOf("window"))
+	return nil
+}
+
 // Binary is the original Chen et al. binary failure detector: suspect
 // if and only if now > EA + Alpha. It shares the estimator state of the
 // underlying accrual detector, illustrating the paper's point that the

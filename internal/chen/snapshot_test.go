@@ -1,0 +1,77 @@
+package chen
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"accrual/internal/core"
+)
+
+func TestSnapshotRestore(t *testing.T) {
+	const interval = 100 * time.Millisecond
+	live := New(start, interval)
+	at := start
+	for i := 1; i <= 150; i++ { // overflows the default window of 100
+		at = at.Add(interval + time.Duration(i%7)*time.Millisecond)
+		live.Report(core.Heartbeat{From: "p", Seq: uint64(i), Arrived: at})
+	}
+
+	// Restore into a detector built with a different start and interval:
+	// the snapshot must carry both, since the window samples are relative
+	// to them.
+	restored := New(start.Add(time.Hour), 42*time.Millisecond)
+	if err := restored.RestoreState(live.SnapshotState()); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	liveEA, ok1 := live.ExpectedArrival()
+	restEA, ok2 := restored.ExpectedArrival()
+	if !ok1 || !ok2 {
+		t.Fatal("expected arrival unavailable after restore")
+	}
+	if d := restEA.Sub(liveEA); d < -time.Microsecond || d > time.Microsecond {
+		t.Errorf("ExpectedArrival drifted by %v after restore", d)
+	}
+	for _, off := range []time.Duration{0, 30 * time.Millisecond, 2 * time.Second} {
+		now := at.Add(off)
+		got, want := restored.Suspicion(now), live.Suspicion(now)
+		if diff := float64(got - want); diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("Suspicion(+%v) = %v, want %v", off, got, want)
+		}
+	}
+
+	// Both detectors keep agreeing as the stream continues.
+	for i := 151; i <= 160; i++ {
+		at = at.Add(interval)
+		hb := core.Heartbeat{From: "p", Seq: uint64(i), Arrived: at}
+		live.Report(hb)
+		restored.Report(hb)
+	}
+	now := at.Add(time.Second)
+	if got, want := restored.Suspicion(now), live.Suspicion(now); float64(got-want) > 1e-6 || float64(want-got) > 1e-6 {
+		t.Errorf("post-restore stream diverged: %v vs %v", got, want)
+	}
+}
+
+func TestRestoreIntoSmallerWindowKeepsNewest(t *testing.T) {
+	live := New(start, 100*time.Millisecond)
+	at := start
+	for i := 1; i <= 50; i++ {
+		at = at.Add(100 * time.Millisecond)
+		live.Report(core.Heartbeat{From: "p", Seq: uint64(i), Arrived: at})
+	}
+	restored := New(start, 100*time.Millisecond, WithWindowSize(10))
+	if err := restored.RestoreState(live.SnapshotState()); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	if got := restored.window.Len(); got != 10 {
+		t.Errorf("window len = %d, want 10", got)
+	}
+}
+
+func TestRestoreRejectsForeignState(t *testing.T) {
+	d := New(start, time.Second)
+	if err := d.RestoreState(core.NewState("simple", 1)); !errors.Is(err, core.ErrStateKind) {
+		t.Errorf("foreign kind = %v, want ErrStateKind", err)
+	}
+}

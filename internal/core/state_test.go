@@ -1,0 +1,118 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestStateFieldRoundTrip(t *testing.T) {
+	st := NewState("phi", 1)
+	st.SetScalar("mean", 0.25)
+	st.SetInt("offset", -42)
+	st.SetUint("sn_last", 7)
+	st.SetBool("has_last", true)
+	at := time.Date(2005, 3, 22, 1, 2, 3, 4, time.UTC)
+	st.SetTime("last", at)
+	st.SetSeries("intervals", []float64{0.1, 0.2})
+	sub := NewState("chen", 1)
+	sub.SetUint("sn_last", 7)
+	st.SetSub("estimator", sub)
+
+	if got := st.Scalar("mean"); got != 0.25 {
+		t.Errorf("Scalar = %v", got)
+	}
+	if got := st.Int("offset"); got != -42 {
+		t.Errorf("Int = %v", got)
+	}
+	if got := st.Uint("sn_last"); got != 7 {
+		t.Errorf("Uint = %v", got)
+	}
+	if !st.Bool("has_last") {
+		t.Error("Bool = false")
+	}
+	if got := st.Time("last"); !got.Equal(at) {
+		t.Errorf("Time = %v, want %v", got, at)
+	}
+	if got := st.SeriesOf("intervals"); len(got) != 2 || got[0] != 0.1 {
+		t.Errorf("SeriesOf = %v", got)
+	}
+	got, ok := st.SubOf("estimator")
+	if !ok || got.Kind != "chen" || got.Uint("sn_last") != 7 {
+		t.Errorf("SubOf = %+v, %v", got, ok)
+	}
+}
+
+func TestStateAbsentFields(t *testing.T) {
+	var st State
+	if st.Scalar("x") != 0 || st.Int("x") != 0 || st.Uint("x") != 0 || st.Bool("x") {
+		t.Error("absent fields should read as zero")
+	}
+	if !st.Time("x").IsZero() {
+		t.Error("absent time should be zero")
+	}
+	if st.SeriesOf("x") != nil {
+		t.Error("absent series should be nil")
+	}
+	if _, ok := st.SubOf("x"); ok {
+		t.Error("absent sub should report !ok")
+	}
+}
+
+func TestStateZeroTimeIsAbsence(t *testing.T) {
+	st := NewState("simple", 1)
+	st.SetTime("last", time.Time{})
+	if _, ok := st.Ints["last"]; ok {
+		t.Error("zero time should not be stored")
+	}
+	// A legitimate Unix-epoch reading is not the zero time and survives.
+	epoch := time.Unix(0, 0)
+	st.SetTime("last", epoch)
+	if got := st.Time("last"); !got.Equal(epoch) {
+		t.Errorf("epoch round trip = %v", got)
+	}
+	// Overwriting with the zero time removes the field again.
+	st.SetTime("last", time.Time{})
+	if !st.Time("last").IsZero() {
+		t.Error("zero time overwrite should remove the field")
+	}
+}
+
+func TestStateCheck(t *testing.T) {
+	st := NewState("phi", 1)
+	if err := st.Check("phi", 1); err != nil {
+		t.Errorf("matching check failed: %v", err)
+	}
+	if err := st.Check("chen", 1); !errors.Is(err, ErrStateKind) {
+		t.Errorf("kind mismatch = %v, want ErrStateKind", err)
+	}
+	st.Version = 9
+	if err := st.Check("phi", 1); !errors.Is(err, ErrStateVersion) {
+		t.Errorf("future version = %v, want ErrStateVersion", err)
+	}
+	st.Version = 0
+	if err := st.Check("phi", 1); !errors.Is(err, ErrStateVersion) {
+		t.Errorf("zero version = %v, want ErrStateVersion", err)
+	}
+}
+
+func TestStateClone(t *testing.T) {
+	st := NewState("phi", 1)
+	st.SetScalar("mean", 1)
+	st.SetSeries("w", []float64{1, 2, 3})
+	sub := NewState("chen", 1)
+	sub.SetSeries("w", []float64{4})
+	st.SetSub("estimator", sub)
+
+	cp := st.Clone()
+	cp.Scalars["mean"] = 9
+	cp.Series["w"][0] = 9
+	cp.Sub["estimator"].Series["w"][0] = 9
+
+	if st.Scalar("mean") != 1 || st.Series["w"][0] != 1 {
+		t.Error("clone shares scalar/series memory with original")
+	}
+	if st.Sub["estimator"].Series["w"][0] != 4 {
+		t.Error("clone shares nested series memory with original")
+	}
+}

@@ -306,6 +306,48 @@ func (d *Detector) Suspicion(now time.Time) core.Level {
 	return core.Level(sum).Quantize(d.eps)
 }
 
+// Snapshotable state identity (see core.State).
+const (
+	// StateKind identifies κ-detector state payloads.
+	StateKind = "kappa"
+	// StateVersion is the current payload schema version.
+	StateVersion = 1
+)
+
+var _ core.Snapshotter = (*Detector)(nil)
+
+// SnapshotState exports the detector's learned state: the inter-arrival
+// sample window behind the interval estimate, the last arrival and the
+// sequence cursor. The contribution function and fixed-interval
+// configuration stay with the factory.
+func (d *Detector) SnapshotState() core.State {
+	st := core.NewState(StateKind, StateVersion)
+	st.SetTime("start", d.start)
+	st.SetTime("last", d.last)
+	st.SetBool("has_last", d.hasLast)
+	st.SetUint("sn_last", d.snLast)
+	st.SetSeries("intervals", d.window.Samples(nil))
+	return st
+}
+
+// RestoreState replaces the detector's learned state with a snapshot.
+// When the receiving window is smaller than the snapshot, only the
+// newest samples are kept.
+func (d *Detector) RestoreState(st core.State) error {
+	if err := st.Check(StateKind, StateVersion); err != nil {
+		return err
+	}
+	d.start = st.Time("start")
+	d.last = st.Time("last")
+	d.hasLast = st.Bool("has_last")
+	if d.last.IsZero() {
+		d.last = d.start
+	}
+	d.snLast = st.Uint("sn_last")
+	d.window.Restore(st.SeriesOf("intervals"))
+	return nil
+}
+
 // LastSeq returns the sequence number of the most recent accepted
 // heartbeat.
 func (d *Detector) LastSeq() uint64 { return d.snLast }

@@ -1,0 +1,52 @@
+package kappa
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"accrual/internal/core"
+)
+
+func TestSnapshotRestore(t *testing.T) {
+	const interval = 100 * time.Millisecond
+	live := New(start, PLater{})
+	at := start
+	for i := 1; i <= 250; i++ { // overflows the default window of 200
+		at = at.Add(interval + time.Duration(i%4)*time.Millisecond)
+		live.Report(core.Heartbeat{From: "p", Seq: uint64(i), Arrived: at})
+	}
+
+	restored := New(start.Add(time.Hour), PLater{})
+	if err := restored.RestoreState(live.SnapshotState()); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	if restored.SampleCount() != live.SampleCount() {
+		t.Fatalf("SampleCount = %d, want %d", restored.SampleCount(), live.SampleCount())
+	}
+	for _, off := range []time.Duration{20 * time.Millisecond, 250 * time.Millisecond, 2 * time.Second, time.Minute} {
+		now := at.Add(off)
+		got, want := float64(restored.Suspicion(now)), float64(live.Suspicion(now))
+		if math.Abs(got-want) > 1e-6 {
+			t.Errorf("Suspicion(+%v) = %v, want %v", off, got, want)
+		}
+	}
+
+	// One arrival after a loss burst collapses both the same way.
+	at = at.Add(10 * interval)
+	hb := core.Heartbeat{From: "p", Seq: 251, Arrived: at}
+	live.Report(hb)
+	restored.Report(hb)
+	now := at.Add(30 * time.Millisecond)
+	if got, want := float64(restored.Suspicion(now)), float64(live.Suspicion(now)); math.Abs(got-want) > 1e-6 {
+		t.Errorf("post-restore stream diverged: %v vs %v", got, want)
+	}
+}
+
+func TestRestoreRejectsForeignState(t *testing.T) {
+	d := New(start, Step{Timeout: time.Second})
+	if err := d.RestoreState(core.NewState("chen", 1)); !errors.Is(err, core.ErrStateKind) {
+		t.Errorf("foreign kind = %v, want ErrStateKind", err)
+	}
+}

@@ -243,6 +243,50 @@ func (d *Detector) Suspicion(now time.Time) core.Level {
 	return core.Level(d.Phi(now)).Quantize(d.eps)
 }
 
+// Snapshotable state identity (see core.State).
+const (
+	// StateKind identifies φ-detector state payloads.
+	StateKind = "phi"
+	// StateVersion is the current payload schema version.
+	StateVersion = 1
+)
+
+var _ core.Snapshotter = (*Detector)(nil)
+
+// SnapshotState exports the detector's learned state: the inter-arrival
+// sample window (the estimated distribution, and the expensive part to
+// re-learn after a restart), the last arrival and the sequence cursor.
+// Model choice, window capacity and the other configuration knobs stay
+// with the factory.
+func (d *Detector) SnapshotState() core.State {
+	st := core.NewState(StateKind, StateVersion)
+	st.SetTime("start", d.start)
+	st.SetTime("last", d.last)
+	st.SetBool("has_last", d.hasLast)
+	st.SetUint("sn_last", d.snLast)
+	st.SetSeries("intervals", d.window.Samples(nil))
+	return st
+}
+
+// RestoreState replaces the detector's learned state with a snapshot.
+// Any bootstrap samples seeded by the factory are discarded: the
+// snapshot's window is the better prior. When the receiving window is
+// smaller than the snapshot, only the newest samples are kept.
+func (d *Detector) RestoreState(st core.State) error {
+	if err := st.Check(StateKind, StateVersion); err != nil {
+		return err
+	}
+	d.start = st.Time("start")
+	d.last = st.Time("last")
+	d.hasLast = st.Bool("has_last")
+	if d.last.IsZero() {
+		d.last = d.start
+	}
+	d.snLast = st.Uint("sn_last")
+	d.window.Restore(st.SeriesOf("intervals"))
+	return nil
+}
+
 // LastArrival returns the arrival time of the most recent accepted
 // heartbeat and whether one has arrived at all.
 func (d *Detector) LastArrival() (time.Time, bool) { return d.last, d.hasLast }

@@ -1,0 +1,77 @@
+package phi
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"accrual/internal/core"
+)
+
+func TestSnapshotRestore(t *testing.T) {
+	const interval = 100 * time.Millisecond
+	live := New(start, WithBootstrap(interval, interval/4))
+	at := start
+	for i := 1; i <= 300; i++ { // overflows the default window of 200
+		at = at.Add(interval + time.Duration(i%5)*time.Millisecond)
+		live.Report(core.Heartbeat{From: "p", Seq: uint64(i), Arrived: at})
+	}
+
+	// The restoring factory seeds fresh bootstrap samples; restore must
+	// discard them in favour of the snapshot's learned window.
+	restored := New(start, WithBootstrap(time.Hour, time.Minute))
+	if err := restored.RestoreState(live.SnapshotState()); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	if restored.SampleCount() != live.SampleCount() {
+		t.Fatalf("SampleCount = %d, want %d", restored.SampleCount(), live.SampleCount())
+	}
+	for _, off := range []time.Duration{10 * time.Millisecond, 150 * time.Millisecond, time.Second, 30 * time.Second} {
+		now := at.Add(off)
+		got, want := restored.Phi(now), live.Phi(now)
+		if math.Abs(got-want) > 1e-6 {
+			t.Errorf("Phi(+%v) = %v, want %v", off, got, want)
+		}
+	}
+
+	// Both keep agreeing as the stream continues past the restore point.
+	for i := 301; i <= 320; i++ {
+		at = at.Add(interval)
+		hb := core.Heartbeat{From: "p", Seq: uint64(i), Arrived: at}
+		live.Report(hb)
+		restored.Report(hb)
+	}
+	now := at.Add(400 * time.Millisecond)
+	if got, want := restored.Phi(now), live.Phi(now); math.Abs(got-want) > 1e-6 {
+		t.Errorf("post-restore stream diverged: %v vs %v", got, want)
+	}
+}
+
+func TestSnapshotPreservesLastArrivalFlag(t *testing.T) {
+	// A detector that never saw a heartbeat must restore as one that
+	// never saw a heartbeat — the first post-restore heartbeat fixes
+	// t_last without contributing a bogus interval sample.
+	live := New(start)
+	restored := New(start.Add(time.Hour))
+	if err := restored.RestoreState(live.SnapshotState()); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	if _, has := restored.LastArrival(); has {
+		t.Error("restored detector claims an arrival that never happened")
+	}
+	restored.Report(core.Heartbeat{From: "p", Seq: 1, Arrived: start.Add(time.Minute)})
+	if restored.SampleCount() != 0 {
+		t.Error("first post-restore heartbeat contributed an interval sample")
+	}
+}
+
+func TestRestoreRejectsForeignState(t *testing.T) {
+	d := New(start)
+	if err := d.RestoreState(core.NewState("kappa", 1)); !errors.Is(err, core.ErrStateKind) {
+		t.Errorf("foreign kind = %v, want ErrStateKind", err)
+	}
+	if err := d.RestoreState(core.NewState(StateKind, StateVersion+1)); !errors.Is(err, core.ErrStateVersion) {
+		t.Errorf("future version = %v, want ErrStateVersion", err)
+	}
+}

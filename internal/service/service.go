@@ -119,13 +119,15 @@ func WithoutAutoRegister() MonitorOption {
 }
 
 // WithShardCount fixes the registry shard count (rounded up to the next
-// power of two, clamped to [1, 65536]). More shards reduce registration
+// power of two, clamped above at 65536). More shards reduce registration
 // contention for very large memberships; fewer shrink the idle footprint
-// for tiny ones. The default of 64 is right for almost everyone.
+// for tiny ones. The default of 64 is right for almost everyone; counts
+// below one fall back to that default rather than degenerating to a
+// single shard.
 func WithShardCount(n int) MonitorOption {
 	return func(m *Monitor) {
 		if n < 1 {
-			n = 1
+			n = defaultShardCount
 		}
 		if n > 1<<16 {
 			n = 1 << 16

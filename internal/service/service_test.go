@@ -385,7 +385,7 @@ func TestAppStatusSingleEvaluation(t *testing.T) {
 
 func TestWithShardCount(t *testing.T) {
 	for _, tc := range []struct{ in, want int }{
-		{-3, 1}, {1, 1}, {3, 4}, {64, 64}, {100, 128}, {1 << 20, 1 << 16},
+		{-3, defaultShardCount}, {1, 1}, {3, 4}, {64, 64}, {100, 128}, {1 << 20, 1 << 16},
 	} {
 		m := NewMonitor(clock.NewManual(start), simpleFactory, WithShardCount(tc.in))
 		if got := len(m.shards); got != tc.want {

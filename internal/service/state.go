@@ -1,0 +1,120 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"accrual/internal/core"
+)
+
+// ProcessState pairs a monitored process id with its detector's
+// exported state.
+type ProcessState struct {
+	ID    string
+	State core.State
+}
+
+// MonitorState is the exportable learned state of a whole monitor: one
+// ProcessState per monitored process whose detector implements
+// core.Snapshotter, sorted by id. It is what a warm restart persists and
+// what a live handoff streams to a replacement monitor.
+type MonitorState struct {
+	Procs []ProcessState
+}
+
+// Len returns the number of exported processes.
+func (s MonitorState) Len() int { return len(s.Procs) }
+
+// ExportState snapshots the learned state of every monitored process
+// whose detector implements core.Snapshotter; detectors that do not are
+// skipped (their state is not exportable, by their own declaration).
+//
+// Like EachLevel, the export streams shard by shard: it holds one
+// shard's read lock only while collecting that shard's entries, then
+// snapshots each entry under its per-process lock with no shard lock
+// held. Heartbeat ingest and queries for other processes — and
+// registration on other shards — proceed throughout; there is no global
+// pause. The result is a per-process-consistent snapshot: each
+// process's state is atomic with respect to its own heartbeat stream,
+// while the set of processes is the registry's membership as the walk
+// passes over it (exactly the consistency EachLevel offers).
+func (m *Monitor) ExportState() MonitorState {
+	var procs []ProcessState
+	refs := refPool.Get().(*[]procRef)
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		*refs = (*refs)[:0]
+		for id, e := range sh.procs {
+			*refs = append(*refs, procRef{id, e})
+		}
+		sh.mu.RUnlock()
+		for _, r := range *refs {
+			if r.e.removed.Load() {
+				continue // deregistered since the shard scan
+			}
+			r.e.mu.Lock()
+			s, ok := r.e.det.(core.Snapshotter)
+			var st core.State
+			if ok {
+				st = s.SnapshotState()
+			}
+			r.e.mu.Unlock()
+			if ok {
+				procs = append(procs, ProcessState{ID: r.id, State: st})
+			}
+		}
+	}
+	*refs = (*refs)[:0]
+	refPool.Put(refs)
+	sort.Slice(procs, func(i, j int) bool { return procs[i].ID < procs[j].ID })
+	return MonitorState{Procs: procs}
+}
+
+// ImportState restores exported state into this monitor, process by
+// process. Unregistered processes are registered first (through the
+// monitor's factory, so they carry this monitor's detector
+// configuration); already-registered processes have their detectors
+// restored in place. Like ExportState it works shard by shard with no
+// global pause, so it can run while heartbeats are already flowing —
+// the warm-boot case, where the UDP listener starts before the state
+// file is replayed.
+//
+// Processes whose detector does not implement core.Snapshotter are
+// skipped silently. Restore failures (a state recorded by a different
+// detector kind than this monitor's factory builds, or a future payload
+// version) are collected and returned joined, after every other process
+// has been attempted; restored reports how many processes were
+// successfully restored.
+func (m *Monitor) ImportState(st MonitorState) (restored int, err error) {
+	var errs []error
+	for _, ps := range st.Procs {
+		e := m.lookup(ps.ID)
+		if e == nil {
+			sh := m.shardFor(ps.ID)
+			sh.mu.Lock()
+			if e = sh.procs[ps.ID]; e == nil {
+				e = &entry{det: m.factory(ps.ID, m.clk.Now())}
+				sh.procs[ps.ID] = e
+			}
+			sh.mu.Unlock()
+		}
+		e.mu.Lock()
+		s, ok := e.det.(core.Snapshotter)
+		var rerr error
+		if ok {
+			rerr = s.RestoreState(ps.State)
+		}
+		e.mu.Unlock()
+		if !ok {
+			continue
+		}
+		if rerr != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", ps.ID, rerr))
+			continue
+		}
+		restored++
+	}
+	return restored, errors.Join(errs...)
+}

@@ -8,6 +8,7 @@ import (
 
 	"accrual/internal/clock"
 	"accrual/internal/core"
+	"accrual/internal/simple"
 )
 
 // seqDetector records the heartbeat stream it observes. It is
@@ -115,6 +116,23 @@ func TestMonitorStress(t *testing.T) {
 		}
 	}()
 
+	// State export/import streaming concurrently with the churn above:
+	// ExportState iterates shard snapshots while Deregister frees
+	// entries, and re-imports into the same monitor race the writers.
+	// (The seqDetector is not snapshotable, so the exports are empty —
+	// TestStateStreamingRacesDeregister covers the snapshotable path —
+	// but the shard iteration itself runs against live churn.)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < readerRounds/5; i++ {
+			st := m.ExportState()
+			if _, err := m.ImportState(st); err != nil {
+				t.Errorf("import: %v", err)
+			}
+		}
+	}()
+
 	// App polling plus per-process Status queries.
 	wg.Add(1)
 	go func() {
@@ -179,5 +197,77 @@ func TestMonitorStress(t *testing.T) {
 		if id := fmt.Sprintf("churn-%d", i); m.Known(id) {
 			t.Errorf("%s: still registered after churn", id)
 		}
+	}
+}
+
+// TestStateStreamingRacesDeregister hammers ExportState and EachLevel
+// against Deregister/Register churn over the *same* ids, with real
+// snapshotable detectors, so shard iteration runs over entries being
+// freed underneath it. Under -race this proves the streaming walks never
+// touch a freed entry's detector unsynchronised, and the removed-entry
+// check keeps deregistered processes out of exports.
+func TestStateStreamingRacesDeregister(t *testing.T) {
+	const (
+		churners = 4
+		idsPer   = 8
+		rounds   = 200
+	)
+	clk := clock.NewManual(start)
+	m := NewMonitor(clk, func(_ string, at time.Time) core.Detector {
+		return simple.New(at)
+	}, WithShardCount(2)) // few shards: every churn hits a streamed shard
+
+	var churn, readers sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Churners: register, heartbeat, deregister the same ids in a loop.
+	for c := 0; c < churners; c++ {
+		c := c
+		churn.Add(1)
+		go func() {
+			defer churn.Done()
+			for r := 0; r < rounds; r++ {
+				for i := 0; i < idsPer; i++ {
+					id := fmt.Sprintf("c%d-%d", c, i)
+					_ = m.Register(id)
+					_ = m.Heartbeat(hb(id, uint64(r+1), clk.Now()))
+					m.Deregister(id)
+				}
+			}
+		}()
+	}
+
+	// Streaming readers: ExportState and EachLevel until churn finishes.
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := m.ExportState()
+				for _, ps := range st.Procs {
+					if ps.State.Kind != simple.StateKind {
+						t.Errorf("exported state of kind %q", ps.State.Kind)
+						return
+					}
+				}
+				m.EachLevel(func(string, core.Level) {})
+			}
+		}()
+	}
+
+	churn.Wait()
+	close(stop)
+	readers.Wait()
+
+	if m.Len() != 0 {
+		t.Errorf("Len = %d after full churn, want 0", m.Len())
+	}
+	if n := m.ExportState().Len(); n != 0 {
+		t.Errorf("export after full churn has %d processes, want 0", n)
 	}
 }

@@ -81,6 +81,42 @@ func (d *Detector) Suspicion(now time.Time) core.Level {
 	return core.Level(float64(elapsed) / float64(d.unit)).Quantize(d.eps)
 }
 
+// Snapshotable state identity (see core.State).
+const (
+	// StateKind identifies simple-detector state payloads.
+	StateKind = "simple"
+	// StateVersion is the current payload schema version.
+	StateVersion = 1
+)
+
+var _ core.Snapshotter = (*Detector)(nil)
+
+// SnapshotState exports the detector's learned state: the start time,
+// the last accepted arrival and its sequence number. Configuration
+// (resolution, unit) is the factory's concern and is not exported.
+func (d *Detector) SnapshotState() core.State {
+	st := core.NewState(StateKind, StateVersion)
+	st.SetTime("start", d.start)
+	st.SetTime("t_last", d.tLast)
+	st.SetUint("sn_last", d.snLast)
+	return st
+}
+
+// RestoreState replaces the detector's learned state with a snapshot,
+// so the next Suspicion matches the snapshotted detector's.
+func (d *Detector) RestoreState(st core.State) error {
+	if err := st.Check(StateKind, StateVersion); err != nil {
+		return err
+	}
+	d.start = st.Time("start")
+	d.tLast = st.Time("t_last")
+	if d.tLast.IsZero() {
+		d.tLast = d.start
+	}
+	d.snLast = st.Uint("sn_last")
+	return nil
+}
+
 // LastArrival returns the arrival time of the most recent accepted
 // heartbeat (the detector start time if none arrived yet).
 func (d *Detector) LastArrival() time.Time { return d.tLast }

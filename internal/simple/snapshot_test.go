@@ -1,0 +1,59 @@
+package simple
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"accrual/internal/core"
+)
+
+func TestSnapshotRestore(t *testing.T) {
+	live := New(start)
+	at := start
+	for i := 1; i <= 10; i++ {
+		at = at.Add(100 * time.Millisecond)
+		live.Report(core.Heartbeat{From: "p", Seq: uint64(i), Arrived: at})
+	}
+
+	restored := New(time.Time{}) // deliberately wrong start: restore must fix it
+	if err := restored.RestoreState(live.SnapshotState()); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	for _, off := range []time.Duration{0, 50 * time.Millisecond, 3 * time.Second, time.Hour} {
+		now := at.Add(off)
+		if got, want := restored.Suspicion(now), live.Suspicion(now); got != want {
+			t.Errorf("Suspicion(+%v) = %v, want %v", off, got, want)
+		}
+	}
+	if restored.LastSeq() != live.LastSeq() {
+		t.Errorf("LastSeq = %d, want %d", restored.LastSeq(), live.LastSeq())
+	}
+	// A stale heartbeat must still be rejected after restore.
+	restored.Report(core.Heartbeat{From: "p", Seq: 3, Arrived: at.Add(time.Hour)})
+	if !restored.LastArrival().Equal(live.LastArrival()) {
+		t.Error("restored detector accepted a stale sequence number")
+	}
+}
+
+func TestSnapshotBeforeFirstHeartbeat(t *testing.T) {
+	live := New(start)
+	restored := New(time.Time{})
+	if err := restored.RestoreState(live.SnapshotState()); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	now := start.Add(5 * time.Second)
+	if got, want := restored.Suspicion(now), live.Suspicion(now); got != want {
+		t.Errorf("Suspicion = %v, want %v", got, want)
+	}
+}
+
+func TestRestoreRejectsForeignState(t *testing.T) {
+	d := New(start)
+	if err := d.RestoreState(core.NewState("phi", 1)); !errors.Is(err, core.ErrStateKind) {
+		t.Errorf("foreign kind = %v, want ErrStateKind", err)
+	}
+	if err := d.RestoreState(core.NewState(StateKind, StateVersion+1)); !errors.Is(err, core.ErrStateVersion) {
+		t.Errorf("future version = %v, want ErrStateVersion", err)
+	}
+}

@@ -1,0 +1,60 @@
+package stats
+
+import "fmt"
+
+// MarshalDist flattens a parametric distribution into a (kind, params)
+// pair so that detector snapshots and the state codec can carry the
+// log-tail estimator's model without knowing its Go type. Every
+// distribution in this package round-trips; composite or user-defined
+// Dist implementations are rejected.
+func MarshalDist(d Dist) (kind string, params []float64, err error) {
+	switch v := d.(type) {
+	case Normal:
+		return "normal", []float64{v.Mu, v.Sigma}, nil
+	case Exponential:
+		return "exponential", []float64{v.MeanValue}, nil
+	case Erlang:
+		return "erlang", []float64{float64(v.K), v.Lambda}, nil
+	case LogNormal:
+		return "lognormal", []float64{v.Mu, v.Sigma}, nil
+	case Uniform:
+		return "uniform", []float64{v.A, v.B}, nil
+	case Pareto:
+		return "pareto", []float64{v.Xm, v.Alpha}, nil
+	case Constant:
+		return "constant", []float64{v.V}, nil
+	default:
+		return "", nil, fmt.Errorf("stats: MarshalDist: unsupported distribution %T", d)
+	}
+}
+
+// UnmarshalDist rebuilds a distribution from its MarshalDist encoding.
+func UnmarshalDist(kind string, params []float64) (Dist, error) {
+	want := map[string]int{
+		"normal": 2, "exponential": 1, "erlang": 2,
+		"lognormal": 2, "uniform": 2, "pareto": 2, "constant": 1,
+	}
+	n, ok := want[kind]
+	if !ok {
+		return nil, fmt.Errorf("stats: UnmarshalDist: unknown distribution kind %q", kind)
+	}
+	if len(params) != n {
+		return nil, fmt.Errorf("stats: UnmarshalDist: %s wants %d params, got %d", kind, n, len(params))
+	}
+	switch kind {
+	case "normal":
+		return Normal{Mu: params[0], Sigma: params[1]}, nil
+	case "exponential":
+		return Exponential{MeanValue: params[0]}, nil
+	case "erlang":
+		return Erlang{K: int(params[0]), Lambda: params[1]}, nil
+	case "lognormal":
+		return LogNormal{Mu: params[0], Sigma: params[1]}, nil
+	case "uniform":
+		return Uniform{A: params[0], B: params[1]}, nil
+	case "pareto":
+		return Pareto{Xm: params[0], Alpha: params[1]}, nil
+	default:
+		return Constant{V: params[0]}, nil
+	}
+}

@@ -68,6 +68,57 @@ func (h *Histogram) Under() int64 { return h.under }
 // Over returns the count of observations at or above the upper bound.
 func (h *Histogram) Over() int64 { return h.over }
 
+// HistogramState is the exportable state of a Histogram: its range and
+// every bucket count.
+type HistogramState struct {
+	Lo, Hi       float64
+	Counts       []int64
+	UnderCount   int64
+	OverCount    int64
+	Observations int64
+}
+
+// State exports the histogram's range and counts. The returned bucket
+// slice is a copy.
+func (h *Histogram) State() HistogramState {
+	return HistogramState{
+		Lo: h.lo, Hi: h.hi,
+		Counts:       append([]int64(nil), h.buckets...),
+		UnderCount:   h.under,
+		OverCount:    h.over,
+		Observations: h.n,
+	}
+}
+
+// Restore replaces the histogram's range and counts with a previously
+// exported state, re-bucketing the receiver to the state's shape. States
+// that no sequence of Add calls could have produced are rejected.
+func (h *Histogram) Restore(st HistogramState) error {
+	if len(st.Counts) < 1 {
+		return fmt.Errorf("stats: Histogram.Restore: no buckets")
+	}
+	if !(st.Lo < st.Hi) {
+		return fmt.Errorf("stats: Histogram.Restore: bad range [%g,%g)", st.Lo, st.Hi)
+	}
+	total := st.UnderCount + st.OverCount
+	if st.UnderCount < 0 || st.OverCount < 0 {
+		return fmt.Errorf("stats: Histogram.Restore: negative out-of-range counts")
+	}
+	for _, c := range st.Counts {
+		if c < 0 {
+			return fmt.Errorf("stats: Histogram.Restore: negative bucket count")
+		}
+		total += c
+	}
+	if total != st.Observations {
+		return fmt.Errorf("stats: Histogram.Restore: counts sum to %d, want n=%d", total, st.Observations)
+	}
+	h.lo, h.hi = st.Lo, st.Hi
+	h.buckets = append(h.buckets[:0], st.Counts...)
+	h.under, h.over, h.n = st.UnderCount, st.OverCount, st.Observations
+	return nil
+}
+
 // String renders a compact textual histogram.
 func (h *Histogram) String() string {
 	var b strings.Builder

@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestWindowRestoreMatchesLive(t *testing.T) {
+	live := NewWindow(8)
+	for i := 0; i < 20; i++ { // more pushes than capacity: evictions happen
+		live.Push(float64(i) * 0.3)
+	}
+	restored := NewWindow(8)
+	restored.Restore(live.Samples(nil))
+	if restored.Len() != live.Len() {
+		t.Fatalf("Len = %d, want %d", restored.Len(), live.Len())
+	}
+	if math.Abs(restored.Mean()-live.Mean()) > 1e-12 {
+		t.Errorf("Mean = %g, want %g", restored.Mean(), live.Mean())
+	}
+	if math.Abs(restored.Variance()-live.Variance()) > 1e-12 {
+		t.Errorf("Variance = %g, want %g", restored.Variance(), live.Variance())
+	}
+	for i := 0; i < live.Len(); i++ {
+		if restored.At(i) != live.At(i) {
+			t.Errorf("At(%d) = %g, want %g", i, restored.At(i), live.At(i))
+		}
+	}
+	// Both continue (within float drift of the live incremental sums)
+	// after restore.
+	live.Push(7)
+	restored.Push(7)
+	if math.Abs(restored.Mean()-live.Mean()) > 1e-12 || restored.Last() != live.Last() {
+		t.Error("restored window diverged after a subsequent push")
+	}
+}
+
+func TestWindowRestoreIntoSmallerKeepsNewest(t *testing.T) {
+	w := NewWindow(3)
+	w.Restore([]float64{1, 2, 3, 4, 5})
+	if w.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", w.Len())
+	}
+	if got := w.Samples(nil); !reflect.DeepEqual(got, []float64{3, 4, 5}) {
+		t.Errorf("Samples = %v, want newest three", got)
+	}
+}
+
+func TestWindowRestoreEmpty(t *testing.T) {
+	w := NewWindow(4)
+	w.Push(1)
+	w.Restore(nil)
+	if w.Len() != 0 || w.Mean() != 0 {
+		t.Errorf("empty restore left Len=%d Mean=%g", w.Len(), w.Mean())
+	}
+}
+
+func TestWelfordStateRoundTrip(t *testing.T) {
+	var live Welford
+	for i := 0; i < 100; i++ {
+		live.Add(math.Sin(float64(i)))
+	}
+	var restored Welford
+	if err := restored.Restore(live.State()); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if restored.N() != live.N() || restored.Mean() != live.Mean() ||
+		restored.Variance() != live.Variance() ||
+		restored.Min() != live.Min() || restored.Max() != live.Max() {
+		t.Errorf("restored = %+v, want %+v", restored.State(), live.State())
+	}
+	live.Add(2.5)
+	restored.Add(2.5)
+	if restored.Mean() != live.Mean() || restored.Variance() != live.Variance() {
+		t.Error("restored accumulator diverged after a subsequent Add")
+	}
+}
+
+func TestWelfordRestoreRejectsInvalid(t *testing.T) {
+	var w Welford
+	for _, st := range []WelfordState{
+		{N: -1},
+		{N: 2, M2: -0.5},
+		{N: 2, M2: math.NaN()},
+		{N: 2, MinSeen: 3, MaxSeen: 1},
+	} {
+		if err := w.Restore(st); err == nil {
+			t.Errorf("Restore(%+v) accepted invalid state", st)
+		}
+	}
+}
+
+func TestHistogramStateRoundTrip(t *testing.T) {
+	live := NewHistogram(0, 10, 5)
+	for _, v := range []float64{-1, 0, 2.5, 9.99, 10, 42, math.NaN()} {
+		live.Add(v)
+	}
+	restored := NewHistogram(0, 1, 1) // different shape: Restore re-buckets
+	if err := restored.Restore(live.State()); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if restored.String() != live.String() {
+		t.Errorf("restored = %s\nwant %s", restored, live)
+	}
+	live.Add(5)
+	restored.Add(5)
+	if restored.String() != live.String() {
+		t.Error("restored histogram diverged after a subsequent Add")
+	}
+}
+
+func TestHistogramRestoreRejectsInvalid(t *testing.T) {
+	h := NewHistogram(0, 1, 1)
+	for name, st := range map[string]HistogramState{
+		"no buckets":     {Lo: 0, Hi: 1, Observations: 0},
+		"inverted range": {Lo: 2, Hi: 1, Counts: []int64{0}},
+		"negative count": {Lo: 0, Hi: 1, Counts: []int64{-1}, Observations: -1},
+		"bad total":      {Lo: 0, Hi: 1, Counts: []int64{1}, Observations: 5},
+	} {
+		if err := h.Restore(st); err == nil {
+			t.Errorf("%s: accepted invalid state", name)
+		}
+	}
+}
+
+func TestDistMarshalRoundTrip(t *testing.T) {
+	dists := []Dist{
+		Normal{Mu: 0.1, Sigma: 0.02},
+		Exponential{MeanValue: 0.5},
+		Erlang{K: 4, Lambda: 2},
+		LogNormal{Mu: -1, Sigma: 0.3},
+		Uniform{A: 1, B: 2},
+		Pareto{Xm: 0.1, Alpha: 1.5},
+		Constant{V: 3},
+	}
+	for _, d := range dists {
+		kind, params, err := MarshalDist(d)
+		if err != nil {
+			t.Fatalf("MarshalDist(%v): %v", d, err)
+		}
+		got, err := UnmarshalDist(kind, params)
+		if err != nil {
+			t.Fatalf("UnmarshalDist(%s): %v", kind, err)
+		}
+		if !reflect.DeepEqual(got, d) {
+			t.Errorf("round trip = %v, want %v", got, d)
+		}
+	}
+}
+
+func TestDistMarshalRejects(t *testing.T) {
+	type custom struct{ Dist }
+	if _, _, err := MarshalDist(custom{}); err == nil {
+		t.Error("MarshalDist accepted a custom distribution")
+	}
+	if _, err := UnmarshalDist("nope", nil); err == nil {
+		t.Error("UnmarshalDist accepted an unknown kind")
+	}
+	if _, err := UnmarshalDist("normal", []float64{1}); err == nil {
+		t.Error("UnmarshalDist accepted wrong param count")
+	}
+}

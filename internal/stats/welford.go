@@ -1,6 +1,9 @@
 package stats
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Welford accumulates mean and variance online over an unbounded stream
 // using Welford's numerically stable recurrence. The zero value is an
@@ -66,3 +69,34 @@ func (w *Welford) Max() float64 { return w.max }
 
 // Reset empties the accumulator.
 func (w *Welford) Reset() { *w = Welford{} }
+
+// WelfordState is the exportable state of a Welford accumulator: the
+// sample count and the running moments, enough to resume the stream
+// exactly where it left off.
+type WelfordState struct {
+	N                int64
+	Mean, M2         float64
+	MinSeen, MaxSeen float64
+}
+
+// State exports the accumulator's moments.
+func (w *Welford) State() WelfordState {
+	return WelfordState{N: w.n, Mean: w.mean, M2: w.m2, MinSeen: w.min, MaxSeen: w.max}
+}
+
+// Restore replaces the accumulator's moments with a previously exported
+// state. It rejects states that no run of Add could have produced
+// (negative count, negative sum of squared deviations, inverted bounds).
+func (w *Welford) Restore(st WelfordState) error {
+	if st.N < 0 {
+		return fmt.Errorf("stats: Welford.Restore: negative count %d", st.N)
+	}
+	if st.M2 < 0 || math.IsNaN(st.M2) {
+		return fmt.Errorf("stats: Welford.Restore: invalid m2 %g", st.M2)
+	}
+	if st.N > 0 && st.MinSeen > st.MaxSeen {
+		return fmt.Errorf("stats: Welford.Restore: min %g > max %g", st.MinSeen, st.MaxSeen)
+	}
+	w.n, w.mean, w.m2, w.min, w.max = st.N, st.Mean, st.M2, st.MinSeen, st.MaxSeen
+	return nil
+}

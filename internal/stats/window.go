@@ -130,3 +130,20 @@ func (w *Window) Samples(dst []float64) []float64 {
 func (w *Window) Reset() {
 	w.head, w.n, w.sum, w.sumSq, w.evicts = 0, 0, 0, 0, 0
 }
+
+// Restore replaces the window contents with the given samples, oldest
+// first, keeping the window's capacity. When more samples are supplied
+// than fit, only the newest Cap() are kept — restoring a snapshot from a
+// larger window degrades to the most recent history rather than failing.
+// The running moments are recomputed from the restored samples, so a
+// restored window answers Mean/Variance exactly as one that observed the
+// samples directly.
+func (w *Window) Restore(samples []float64) {
+	w.Reset()
+	if len(samples) > len(w.buf) {
+		samples = samples[len(samples)-len(w.buf):]
+	}
+	copy(w.buf, samples)
+	w.n = len(samples)
+	w.rebuild()
+}

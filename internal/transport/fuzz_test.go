@@ -1,10 +1,14 @@
 package transport
 
 import (
+	"bytes"
+	"math"
 	"testing"
 	"time"
 
 	"accrual/internal/core"
+	"accrual/internal/service"
+	"accrual/internal/transport/statecodec"
 )
 
 // FuzzUnmarshalHeartbeat feeds arbitrary bytes through the decoder: it
@@ -37,6 +41,51 @@ func FuzzUnmarshalHeartbeat(f *testing.F) {
 		}
 		if hb2.From != hb.From || hb2.Seq != hb.Seq || !hb2.Sent.Equal(hb.Sent) {
 			t.Fatalf("round trip changed the heartbeat: %+v vs %+v", hb, hb2)
+		}
+	})
+}
+
+// FuzzStateDecode feeds arbitrary bytes through the state codec: Decode
+// must never panic, and anything it accepts must reach the canonical
+// fixed point — Encode(Decode(data)) must itself decode, and re-encode
+// to the exact same bytes. (The decoder tolerates non-minimal varints
+// and unsorted keys, so raw accepted input need not be canonical; its
+// first re-encoding must be. Byte equality rather than DeepEqual keeps
+// NaN-bearing states comparable.)
+func FuzzStateDecode(f *testing.F) {
+	est := core.NewState("chen", 1)
+	est.SetSeries("window", []float64{0.01, -0.02, math.NaN()})
+	est.SetInt("start", 12345)
+	st := core.NewState("bertier", 1)
+	st.SetScalar("delay", 0.5)
+	st.SetUint("flags", 3)
+	st.SetSub("estimator", est)
+	good := statecodec.Encode(service.MonitorState{
+		Procs: []service.ProcessState{
+			{ID: "worker-7", State: st},
+			{ID: "worker-9", State: core.NewState("simple", 1)},
+		},
+	})
+	f.Add(good)
+	f.Add(statecodec.Encode(service.MonitorState{}))
+	f.Add([]byte{})
+	f.Add([]byte("AFS1"))
+	f.Add([]byte("AFS1\x01\x00"))
+	f.Add(append(append([]byte(nil), good...), 0xff))
+	f.Add(good[:len(good)-5])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := statecodec.Decode(data)
+		if err != nil {
+			return // rejected: fine, as long as it did not panic
+		}
+		first := statecodec.Encode(st)
+		st2, err := statecodec.Decode(first)
+		if err != nil {
+			t.Fatalf("re-encoding of accepted input does not decode: %v", err)
+		}
+		if second := statecodec.Encode(st2); !bytes.Equal(first, second) {
+			t.Fatal("canonical encoding is not a fixed point")
 		}
 	})
 }

@@ -3,6 +3,7 @@ package transport
 import (
 	"encoding/json"
 	"errors"
+	"io"
 	"math"
 	"net/http"
 	"strconv"
@@ -10,6 +11,7 @@ import (
 
 	"accrual/internal/core"
 	"accrual/internal/service"
+	"accrual/internal/transport/statecodec"
 )
 
 // API serves a monitor's suspicion levels over HTTP/JSON. Interpretation
@@ -23,7 +25,15 @@ import (
 //	GET /v1/processes            all processes, ranked least→most suspected
 //	GET /v1/suspicion?id=X       one process's current suspicion level
 //	GET /v1/status?id=X&threshold=T   D_T interpretation of the level
+//	GET /v1/state                binary snapshot of all detector state
+//	PUT /v1/state                restore detector state from a snapshot
 //	GET /v1/healthz              liveness probe
+//
+// /v1/state carries the statecodec binary format (see
+// internal/transport/statecodec) and is the live state handoff path: a
+// replacement monitor GETs the old daemon's state and PUTs it into the
+// new one, so detectors resume with their learned estimators instead of
+// re-learning the network from scratch.
 type API struct {
 	mon *service.Monitor
 	rec *service.Recorder
@@ -49,6 +59,8 @@ func NewAPI(mon *service.Monitor, opts ...APIOption) *API {
 	a.mux.HandleFunc("GET /v1/suspicion", a.handleSuspicion)
 	a.mux.HandleFunc("GET /v1/status", a.handleStatus)
 	a.mux.HandleFunc("GET /v1/history", a.handleHistory)
+	a.mux.HandleFunc("GET /v1/state", a.handleStateDump)
+	a.mux.HandleFunc("PUT /v1/state", a.handleStateRestore)
 	a.mux.HandleFunc("GET /v1/healthz", a.handleHealthz)
 	return a
 }
@@ -173,6 +185,47 @@ func (a *API) handleHistory(w http.ResponseWriter, r *http.Request) {
 		resp.Samples[i] = HistorySample{At: rec.At, Level: jsonLevel(rec.Level)}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// maxStateBody bounds PUT /v1/state request bodies (16 MiB is ~10⁵
+// processes with full estimator windows — far beyond one monitor).
+const maxStateBody = 16 << 20
+
+// StateRestoreResponse is the JSON shape of PUT /v1/state.
+type StateRestoreResponse struct {
+	Restored int `json:"restored"`
+}
+
+func (a *API) handleStateDump(w http.ResponseWriter, _ *http.Request) {
+	data := statecodec.Encode(a.mon.ExportState())
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	_, _ = w.Write(data)
+}
+
+func (a *API) handleStateRestore(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxStateBody+1))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "reading body: " + err.Error()})
+		return
+	}
+	if len(body) > maxStateBody {
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{Error: "state payload too large"})
+		return
+	}
+	st, err := statecodec.Decode(body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	n, err := a.mon.ImportState(st)
+	if err != nil {
+		// Partial restores (kind mismatches) are reported but what did
+		// restore stays restored; the client sees both facts.
+		writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, StateRestoreResponse{Restored: n})
 }
 
 func (a *API) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,324 @@
+// Package statecodec is the versioned binary wire format for monitor
+// state (service.MonitorState): the serialisation behind warm restarts
+// (`accruald -state-file`), the HTTP state endpoint and the
+// `accrualctl state dump|restore` handoff between a dying monitor and
+// its replacement.
+//
+// Design constraints, in order:
+//
+//   - Forward-carryable: the payload is the schemaless core.State bag,
+//     so the codec carries detector kinds it has never heard of. A v2
+//     monitor's state flows through a v1 relay untouched.
+//   - Canonical: map keys are emitted in sorted order, so equal states
+//     encode to equal bytes. Decode(Encode(s)) round-trips and
+//     re-encoding a decoded payload is byte-identical — properties the
+//     fuzzer (FuzzStateDecode) holds the codec to.
+//   - Hostile-input safe: every count is validated against the bytes
+//     actually remaining before anything is allocated, nesting depth is
+//     bounded, and decode never panics on arbitrary input.
+//
+// Wire format (all integers varint/uvarint per encoding/binary, floats
+// as IEEE-754 bits in 8-byte big-endian):
+//
+//	magic "AFS1" | codec version (1 byte) | uvarint #procs | procs…
+//	proc  := str(id) | state
+//	state := str(kind) | uvarint version
+//	         | uvarint n | n × (str key, 8-byte float bits)      scalars
+//	         | uvarint n | n × (str key, varint)                 ints
+//	         | uvarint n | n × (str key, uvarint)                uints
+//	         | uvarint n | n × (str key, uvarint m, m × 8 bytes) series
+//	         | uvarint n | n × (str key, state)                  subs
+//	str   := uvarint length | bytes
+package statecodec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"accrual/internal/core"
+	"accrual/internal/service"
+)
+
+// Codec identity.
+const (
+	// Version is the codec wire version emitted by Encode.
+	Version = 1
+	// maxDepth bounds Sub nesting, against decompression-bomb inputs.
+	maxDepth = 16
+)
+
+var magic = [4]byte{'A', 'F', 'S', '1'}
+
+// ErrBadState is wrapped by every decoding error.
+var ErrBadState = errors.New("statecodec: bad state payload")
+
+// Encode serialises a monitor state canonically: processes in the order
+// given (ExportState sorts them by id), map keys sorted.
+func Encode(st service.MonitorState) []byte {
+	buf := append([]byte(nil), magic[:]...)
+	buf = append(buf, Version)
+	buf = binary.AppendUvarint(buf, uint64(len(st.Procs)))
+	for _, ps := range st.Procs {
+		buf = appendString(buf, ps.ID)
+		buf = appendState(buf, ps.State)
+	}
+	return buf
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func appendState(buf []byte, st core.State) []byte {
+	buf = appendString(buf, st.Kind)
+	buf = binary.AppendUvarint(buf, uint64(st.Version))
+
+	buf = binary.AppendUvarint(buf, uint64(len(st.Scalars)))
+	for _, k := range sortedKeys(st.Scalars) {
+		buf = appendString(buf, k)
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(st.Scalars[k]))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(st.Ints)))
+	for _, k := range sortedKeys(st.Ints) {
+		buf = appendString(buf, k)
+		buf = binary.AppendVarint(buf, st.Ints[k])
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(st.Uints)))
+	for _, k := range sortedKeys(st.Uints) {
+		buf = appendString(buf, k)
+		buf = binary.AppendUvarint(buf, st.Uints[k])
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(st.Series)))
+	for _, k := range sortedKeys(st.Series) {
+		buf = appendString(buf, k)
+		buf = binary.AppendUvarint(buf, uint64(len(st.Series[k])))
+		for _, v := range st.Series[k] {
+			buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(st.Sub)))
+	for _, k := range sortedKeys(st.Sub) {
+		buf = appendString(buf, k)
+		buf = appendState(buf, st.Sub[k])
+	}
+	return buf
+}
+
+// Decode parses a serialised monitor state. It never panics on
+// malformed input; every error wraps ErrBadState.
+func Decode(data []byte) (service.MonitorState, error) {
+	d := &decoder{buf: data}
+	if len(d.buf) < len(magic)+1 {
+		return service.MonitorState{}, fmt.Errorf("%w: %d bytes", ErrBadState, len(data))
+	}
+	if [4]byte(d.buf[:4]) != magic {
+		return service.MonitorState{}, fmt.Errorf("%w: bad magic", ErrBadState)
+	}
+	if v := d.buf[4]; v != Version {
+		return service.MonitorState{}, fmt.Errorf("%w: codec version %d", ErrBadState, v)
+	}
+	d.buf = d.buf[5:]
+
+	n, err := d.count(1)
+	if err != nil {
+		return service.MonitorState{}, err
+	}
+	st := service.MonitorState{}
+	if n > 0 {
+		st.Procs = make([]service.ProcessState, 0, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		id, err := d.string()
+		if err != nil {
+			return service.MonitorState{}, err
+		}
+		ps, err := d.state(0)
+		if err != nil {
+			return service.MonitorState{}, err
+		}
+		st.Procs = append(st.Procs, service.ProcessState{ID: id, State: ps})
+	}
+	if len(d.buf) != 0 {
+		return service.MonitorState{}, fmt.Errorf("%w: %d trailing bytes", ErrBadState, len(d.buf))
+	}
+	return st, nil
+}
+
+type decoder struct {
+	buf []byte
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: truncated uvarint", ErrBadState)
+	}
+	d.buf = d.buf[n:]
+	return v, nil
+}
+
+func (d *decoder) varint() (int64, error) {
+	v, n := binary.Varint(d.buf)
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: truncated varint", ErrBadState)
+	}
+	d.buf = d.buf[n:]
+	return v, nil
+}
+
+// count reads an element count and validates it against the remaining
+// bytes, given a lower bound on the encoded size of one element — so a
+// hostile length prefix cannot drive a huge allocation.
+func (d *decoder) count(minElemSize uint64) (uint64, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if minElemSize > 0 && n > uint64(len(d.buf))/minElemSize {
+		return 0, fmt.Errorf("%w: count %d exceeds remaining payload", ErrBadState, n)
+	}
+	return n, nil
+}
+
+func (d *decoder) string() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(d.buf)) {
+		return "", fmt.Errorf("%w: string length %d exceeds remaining payload", ErrBadState, n)
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s, nil
+}
+
+func (d *decoder) float() (float64, error) {
+	if len(d.buf) < 8 {
+		return 0, fmt.Errorf("%w: truncated float", ErrBadState)
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(d.buf))
+	d.buf = d.buf[8:]
+	return v, nil
+}
+
+func (d *decoder) state(depth int) (core.State, error) {
+	if depth >= maxDepth {
+		return core.State{}, fmt.Errorf("%w: nesting deeper than %d", ErrBadState, maxDepth)
+	}
+	var st core.State
+	var err error
+	if st.Kind, err = d.string(); err != nil {
+		return core.State{}, err
+	}
+	ver, err := d.uvarint()
+	if err != nil {
+		return core.State{}, err
+	}
+	if ver > math.MaxUint32 {
+		return core.State{}, fmt.Errorf("%w: state version %d overflows", ErrBadState, ver)
+	}
+	st.Version = uint32(ver)
+
+	n, err := d.count(9) // key length byte + 8 float bytes
+	if err != nil {
+		return core.State{}, err
+	}
+	for i := uint64(0); i < n; i++ {
+		k, err := d.string()
+		if err != nil {
+			return core.State{}, err
+		}
+		v, err := d.float()
+		if err != nil {
+			return core.State{}, err
+		}
+		st.SetScalar(k, v)
+	}
+
+	n, err = d.count(2) // key length byte + 1 varint byte
+	if err != nil {
+		return core.State{}, err
+	}
+	for i := uint64(0); i < n; i++ {
+		k, err := d.string()
+		if err != nil {
+			return core.State{}, err
+		}
+		v, err := d.varint()
+		if err != nil {
+			return core.State{}, err
+		}
+		st.SetInt(k, v)
+	}
+
+	n, err = d.count(2)
+	if err != nil {
+		return core.State{}, err
+	}
+	for i := uint64(0); i < n; i++ {
+		k, err := d.string()
+		if err != nil {
+			return core.State{}, err
+		}
+		v, err := d.uvarint()
+		if err != nil {
+			return core.State{}, err
+		}
+		st.SetUint(k, v)
+	}
+
+	n, err = d.count(2) // key length byte + series length byte
+	if err != nil {
+		return core.State{}, err
+	}
+	for i := uint64(0); i < n; i++ {
+		k, err := d.string()
+		if err != nil {
+			return core.State{}, err
+		}
+		m, err := d.count(8)
+		if err != nil {
+			return core.State{}, err
+		}
+		series := make([]float64, 0, m)
+		for j := uint64(0); j < m; j++ {
+			v, err := d.float()
+			if err != nil {
+				return core.State{}, err
+			}
+			series = append(series, v)
+		}
+		st.SetSeries(k, series)
+	}
+
+	n, err = d.count(2) // key length byte + kind length byte at least
+	if err != nil {
+		return core.State{}, err
+	}
+	for i := uint64(0); i < n; i++ {
+		k, err := d.string()
+		if err != nil {
+			return core.State{}, err
+		}
+		sub, err := d.state(depth + 1)
+		if err != nil {
+			return core.State{}, err
+		}
+		st.SetSub(k, sub)
+	}
+	return st, nil
+}

@@ -1,0 +1,179 @@
+package statecodec
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"accrual/internal/clock"
+	"accrual/internal/core"
+	"accrual/internal/phi"
+	"accrual/internal/service"
+)
+
+var start = time.Date(2005, 3, 22, 9, 0, 0, 0, time.UTC)
+
+func sampleState(t *testing.T) service.MonitorState {
+	t.Helper()
+	clk := clock.NewManual(start)
+	m := service.NewMonitor(clk, func(_ string, at time.Time) core.Detector {
+		return phi.New(at)
+	})
+	for seq := 1; seq <= 50; seq++ {
+		at := clk.Advance(100 * time.Millisecond)
+		for _, id := range []string{"alpha", "beta", "gamma"} {
+			if err := m.Heartbeat(core.Heartbeat{From: id, Seq: uint64(seq), Sent: at, Arrived: at}); err != nil {
+				t.Fatalf("heartbeat: %v", err)
+			}
+		}
+	}
+	return m.ExportState()
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	st := sampleState(t)
+	data := Encode(st)
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, st) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, st)
+	}
+}
+
+func TestEncodeIsCanonical(t *testing.T) {
+	st := sampleState(t)
+	a := Encode(st)
+	b := Encode(st)
+	if !bytes.Equal(a, b) {
+		t.Error("two encodings of the same state differ")
+	}
+	decoded, err := Decode(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(Encode(decoded), a) {
+		t.Error("re-encoding a decoded state is not byte-identical")
+	}
+}
+
+func TestRoundTripAllFieldKinds(t *testing.T) {
+	inner := core.NewState("inner", 3)
+	inner.SetScalar("x", math.Inf(1))
+	st := core.NewState("outer", 7)
+	st.SetScalar("pi", math.Pi)
+	st.SetScalar("neg", -0.5)
+	st.SetInt("when", -1234567890123)
+	st.SetUint("seq", math.MaxUint64)
+	st.SetSeries("empty", nil)
+	st.SetSeries("vals", []float64{1, 2.5, -3, math.MaxFloat64})
+	st.SetSub("est", inner)
+	ms := service.MonitorState{Procs: []service.ProcessState{{ID: "p", State: st}}}
+
+	got, err := Decode(Encode(ms))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	// SetSeries(nil) stores an empty slice; compare semantically.
+	gs := got.Procs[0].State
+	if gs.Kind != "outer" || gs.Version != 7 {
+		t.Errorf("identity = %q v%d", gs.Kind, gs.Version)
+	}
+	if v := gs.Scalar("pi"); v != math.Pi {
+		t.Errorf("pi = %v", v)
+	}
+	if v := gs.Int("when"); v != -1234567890123 {
+		t.Errorf("when = %v", v)
+	}
+	if v := gs.Uint("seq"); v != math.MaxUint64 {
+		t.Errorf("seq = %v", v)
+	}
+	if s := gs.SeriesOf("vals"); len(s) != 4 || s[3] != math.MaxFloat64 {
+		t.Errorf("vals = %v", s)
+	}
+	if s, ok := gs.Series["empty"]; !ok || len(s) != 0 {
+		t.Errorf("empty = %v, %v", s, ok)
+	}
+	sub, ok := gs.SubOf("est")
+	if !ok || sub.Kind != "inner" || sub.Version != 3 {
+		t.Fatalf("sub = %+v, %v", sub, ok)
+	}
+	if v := sub.Scalar("x"); !math.IsInf(v, 1) {
+		t.Errorf("sub x = %v", v)
+	}
+}
+
+func TestRoundTripNaN(t *testing.T) {
+	st := core.NewState("k", 1)
+	st.SetScalar("nan", math.NaN())
+	ms := service.MonitorState{Procs: []service.ProcessState{{ID: "p", State: st}}}
+	got, err := Decode(Encode(ms))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := got.Procs[0].State.Scalar("nan"); !math.IsNaN(v) {
+		t.Errorf("nan = %v", v)
+	}
+}
+
+func TestDecodeEmpty(t *testing.T) {
+	got, err := Decode(Encode(service.MonitorState{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Errorf("Len = %d", got.Len())
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	valid := Encode(sampleState(t))
+	cases := map[string][]byte{
+		"empty":            nil,
+		"short":            valid[:3],
+		"bad magic":        append([]byte("XXXX"), valid[4:]...),
+		"future version":   append([]byte("AFS1\x02"), valid[5:]...),
+		"truncated body":   valid[:len(valid)/2],
+		"trailing bytes":   append(append([]byte(nil), valid...), 0xFF),
+		"huge proc count":  append([]byte("AFS1\x01"), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01),
+		"huge string len":  append([]byte("AFS1\x01"), 0x01, 0xFF, 0xFF, 0xFF, 0x7F),
+		"truncated series": append([]byte("AFS1\x01"), 0x01, 0x01, 'p', 0x01, 'k', 0x01, 0x00, 0x00, 0x00, 0x01, 0x01, 's', 0x05),
+	}
+	for name, data := range cases {
+		if _, err := Decode(data); !errors.Is(err, ErrBadState) {
+			t.Errorf("%s: err = %v, want ErrBadState", name, err)
+		}
+	}
+}
+
+func TestDecodeRejectsDeepNesting(t *testing.T) {
+	st := core.NewState("k", 1)
+	for i := 0; i < maxDepth+2; i++ {
+		outer := core.NewState("k", 1)
+		outer.SetSub("s", st)
+		st = outer
+	}
+	data := Encode(service.MonitorState{Procs: []service.ProcessState{{ID: "p", State: st}}})
+	if _, err := Decode(data); !errors.Is(err, ErrBadState) {
+		t.Errorf("deep nesting: err = %v, want ErrBadState", err)
+	}
+}
+
+func TestDecodeFeedsImportState(t *testing.T) {
+	st := sampleState(t)
+	decoded, err := Decode(Encode(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := service.NewMonitor(clock.NewManual(start.Add(5*time.Second)), func(_ string, at time.Time) core.Detector {
+		return phi.New(at)
+	})
+	n, err := m.ImportState(decoded)
+	if err != nil || n != 3 {
+		t.Fatalf("ImportState = %d, %v", n, err)
+	}
+}

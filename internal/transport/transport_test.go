@@ -1,7 +1,9 @@
 package transport
 
 import (
+	"bytes"
 	"encoding/json"
+	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -306,6 +308,79 @@ func TestAPIHistoryDisabled(t *testing.T) {
 	getJSON(t, srv.URL+"/v1/history?id=p", http.StatusNotFound, &errResp)
 	if errResp["error"] == "" {
 		t.Error("expected an explanatory error")
+	}
+}
+
+func TestAPIStateDumpRestore(t *testing.T) {
+	clk := clock.NewManual(time.Date(2005, 3, 22, 0, 0, 0, 0, time.UTC))
+	factory := func(_ string, start time.Time) core.Detector {
+		return simple.New(start)
+	}
+	mon := service.NewMonitor(clk, factory)
+	for seq := 1; seq <= 20; seq++ {
+		at := clk.Advance(time.Second)
+		_ = mon.Heartbeat(core.Heartbeat{From: "a", Seq: uint64(seq), Arrived: at})
+		_ = mon.Heartbeat(core.Heartbeat{From: "b", Seq: uint64(seq), Arrived: at})
+	}
+	srv := httptest.NewServer(NewAPI(mon))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/state: status %d, %v", resp.StatusCode, err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+
+	// A fresh monitor behind a fresh API accepts the dump.
+	mon2 := service.NewMonitor(clock.NewManual(clk.Now()), factory)
+	srv2 := httptest.NewServer(NewAPI(mon2))
+	defer srv2.Close()
+	var restored StateRestoreResponse
+	putState(t, srv2.URL+"/v1/state", body, http.StatusOK, &restored)
+	if restored.Restored != 2 {
+		t.Errorf("restored = %d, want 2", restored.Restored)
+	}
+	lvlA, _ := mon.Suspicion("a")
+	lvlB, _ := mon2.Suspicion("a")
+	if lvlA != lvlB {
+		t.Errorf("restored suspicion %v, live %v", lvlB, lvlA)
+	}
+
+	// Garbage payloads are rejected without side effects.
+	mon3 := service.NewMonitor(clock.NewManual(clk.Now()), factory)
+	srv3 := httptest.NewServer(NewAPI(mon3))
+	defer srv3.Close()
+	var errResp map[string]string
+	putState(t, srv3.URL+"/v1/state", []byte("junk"), http.StatusBadRequest, &errResp)
+	if mon3.Len() != 0 {
+		t.Errorf("rejected payload registered %d processes", mon3.Len())
+	}
+}
+
+func putState(t *testing.T, url string, body []byte, wantStatus int, out any) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("PUT %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
 	}
 }
 
