@@ -20,6 +20,7 @@ import (
 	"accrual/internal/service"
 	"accrual/internal/simple"
 	"accrual/internal/stats"
+	"accrual/internal/telemetry"
 	"accrual/internal/transform"
 	"accrual/internal/transport"
 )
@@ -152,25 +153,68 @@ func simpleMonitorFactory(_ string, start time.Time) core.Detector {
 // BenchmarkIngestParallel measures heartbeat ingest throughput with one
 // goroutine per core, each hammering its own monitored process — the
 // workload the sharded registry is built for: heartbeats for different
-// processes must never contend.
+// processes must never contend. The bare/telemetry sub-benchmarks pin
+// the cost of the striped counters on the hot path: telemetry must stay
+// zero-alloc and within a few ns/op of bare.
 func BenchmarkIngestParallel(b *testing.B) {
-	mon := service.NewMonitor(clock.NewManual(benchStart), simpleMonitorFactory)
-	var nextID atomic.Int64
-	b.ReportAllocs()
-	b.ResetTimer()
-	b.RunParallel(func(pb *testing.PB) {
-		id := fmt.Sprintf("proc-%d", nextID.Add(1))
-		at := benchStart
-		var seq uint64
-		for pb.Next() {
-			seq++
-			at = at.Add(100 * time.Millisecond)
-			if err := mon.Heartbeat(core.Heartbeat{From: id, Seq: seq, Arrived: at}); err != nil {
-				b.Error(err)
-				return
-			}
+	for _, variant := range []struct {
+		name string
+		opts []service.MonitorOption
+	}{
+		{"bare", nil},
+		{"telemetry", []service.MonitorOption{service.WithTelemetry(telemetry.NewHub())}},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			mon := service.NewMonitor(clock.NewManual(benchStart), simpleMonitorFactory, variant.opts...)
+			var nextID atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				id := fmt.Sprintf("proc-%d", nextID.Add(1))
+				at := benchStart
+				var seq uint64
+				for pb.Next() {
+					seq++
+					at = at.Add(100 * time.Millisecond)
+					if err := mon.Heartbeat(core.Heartbeat{From: id, Seq: seq, Arrived: at}); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestIngestHotPathZeroAlloc is the allocation budget as a plain test, so
+// `go test ./...` (and CI) catches a regression without anyone reading
+// benchmark output: the instrumented heartbeat and query paths must not
+// allocate in steady state.
+func TestIngestHotPathZeroAlloc(t *testing.T) {
+	mon := service.NewMonitor(clock.NewManual(benchStart), simpleMonitorFactory,
+		service.WithTelemetry(telemetry.NewHub()))
+	at := benchStart
+	var seq uint64
+	if err := mon.Heartbeat(core.Heartbeat{From: "p", Seq: 1, Arrived: at}); err != nil {
+		t.Fatal(err)
+	}
+	seq = 1
+	if allocs := testing.AllocsPerRun(1000, func() {
+		seq++
+		at = at.Add(100 * time.Millisecond)
+		if err := mon.Heartbeat(core.Heartbeat{From: "p", Seq: seq, Arrived: at}); err != nil {
+			t.Fatal(err)
 		}
-	})
+	}); allocs != 0 {
+		t.Errorf("instrumented heartbeat ingest: %.1f allocs/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := mon.Suspicion("p"); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("instrumented suspicion query: %.1f allocs/op, want 0", allocs)
+	}
 }
 
 // BenchmarkQueryParallel measures suspicion-query throughput with one

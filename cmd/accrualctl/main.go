@@ -18,6 +18,9 @@
 //	    download the daemon's detector state (binary snapshot)
 //	accrualctl state restore [-api ...] [-i state.bin]
 //	    upload a snapshot into a (typically fresh) daemon
+//	accrualctl top [-api ...] [-every 2s] [-once] [-n 10]
+//	    ranked live table of suspicion and online QoS estimates
+//	    (λ_M, P_A, T_MR) scraped from the daemon's /v1/metrics
 //
 // `state dump | state restore` is the live handoff path: pipe one
 // daemon's learned estimator state straight into its replacement so the
@@ -66,6 +69,8 @@ func run(args []string) int {
 		err = cmdHistory(args[1:])
 	case "state":
 		err = cmdState(args[1:])
+	case "top":
+		err = cmdTop(args[1:])
 	default:
 		usage()
 		return 2
@@ -78,7 +83,7 @@ func run(args []string) int {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: accrualctl <beat|ls|get|status|watch|history|state> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: accrualctl <beat|ls|get|status|watch|history|state|top> [flags]")
 }
 
 func cmdHistory(args []string) error {

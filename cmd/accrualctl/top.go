@@ -1,0 +1,142 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"accrual/internal/telemetry"
+)
+
+// cmdTop renders a ranked per-process table from the daemon's
+// /v1/metrics exposition: suspicion level plus the online QoS estimates
+// (mistake rate λ_M, query accuracy P_A, mean mistake recurrence T_MR).
+// With -once it prints a single table; otherwise it refreshes every
+// -every until interrupted.
+func cmdTop(args []string) error {
+	fs := flag.NewFlagSet("top", flag.ContinueOnError)
+	api := fs.String("api", "http://127.0.0.1:8080", "daemon HTTP address")
+	every := fs.Duration("every", 2*time.Second, "refresh period")
+	once := fs.Bool("once", false, "print one table and exit")
+	n := fs.Int("n", 0, "show only the n most suspected processes (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *once {
+		return scrapeAndRender(os.Stdout, *api, *n)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ticker := time.NewTicker(*every)
+	defer ticker.Stop()
+	for {
+		if err := scrapeAndRender(os.Stdout, *api, *n); err != nil {
+			fmt.Fprintf(os.Stderr, "top: %v\n", err)
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-ticker.C:
+		}
+	}
+}
+
+func scrapeAndRender(w io.Writer, api string, n int) error {
+	resp, err := http.Get(api + "/v1/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/v1/metrics: %s (is the daemon running with telemetry?)", resp.Status)
+	}
+	samples, err := telemetry.ParseText(resp.Body)
+	if err != nil {
+		return err
+	}
+	return renderTop(w, samples, n)
+}
+
+// topRow is one process's row, assembled from the per-process samples.
+type topRow struct {
+	id                     string
+	level, lambda, pa, tmr float64
+}
+
+// renderTop turns parsed exposition samples into the ranked table.
+// Processes are ordered most-suspected first; metrics that are not yet
+// estimable (NaN) render as "-".
+func renderTop(w io.Writer, samples []telemetry.Sample, n int) error {
+	rows := map[string]*topRow{}
+	row := func(proc string) *topRow {
+		r, ok := rows[proc]
+		if !ok {
+			nan := math.NaN()
+			r = &topRow{id: proc, level: nan, lambda: nan, pa: nan, tmr: nan}
+			rows[proc] = r
+		}
+		return r
+	}
+	for _, s := range samples {
+		proc := s.Label("proc")
+		if proc == "" {
+			continue
+		}
+		switch s.Name {
+		case telemetry.MetricSuspicionLevel:
+			row(proc).level = s.Value
+		case telemetry.MetricQoSLambdaM:
+			row(proc).lambda = s.Value
+		case telemetry.MetricQoSPA:
+			row(proc).pa = s.Value
+		case telemetry.MetricQoSTMR:
+			row(proc).tmr = s.Value
+		}
+	}
+	ranked := make([]*topRow, 0, len(rows))
+	for _, r := range rows {
+		ranked = append(ranked, r)
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		li, lj := ranked[i].level, ranked[j].level
+		// NaN levels sink to the bottom; ties break by id for stability.
+		switch {
+		case math.IsNaN(li) && !math.IsNaN(lj):
+			return false
+		case !math.IsNaN(li) && math.IsNaN(lj):
+			return true
+		case li != lj:
+			return li > lj
+		}
+		return ranked[i].id < ranked[j].id
+	})
+	if n > 0 && len(ranked) > n {
+		ranked = ranked[:n]
+	}
+	fmt.Fprintf(w, "%-24s %10s %12s %8s %10s\n", "PROCESS", "SUSPICION", "MISTAKES/S", "P_A", "T_MR(S)")
+	for _, r := range ranked {
+		fmt.Fprintf(w, "%-24s %10s %12s %8s %10s\n",
+			r.id, topCell(r.level, 4), topCell(r.lambda, 6), topCell(r.pa, 4), topCell(r.tmr, 1))
+	}
+	if len(ranked) == 0 {
+		fmt.Fprintln(w, "(no monitored processes)")
+	}
+	return nil
+}
+
+// topCell formats one table value, rendering NaN (not yet estimable) as
+// a dash.
+func topCell(v float64, prec int) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.*f", prec, v)
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"accrual/internal/clock"
+	"accrual/internal/core"
+	"accrual/internal/service"
+	"accrual/internal/simple"
+	"accrual/internal/telemetry"
+	"accrual/internal/transport"
+)
+
+// newTelemetryAPIServer is newAPIServer with a telemetry hub wired in,
+// so /v1/metrics serves real online estimates.
+func newTelemetryAPIServer(t *testing.T) (*httptest.Server, *clock.Manual, *service.Monitor, *telemetry.Hub) {
+	t.Helper()
+	clk := clock.NewManual(time.Date(2005, 3, 22, 0, 0, 0, 0, time.UTC))
+	hub := telemetry.NewHub()
+	mon := service.NewMonitor(clk, func(_ string, start time.Time) core.Detector {
+		return simple.New(start)
+	}, service.WithTelemetry(hub))
+	srv := httptest.NewServer(transport.NewAPI(mon, transport.WithAPITelemetry(hub)))
+	t.Cleanup(srv.Close)
+	return srv, clk, mon, hub
+}
+
+func TestTopAgainstLiveAPI(t *testing.T) {
+	srv, clk, mon, hub := newTelemetryAPIServer(t)
+	for seq := 1; seq <= 3; seq++ {
+		at := clk.Advance(time.Second)
+		_ = mon.Heartbeat(core.Heartbeat{From: "steady", Seq: uint64(seq), Arrived: at})
+		_ = mon.Heartbeat(core.Heartbeat{From: "flaky", Seq: uint64(seq), Arrived: at})
+		hub.QoS().Sample(mon)
+	}
+	// flaky goes silent; its level climbs above steady's.
+	for i := 0; i < 5; i++ {
+		at := clk.Advance(time.Second)
+		_ = mon.Heartbeat(core.Heartbeat{From: "steady", Seq: uint64(4 + i), Arrived: at})
+		hub.QoS().Sample(mon)
+	}
+	if code := run([]string{"top", "-once", "-api", srv.URL}); code != 0 {
+		t.Errorf("top exit = %d", code)
+	}
+	if code := run([]string{"top", "-once", "-n", "1", "-api", srv.URL}); code != 0 {
+		t.Errorf("top -n exit = %d", code)
+	}
+}
+
+func TestTopWithoutTelemetry(t *testing.T) {
+	srv, _, _ := newAPIServer(t)
+	if code := run([]string{"top", "-once", "-api", srv.URL}); code != 1 {
+		t.Errorf("top against telemetry-less daemon exit = %d, want 1", code)
+	}
+}
+
+// TestRenderTopRanking pins the table shape: most-suspected first, NaN
+// metrics as dashes, -n truncation, NaN levels at the bottom.
+func TestRenderTopRanking(t *testing.T) {
+	nan := math.NaN()
+	samples := []telemetry.Sample{
+		{Name: telemetry.MetricSuspicionLevel, Labels: map[string]string{"proc": "calm"}, Value: 0.5},
+		{Name: telemetry.MetricSuspicionLevel, Labels: map[string]string{"proc": "hot"}, Value: 9.25},
+		{Name: telemetry.MetricSuspicionLevel, Labels: map[string]string{"proc": "fresh"}, Value: nan},
+		{Name: telemetry.MetricQoSLambdaM, Labels: map[string]string{"proc": "hot"}, Value: 0.01},
+		{Name: telemetry.MetricQoSPA, Labels: map[string]string{"proc": "hot"}, Value: 0.875},
+		{Name: telemetry.MetricQoSTMR, Labels: map[string]string{"proc": "hot"}, Value: 120},
+		{Name: telemetry.MetricQoSPA, Labels: map[string]string{"proc": "calm"}, Value: nan},
+		{Name: "accrual_heartbeats_ingested_total", Labels: map[string]string{}, Value: 42},
+	}
+	var sb strings.Builder
+	if err := renderTop(&sb, samples, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want header + 3 rows:\n%s", len(lines), out)
+	}
+	for i, prefix := range []string{"PROCESS", "hot", "calm", "fresh"} {
+		if !strings.HasPrefix(lines[i], prefix) {
+			t.Errorf("line %d = %q, want prefix %q", i, lines[i], prefix)
+		}
+	}
+	if !strings.Contains(lines[1], "9.2500") || !strings.Contains(lines[1], "0.8750") ||
+		!strings.Contains(lines[1], "120.0") {
+		t.Errorf("hot row = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "-") {
+		t.Errorf("calm row should dash its NaN estimates: %q", lines[2])
+	}
+
+	sb.Reset()
+	if err := renderTop(&sb, samples, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(sb.String(), "\n"); got != 2 {
+		t.Errorf("-n 1 output has %d lines, want header + 1 row", got)
+	}
+
+	sb.Reset()
+	if err := renderTop(&sb, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no monitored processes") {
+		t.Errorf("empty table output = %q", sb.String())
+	}
+}

@@ -7,6 +7,15 @@
 //
 //	accruald [-udp :7946] [-http :8080] [-detector phi] [-interval 1s]
 //	         [-state-file accrual.state] [-state-interval 30s]
+//	         [-qos-high 2] [-qos-low 1] [-pprof-addr localhost:6060]
+//
+// The daemon is observable while it runs: GET /v1/metrics serves
+// hot-path counters, UDP packet dispositions and online QoS estimates
+// (mistake rate λ_M, query accuracy P_A, mean mistake recurrence
+// T_MR, …) in the Prometheus text format, with -qos-high/-qos-low
+// setting the reference interpreter's two thresholds. -pprof-addr
+// additionally serves net/http/pprof on its own listener (keep it on
+// localhost). See docs/OBSERVABILITY.md.
 //
 // With -state-file the daemon persists its detectors' learned state
 // (estimator windows, arrival cursors) periodically and on shutdown, and
@@ -30,6 +39,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registered on its own mux, served only via -pprof-addr
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -44,6 +54,7 @@ import (
 	"accrual/internal/phi"
 	"accrual/internal/service"
 	"accrual/internal/simple"
+	"accrual/internal/telemetry"
 	"accrual/internal/transport"
 	"accrual/internal/transport/statecodec"
 )
@@ -72,6 +83,9 @@ func run(ctx context.Context, args []string, ready chan<- [2]string) error {
 		ingestWk  = fs.Int("ingest-workers", runtime.GOMAXPROCS(0), "parallel heartbeat ingest goroutines (0 = ingest from the read loop)")
 		stateFile = fs.String("state-file", "", "persist detector state here for warm restarts (empty disables)")
 		stateIntv = fs.Duration("state-interval", 30*time.Second, "period between state-file saves")
+		qosHigh   = fs.Float64("qos-high", float64(telemetry.DefaultQoSHigh), "online QoS reference threshold: suspect above this level")
+		qosLow    = fs.Float64("qos-low", float64(telemetry.DefaultQoSLow), "online QoS reference threshold: trust again at or below this level")
+		pprofAddr = fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables; keep it on localhost)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,11 +94,17 @@ func run(ctx context.Context, args []string, ready chan<- [2]string) error {
 	if err != nil {
 		return err
 	}
-	var monOpts []service.MonitorOption
+	hub := telemetry.NewHub(telemetry.WithQoSThresholds(core.Level(*qosHigh), core.Level(*qosLow)))
+	monOpts := []service.MonitorOption{service.WithTelemetry(hub)}
 	if *shards > 0 {
 		monOpts = append(monOpts, service.WithShardCount(*shards))
 	}
 	mon := service.NewMonitor(clock.Wall{}, factory, monOpts...)
+
+	// Online QoS estimation: sample every process's suspicion level on
+	// the heartbeat cadence into the hub's streaming estimators.
+	sampler := telemetry.StartSampler(hub.QoS(), mon, *interval)
+	defer sampler.Stop()
 
 	// Warm boot: restore any persisted detector state before the
 	// listeners open, so the first heartbeats land on calibrated
@@ -102,7 +122,7 @@ func run(ctx context.Context, args []string, ready chan<- [2]string) error {
 		}
 	}
 
-	var lnOpts []transport.ListenerOption
+	lnOpts := []transport.ListenerOption{transport.WithTelemetry(hub)}
 	if *ingestWk > 0 {
 		lnOpts = append(lnOpts, transport.WithIngestWorkers(*ingestWk))
 	}
@@ -113,6 +133,10 @@ func run(ctx context.Context, args []string, ready chan<- [2]string) error {
 	defer listener.Close()
 	log.Printf("heartbeat listener on %s (detector=%s interval=%v ingest-workers=%d)", listener.Addr(), *detName, *interval, *ingestWk)
 
+	apiOpts := []transport.APIOption{
+		transport.WithAPITelemetry(hub),
+		transport.WithSampler(sampler),
+	}
 	if *logTrans {
 		// An internal observer application using the paper's
 		// parameter-free Algorithm 1; purely informational — client
@@ -123,14 +147,27 @@ func run(ctx context.Context, args []string, ready chan<- [2]string) error {
 			}))
 		w := service.Watch(app, *interval)
 		defer w.Stop()
+		apiOpts = append(apiOpts, transport.WithWatcher(w))
 	}
-
-	var apiOpts []transport.APIOption
 	if *history > 0 {
 		rec := service.NewRecorder(mon, *history)
 		runner := service.StartRecorder(rec, *interval)
 		defer runner.Stop()
 		apiOpts = append(apiOpts, transport.WithRecorder(rec))
+	}
+
+	if *pprofAddr != "" {
+		// net/http/pprof registers on the default mux; serve that mux on
+		// its own listener so profiling never shares a port with the
+		// query API.
+		pprofLn, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listen %s: %w", *pprofAddr, err)
+		}
+		pprofSrv := &http.Server{Handler: http.DefaultServeMux, ReadHeaderTimeout: 5 * time.Second}
+		defer pprofSrv.Close()
+		go func() { _ = pprofSrv.Serve(pprofLn) }()
+		log.Printf("pprof on http://%s/debug/pprof/", pprofLn.Addr())
 	}
 
 	httpLn, err := net.Listen("tcp", *httpAddr)

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"accrual/internal/telemetry"
+	"accrual/internal/transport"
+)
+
+// TestDaemonMetricsEndpoint boots the daemon with defaults (telemetry is
+// always on in accruald), feeds it heartbeats over real UDP, and checks
+// that /v1/metrics serves a parseable Prometheus exposition covering the
+// counter, transport, and per-process gauge families.
+func TestDaemonMetricsEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time daemon test skipped in -short mode")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan [2]string, 1)
+	done := make(chan error, 1)
+	go func() {
+		// Default -log-transitions stays on so the watcher is wired
+		// into /v1/metrics.
+		done <- run(ctx, []string{
+			"-udp", "127.0.0.1:0", "-http", "127.0.0.1:0",
+			"-interval", "20ms",
+		}, ready)
+	}()
+	var addrs [2]string
+	select {
+	case addrs = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	udpAddr, httpAddr := addrs[0], addrs[1]
+
+	sender, err := transport.NewSender("metrics-node", udpAddr, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sender.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Stop()
+
+	// Scrape until the node's heartbeats show up in the counters and
+	// the watcher/sampler loops have published their first liveness
+	// stamps (both tick on the 20ms -interval).
+	url := "http://" + httpAddr + "/v1/metrics"
+	deadline := time.Now().Add(5 * time.Second)
+	var samples []telemetry.Sample
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("metrics never reflected the heartbeating node")
+		}
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			t.Fatalf("GET /v1/metrics = %s", resp.Status)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+			resp.Body.Close()
+			t.Fatalf("Content-Type = %q, want Prometheus text 0.0.4", ct)
+		}
+		samples, err = telemetry.ParseText(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("exposition does not parse: %v", err)
+		}
+		if metricValue(samples, "accrual_heartbeats_ingested_total", "", "") > 0 &&
+			metricValue(samples, "accrual_udp_heartbeats_delivered_total", "", "") > 0 &&
+			metricValue(samples, "accrual_watcher_last_poll_timestamp_seconds", "", "") > 0 &&
+			metricValue(samples, "accrual_sampler_last_sample_timestamp_seconds", "", "") > 0 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	if got := metricValue(samples, "accrual_monitor_processes", "", ""); got != 1 {
+		t.Errorf("accrual_monitor_processes = %v, want 1", got)
+	}
+	if got := metricValue(samples, telemetry.MetricSuspicionLevel, "proc", "metrics-node"); got < 0 {
+		t.Errorf("no %s sample for metrics-node", telemetry.MetricSuspicionLevel)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("shutdown error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+// metricValue finds a sample by name (and optional single label match),
+// returning -1 if absent.
+func metricValue(samples []telemetry.Sample, name, labelName, labelValue string) float64 {
+	for _, s := range samples {
+		if s.Name != name {
+			continue
+		}
+		if labelName != "" && s.Labels[labelName] != labelValue {
+			continue
+		}
+		return s.Value
+	}
+	return -1
+}

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"accrual/internal/clock"
+	"accrual/internal/core"
+	"accrual/internal/service"
+	"accrual/internal/simple"
+	"accrual/internal/telemetry"
+	"accrual/internal/transport"
+)
+
+// benchResult is the machine-readable record one micro-benchmark emits,
+// written to BENCH_<name>.json. The format is documented in README.md
+// and consumed by CI's fdbench smoke job.
+type benchResult struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// benchmarks maps -bench names to the functions testing.Benchmark runs.
+// All of them exercise the telemetry-instrumented paths, so the emitted
+// numbers are the observable daemon's, not an uninstrumented ideal's.
+var benchmarks = map[string]func(*testing.B){
+	"ingest": benchIngest,
+	"query":  benchQuery,
+	"scrape": benchScrape,
+}
+
+func benchMonitor() (*service.Monitor, *telemetry.Hub) {
+	hub := telemetry.NewHub()
+	clk := clock.NewManual(time.Date(2005, 3, 22, 0, 0, 0, 0, time.UTC))
+	mon := service.NewMonitor(clk, func(_ string, start time.Time) core.Detector {
+		return simple.New(start)
+	}, service.WithTelemetry(hub))
+	return mon, hub
+}
+
+// benchIngest measures the instrumented heartbeat hot path with one
+// goroutine per core, each hammering its own process — the same shape as
+// the repo's BenchmarkIngestParallel.
+func benchIngest(b *testing.B) {
+	mon, _ := benchMonitor()
+	arrived := mon.Now()
+	var nextID atomic.Int64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		id := fmt.Sprintf("proc-%d", nextID.Add(1))
+		var seq uint64
+		for pb.Next() {
+			seq++
+			if err := mon.Heartbeat(core.Heartbeat{From: id, Seq: seq, Arrived: arrived}); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// benchQuery measures the instrumented suspicion query path.
+func benchQuery(b *testing.B) {
+	mon, _ := benchMonitor()
+	if err := mon.Heartbeat(core.Heartbeat{From: "p", Seq: 1, Arrived: mon.Now()}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := mon.Suspicion("p"); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// benchScrape measures one full /v1/metrics render over a 100-process
+// registry with live QoS estimates.
+func benchScrape(b *testing.B) {
+	mon, hub := benchMonitor()
+	arrived := mon.Now()
+	for i := 0; i < 100; i++ {
+		id := fmt.Sprintf("proc-%03d", i)
+		if err := mon.Heartbeat(core.Heartbeat{From: id, Seq: 1, Arrived: arrived}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	hub.QoS().Sample(mon)
+	api := transport.NewAPI(mon, transport.WithAPITelemetry(hub))
+	req := httptest.NewRequest("GET", "/v1/metrics", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		api.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Fatalf("status = %d", rec.Code)
+		}
+	}
+}
+
+// runBenchmarks executes the named benchmark ("all" for every one) and
+// writes BENCH_<name>.json files into outDir, printing a one-line
+// summary per benchmark to stdout.
+func runBenchmarks(name, outDir string) error {
+	names := make([]string, 0, len(benchmarks))
+	if name == "all" {
+		for n := range benchmarks {
+			names = append(names, n)
+		}
+	} else if _, ok := benchmarks[name]; ok {
+		names = append(names, name)
+	} else {
+		return fmt.Errorf("unknown benchmark %q (want ingest, query, scrape or all)", name)
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	for _, n := range names {
+		r := testing.Benchmark(benchmarks[n])
+		nsPerOp := float64(r.T.Nanoseconds()) / float64(r.N)
+		res := benchResult{
+			Name:        n,
+			N:           r.N,
+			NsPerOp:     nsPerOp,
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if nsPerOp > 0 {
+			res.OpsPerSec = 1e9 / nsPerOp
+		}
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		path := filepath.Join(outDir, "BENCH_"+n+".json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d iterations, %.1f ns/op, %.0f ops/sec, %d allocs/op -> %s\n",
+			n, res.N, res.NsPerOp, res.OpsPerSec, res.AllocsPerOp, path)
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestBenchJSONArtifact runs the query micro-benchmark through the CLI
+// path and validates the BENCH_<name>.json contract CI relies on.
+func TestBenchJSONArtifact(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "nested") // -bench-out may not exist yet
+	if code := run([]string{"-bench", "query", "-bench-out", out}); code != 0 {
+		t.Fatalf("bench exit = %d", code)
+	}
+	data, err := os.ReadFile(filepath.Join(out, "BENCH_query.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res benchResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v\n%s", err, data)
+	}
+	if res.Name != "query" || res.N <= 0 || res.NsPerOp <= 0 || res.OpsPerSec <= 0 {
+		t.Errorf("implausible result: %+v", res)
+	}
+	if res.AllocsPerOp != 0 {
+		t.Errorf("instrumented query path allocates: %d allocs/op", res.AllocsPerOp)
+	}
+}
+
+func TestBenchUnknownName(t *testing.T) {
+	if code := run([]string{"-bench", "frobnicate"}); code != 2 {
+		t.Errorf("unknown bench exit = %d, want 2", code)
+	}
+}

@@ -13,6 +13,12 @@
 // Usage:
 //
 //	fdbench -sweep threshold [-seed 42]
+//	fdbench -bench ingest|query|scrape|all [-bench-out DIR]
+//
+// With -bench, fdbench runs a hot-path micro-benchmark through
+// testing.Benchmark and writes a machine-readable BENCH_<name>.json
+// (ops/sec, ns/op, allocs/op; format in README.md) into -bench-out —
+// the artifact CI archives on every run.
 package main
 
 import (
@@ -40,11 +46,20 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("fdbench", flag.ContinueOnError)
 	var (
-		sweep = fs.String("sweep", "threshold", "sweep to run: threshold, window, loss, interval, gst")
-		seed  = fs.Uint64("seed", 42, "base random seed")
+		sweep    = fs.String("sweep", "threshold", "sweep to run: threshold, window, loss, interval, gst")
+		seed     = fs.Uint64("seed", 42, "base random seed")
+		bench    = fs.String("bench", "", "run a micro-benchmark instead of a sweep: ingest, query, scrape or all")
+		benchOut = fs.String("bench-out", ".", "directory for BENCH_<name>.json results")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *bench != "" {
+		if err := runBenchmarks(*bench, *benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "fdbench: %v\n", err)
+			return 2
+		}
+		return 0
 	}
 	switch *sweep {
 	case "threshold":

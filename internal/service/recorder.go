@@ -2,6 +2,7 @@ package service
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"accrual/internal/core"
@@ -19,6 +20,8 @@ type Recorder struct {
 	mu      sync.Mutex
 	byProc  map[string]*ring
 	samples int64
+
+	lastTick atomic.Int64 // unix nanoseconds of the latest completed tick
 }
 
 type ring struct {
@@ -75,6 +78,19 @@ func (r *Recorder) Tick() {
 		}
 		rg.push(core.QueryRecord{At: now, Level: lvl})
 	})
+	r.lastTick.Store(now.UnixNano())
+}
+
+// LastTick returns the monitor-clock time of the latest completed
+// sampling round (the zero time before the first). Lock-free, so the
+// /v1/metrics scrape can report recorder staleness without queueing
+// behind a tick in progress.
+func (r *Recorder) LastTick() time.Time {
+	ns := r.lastTick.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
 }
 
 // History returns the recorded samples for one process, oldest first.

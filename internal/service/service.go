@@ -41,6 +41,7 @@ import (
 
 	"accrual/internal/clock"
 	"accrual/internal/core"
+	"accrual/internal/telemetry"
 	"accrual/internal/transform"
 )
 
@@ -73,15 +74,31 @@ const defaultShardCount = 64
 type entry struct {
 	mu  sync.Mutex
 	det core.Detector
+	// lastSeq is the highest heartbeat sequence number seen (0 until a
+	// numbered heartbeat arrives), guarded by mu like the detector.
+	lastSeq uint64
 	// removed is set on deregistration so that cached handles (see
 	// levelFunc) know to re-resolve instead of reading an orphan.
 	removed atomic.Bool
 }
 
-func (e *entry) report(hb core.Heartbeat) {
+// report feeds one heartbeat to the detector and reports whether it was
+// stale — numbered at or below a sequence already seen (duplicate or
+// out-of-order delivery). Stale heartbeats still reach the detector:
+// they are real arrivals and the sampling-window estimators want them;
+// staleness is a telemetry signal, not a filter.
+func (e *entry) report(hb core.Heartbeat) (stale bool) {
 	e.mu.Lock()
+	if hb.Seq != 0 {
+		if hb.Seq <= e.lastSeq {
+			stale = true
+		} else {
+			e.lastSeq = hb.Seq
+		}
+	}
 	e.det.Report(hb)
 	e.mu.Unlock()
+	return stale
 }
 
 func (e *entry) level(now time.Time) core.Level {
@@ -107,6 +124,11 @@ type Monitor struct {
 
 	shardMask uint32
 	shards    []shard
+
+	// tel is the optional telemetry hub. The hot paths reuse the shard
+	// hash to pick a counter stripe, so instrumentation costs one
+	// uncontended atomic add and zero allocations per operation.
+	tel *telemetry.Hub
 }
 
 // MonitorOption configures a Monitor.
@@ -141,6 +163,14 @@ func WithShardCount(n int) MonitorOption {
 	}
 }
 
+// WithTelemetry wires a telemetry hub into the monitor: heartbeats,
+// stale arrivals, queries and registration churn are counted on the
+// hub's striped counters, and deregistrations are forwarded to its QoS
+// layer so crashed processes yield detection-time samples.
+func WithTelemetry(hub *telemetry.Hub) MonitorOption {
+	return func(m *Monitor) { m.tel = hub }
+}
+
 // NewMonitor returns a monitor that timestamps registrations with clk and
 // creates detectors with factory. Both are required.
 func NewMonitor(clk clock.Clock, factory Factory, opts ...MonitorOption) *Monitor {
@@ -171,8 +201,14 @@ func fnv1a(s string) uint32 {
 	return h
 }
 
+// shardAt maps a precomputed id hash to its shard; hot paths hash once
+// and reuse the value for both shard selection and counter striping.
+func (m *Monitor) shardAt(h uint32) *shard {
+	return &m.shards[h&m.shardMask]
+}
+
 func (m *Monitor) shardFor(id string) *shard {
-	return &m.shards[fnv1a(id)&m.shardMask]
+	return m.shardAt(fnv1a(id))
 }
 
 // lookup returns the live entry for id, or nil.
@@ -187,26 +223,39 @@ func (m *Monitor) lookup(id string) *entry {
 // Register adds a monitored process. It returns ErrAlreadyRegistered if
 // the id is already present.
 func (m *Monitor) Register(id string) error {
-	sh := m.shardFor(id)
+	h := fnv1a(id)
+	sh := m.shardAt(h)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	if _, ok := sh.procs[id]; ok {
+		sh.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrAlreadyRegistered, id)
 	}
 	sh.procs[id] = &entry{det: m.factory(id, m.clk.Now())}
+	sh.mu.Unlock()
+	if m.tel != nil {
+		m.tel.Counters.Registered(h)
+	}
 	return nil
 }
 
 // Deregister removes a monitored process and reports whether it was
 // present.
 func (m *Monitor) Deregister(id string) bool {
-	sh := m.shardFor(id)
+	h := fnv1a(id)
+	sh := m.shardAt(h)
 	sh.mu.Lock()
 	e, ok := sh.procs[id]
 	delete(sh.procs, id)
 	sh.mu.Unlock()
 	if ok {
 		e.removed.Store(true)
+		// Telemetry strictly after the shard unlock: the QoS sampler
+		// holds its own lock while it read-locks shards (Sample →
+		// EachLevel), so notifying under sh.mu would invert that order.
+		if m.tel != nil {
+			m.tel.Counters.Deregistered(h)
+			m.tel.ProcessDeregistered(id, m.clk.Now())
+		}
 	}
 	return ok
 }
@@ -258,7 +307,8 @@ func (m *Monitor) appendIDs(buf []string) []string {
 // time when it carries one, so replayed or simulated streams do not skew
 // the first inter-arrival sample with the ingestion-time clock reading.
 func (m *Monitor) Heartbeat(hb core.Heartbeat) error {
-	sh := m.shardFor(hb.From)
+	h := fnv1a(hb.From)
+	sh := m.shardAt(h)
 	sh.mu.RLock()
 	e := sh.procs[hb.From]
 	sh.mu.RUnlock()
@@ -274,18 +324,31 @@ func (m *Monitor) Heartbeat(hb core.Heartbeat) error {
 		if e = sh.procs[hb.From]; e == nil {
 			e = &entry{det: m.factory(hb.From, start)}
 			sh.procs[hb.From] = e
+			if m.tel != nil {
+				m.tel.Counters.Registered(h)
+			}
 		}
 		sh.mu.Unlock()
 	}
-	e.report(hb)
+	stale := e.report(hb)
+	if m.tel != nil {
+		m.tel.Counters.Heartbeat(h, stale)
+	}
 	return nil
 }
 
 // Suspicion returns the current suspicion level of one process.
 func (m *Monitor) Suspicion(id string) (core.Level, error) {
-	e := m.lookup(id)
+	h := fnv1a(id)
+	sh := m.shardAt(h)
+	sh.mu.RLock()
+	e := sh.procs[id]
+	sh.mu.RUnlock()
 	if e == nil {
 		return 0, fmt.Errorf("%w: %q", ErrUnknownProcess, id)
+	}
+	if m.tel != nil {
+		m.tel.Counters.Query(h)
 	}
 	return e.level(m.clk.Now()), nil
 }
@@ -345,6 +408,7 @@ func (m *Monitor) Now() time.Time { return m.clk.Now() }
 // lookup entirely, re-resolving only after a deregistration (which may
 // find a re-registered successor, or nothing — then it reports zero).
 func (m *Monitor) levelFunc(id string) transform.LevelFunc {
+	h := fnv1a(id)
 	var cached *entry
 	return func(now time.Time) core.Level {
 		e := cached
@@ -354,6 +418,9 @@ func (m *Monitor) levelFunc(id string) transform.LevelFunc {
 			if e == nil {
 				return 0
 			}
+		}
+		if m.tel != nil {
+			m.tel.Counters.Query(h)
 		}
 		return e.level(now)
 	}

@@ -19,10 +19,11 @@ type Watcher struct {
 	ticks  func() <-chan time.Time // overridable for tests
 	stopFn func()
 
-	mu      sync.Mutex
-	done    chan struct{}
-	stopped chan struct{}
-	polls   atomic.Int64
+	mu       sync.Mutex
+	done     chan struct{}
+	stopped  chan struct{}
+	polls    atomic.Int64
+	lastPoll atomic.Int64 // unix nanoseconds of the latest completed poll
 }
 
 // WatcherOption configures a Watcher.
@@ -69,6 +70,7 @@ func (w *Watcher) loop() {
 			return
 		case <-w.ticks():
 			w.app.Poll()
+			w.lastPoll.Store(w.app.monitor.Now().UnixNano())
 			w.polls.Add(1)
 		}
 	}
@@ -76,6 +78,17 @@ func (w *Watcher) loop() {
 
 // Polls returns how many poll rounds have completed.
 func (w *Watcher) Polls() int64 { return w.polls.Load() }
+
+// LastPoll returns the monitor-clock time of the latest completed poll
+// round (the zero time before the first). It is safe to call from any
+// goroutine — /v1/metrics scrapes it as a liveness gauge for the loop.
+func (w *Watcher) LastPoll() time.Time {
+	ns := w.lastPoll.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
 
 // Stop terminates the watcher and waits for its goroutine to exit. Stop
 // is idempotent and safe to call concurrently.

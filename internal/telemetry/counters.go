@@ -1,0 +1,159 @@
+package telemetry
+
+import "sync/atomic"
+
+// counterStripes is the number of independent counter cells the monitor
+// hot-path counters are spread over. Increments are routed by the same
+// FNV-1a hash the Monitor shards on, so goroutines hammering different
+// processes land on different cache lines and an instrumented ingest
+// path costs an uncontended atomic add. Must be a power of two.
+const counterStripes = 64
+
+// counterCell is one stripe of hot-path counters, padded so that two
+// stripes never share a cache-line pair (64-byte lines, 128-byte
+// prefetch pairs on modern x86/ARM).
+type counterCell struct {
+	heartbeats      atomic.Uint64
+	stale           atomic.Uint64
+	queries         atomic.Uint64
+	registrations   atomic.Uint64
+	deregistrations atomic.Uint64
+	_               [88]byte
+}
+
+// Counters aggregates the service.Monitor hot path: heartbeats ingested,
+// stale (out-of-order or duplicate sequence) arrivals, suspicion queries
+// served, and registration churn. All methods are safe for concurrent
+// use, allocation-free, and wait-free (a single atomic add).
+type Counters struct {
+	cells [counterStripes]counterCell
+}
+
+// Heartbeat records one ingested heartbeat for the process whose id
+// hashes to hash; stale marks an out-of-order or duplicate sequence
+// number.
+func (c *Counters) Heartbeat(hash uint32, stale bool) {
+	cell := &c.cells[hash&(counterStripes-1)]
+	cell.heartbeats.Add(1)
+	if stale {
+		cell.stale.Add(1)
+	}
+}
+
+// Query records one suspicion query served.
+func (c *Counters) Query(hash uint32) {
+	c.cells[hash&(counterStripes-1)].queries.Add(1)
+}
+
+// Registered records one process registration (explicit or automatic).
+func (c *Counters) Registered(hash uint32) {
+	c.cells[hash&(counterStripes-1)].registrations.Add(1)
+}
+
+// Deregistered records one process deregistration.
+func (c *Counters) Deregistered(hash uint32) {
+	c.cells[hash&(counterStripes-1)].deregistrations.Add(1)
+}
+
+// CounterTotals is a point-in-time sum of the striped counters.
+type CounterTotals struct {
+	HeartbeatsIngested uint64
+	HeartbeatsStale    uint64
+	Queries            uint64
+	Registrations      uint64
+	Deregistrations    uint64
+}
+
+// Totals sums every stripe. The sum is not a single atomic snapshot —
+// concurrent increments may or may not be included — which is exactly
+// the semantics of a monotonic counter scrape.
+func (c *Counters) Totals() CounterTotals {
+	var t CounterTotals
+	for i := range c.cells {
+		cell := &c.cells[i]
+		t.HeartbeatsIngested += cell.heartbeats.Load()
+		t.HeartbeatsStale += cell.stale.Load()
+		t.Queries += cell.queries.Load()
+		t.Registrations += cell.registrations.Load()
+		t.Deregistrations += cell.deregistrations.Load()
+	}
+	return t
+}
+
+// TransportCounters counts UDP packet dispositions in the heartbeat
+// listener. The read loop is a single goroutine, so plain (unstriped)
+// atomics suffice; the queue high-water mark is maintained with a CAS
+// loop that only runs when the mark is actually exceeded.
+type TransportCounters struct {
+	// PacketsReceived counts every datagram read from the socket.
+	PacketsReceived atomic.Uint64
+	// PacketsShort counts datagrams below the minimum packet length.
+	PacketsShort atomic.Uint64
+	// PacketsBadMagic counts datagrams whose magic bytes mismatch.
+	PacketsBadMagic atomic.Uint64
+	// PacketsBadVersion counts datagrams with an unsupported version.
+	PacketsBadVersion atomic.Uint64
+	// PacketsMalformed counts datagrams that failed decoding for any
+	// other reason (length mismatch, zero-length id).
+	PacketsMalformed atomic.Uint64
+	// Rejected counts decoded heartbeats the monitor refused (unknown
+	// process with auto-registration off).
+	Rejected atomic.Uint64
+	// Delivered counts heartbeats accepted by the monitor.
+	Delivered atomic.Uint64
+
+	queueHighWater atomic.Int64
+}
+
+// ObserveQueueDepth records an ingest-queue depth sample, keeping the
+// high-water mark.
+func (t *TransportCounters) ObserveQueueDepth(depth int) {
+	d := int64(depth)
+	for {
+		cur := t.queueHighWater.Load()
+		if d <= cur {
+			return
+		}
+		if t.queueHighWater.CompareAndSwap(cur, d) {
+			return
+		}
+	}
+}
+
+// QueueHighWater returns the deepest ingest-queue depth observed.
+func (t *TransportCounters) QueueHighWater() int {
+	return int(t.queueHighWater.Load())
+}
+
+// TransportStats is a point-in-time snapshot of TransportCounters.
+type TransportStats struct {
+	PacketsReceived   uint64
+	PacketsShort      uint64
+	PacketsBadMagic   uint64
+	PacketsBadVersion uint64
+	PacketsMalformed  uint64
+	Rejected          uint64
+	Delivered         uint64
+	QueueHighWater    int
+}
+
+// Snapshot reads every counter once.
+func (t *TransportCounters) Snapshot() TransportStats {
+	return TransportStats{
+		PacketsReceived:   t.PacketsReceived.Load(),
+		PacketsShort:      t.PacketsShort.Load(),
+		PacketsBadMagic:   t.PacketsBadMagic.Load(),
+		PacketsBadVersion: t.PacketsBadVersion.Load(),
+		PacketsMalformed:  t.PacketsMalformed.Load(),
+		Rejected:          t.Rejected.Load(),
+		Delivered:         t.Delivered.Load(),
+		QueueHighWater:    t.QueueHighWater(),
+	}
+}
+
+// Dropped sums every packet that was received but never reached a
+// detector: undecodable datagrams plus heartbeats the monitor refused.
+func (s TransportStats) Dropped() uint64 {
+	return s.PacketsShort + s.PacketsBadMagic + s.PacketsBadVersion +
+		s.PacketsMalformed + s.Rejected
+}

@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Names of the per-process metrics served on /v1/metrics, shared between
+// the HTTP exposition and the `accrualctl top` consumer.
+const (
+	MetricSuspicionLevel = "accrual_suspicion_level"
+	MetricQoSLambdaM     = "accrual_qos_lambda_m"
+	MetricQoSPA          = "accrual_qos_pa"
+	MetricQoSTMR         = "accrual_qos_mean_mistake_recurrence_seconds"
+	MetricQoSTM          = "accrual_qos_mean_mistake_duration_seconds"
+	MetricQoSTG          = "accrual_qos_mean_good_period_seconds"
+)
+
+// Label is one name="value" pair of a metric sample.
+type Label struct {
+	Name, Value string
+}
+
+// MetricWriter emits the Prometheus text exposition format (version
+// 0.0.4) by hand — no client library. The first write error sticks and
+// turns the remaining calls into no-ops; check Err once at the end.
+//
+// Non-finite values are legal in the format and rendered as NaN, +Inf
+// and -Inf — the QoS estimators lean on this for not-yet-estimable
+// metrics.
+type MetricWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewMetricWriter returns a writer emitting to w.
+func NewMetricWriter(w io.Writer) *MetricWriter {
+	return &MetricWriter{w: w}
+}
+
+// Err returns the first write error, if any.
+func (mw *MetricWriter) Err() error { return mw.err }
+
+func (mw *MetricWriter) write(s string) {
+	if mw.err != nil {
+		return
+	}
+	_, mw.err = io.WriteString(mw.w, s)
+}
+
+// Header emits the # HELP and # TYPE lines for a metric family. typ is
+// "counter", "gauge", "untyped", etc.
+func (mw *MetricWriter) Header(name, help, typ string) {
+	mw.write("# HELP " + name + " " + escapeHelp(help) + "\n")
+	mw.write("# TYPE " + name + " " + typ + "\n")
+}
+
+// Sample emits one sample line: name{labels} value.
+func (mw *MetricWriter) Sample(name string, value float64, labels ...Label) {
+	var sb strings.Builder
+	sb.WriteString(name)
+	if len(labels) > 0 {
+		sb.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(l.Name)
+			sb.WriteString(`="`)
+			sb.WriteString(escapeLabelValue(l.Value))
+			sb.WriteByte('"')
+		}
+		sb.WriteByte('}')
+	}
+	sb.WriteByte(' ')
+	sb.WriteString(formatValue(value))
+	sb.WriteByte('\n')
+	mw.write(sb.String())
+}
+
+// formatValue renders a float the way Prometheus expects: shortest
+// round-trip representation, with NaN/+Inf/-Inf spelled out.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslashes and newlines in HELP text.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabelValue escapes backslashes, double quotes and newlines in a
+// label value, per the text format specification.
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,131 @@
+package telemetry_test
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"os"
+	"strings"
+	"testing"
+
+	"accrual/internal/telemetry"
+)
+
+// writeGoldenExposition emits the fixture scrape covering the tricky
+// corners of the text format: HELP escaping, label-value escaping, and
+// the three non-finite renderings the QoS estimators rely on.
+func writeGoldenExposition(mw *telemetry.MetricWriter) {
+	mw.Header(telemetry.MetricQoSPA,
+		"Query accuracy P_A in [0,1]; see \\S 2 of the paper\nNaN until the first query window closes",
+		"gauge")
+	mw.Sample(telemetry.MetricQoSPA, math.NaN(),
+		telemetry.Label{Name: "proc", Value: "we\"ird\\proc\nname"})
+	mw.Sample(telemetry.MetricQoSPA, math.Inf(1),
+		telemetry.Label{Name: "proc", Value: "fast"})
+	mw.Sample(telemetry.MetricQoSPA, math.Inf(-1),
+		telemetry.Label{Name: "proc", Value: "slow"})
+	mw.Sample(telemetry.MetricQoSPA, 0.9975,
+		telemetry.Label{Name: "proc", Value: "steady"})
+	mw.Header("accrual_heartbeats_ingested_total",
+		"Heartbeats accepted by the monitor hot path", "counter")
+	mw.Sample("accrual_heartbeats_ingested_total", 42)
+	mw.Sample(telemetry.MetricSuspicionLevel, 0.125,
+		telemetry.Label{Name: "proc", Value: "steady"},
+		telemetry.Label{Name: "shard", Value: "3"})
+}
+
+// TestMetricWriterGolden compares the writer's output byte-for-byte
+// against testdata/expo.golden.
+func TestMetricWriterGolden(t *testing.T) {
+	var buf bytes.Buffer
+	mw := telemetry.NewMetricWriter(&buf)
+	writeGoldenExposition(mw)
+	if err := mw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("testdata/expo.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.Bytes(); !bytes.Equal(got, want) {
+		t.Errorf("exposition mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestExpositionRoundTrip parses the golden output back and checks that
+// escaping survives: the label value with quote, backslash and newline
+// must come back verbatim, NaN/±Inf must parse as such.
+func TestExpositionRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	mw := telemetry.NewMetricWriter(&buf)
+	writeGoldenExposition(mw)
+	samples, err := telemetry.ParseText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 6 {
+		t.Fatalf("parsed %d samples, want 6: %+v", len(samples), samples)
+	}
+	if got := samples[0].Label("proc"); got != "we\"ird\\proc\nname" {
+		t.Errorf("escaped label round-trip = %q", got)
+	}
+	if !math.IsNaN(samples[0].Value) {
+		t.Errorf("sample 0 value = %v, want NaN", samples[0].Value)
+	}
+	if !math.IsInf(samples[1].Value, 1) || !math.IsInf(samples[2].Value, -1) {
+		t.Errorf("non-finite values = %v, %v, want +Inf, -Inf", samples[1].Value, samples[2].Value)
+	}
+	if samples[3].Value != 0.9975 || samples[3].Label("proc") != "steady" {
+		t.Errorf("sample 3 = %+v", samples[3])
+	}
+	if samples[4].Name != "accrual_heartbeats_ingested_total" || samples[4].Value != 42 {
+		t.Errorf("unlabelled sample = %+v", samples[4])
+	}
+	if samples[5].Label("shard") != "3" || samples[5].Label("proc") != "steady" {
+		t.Errorf("multi-label sample = %+v", samples[5])
+	}
+}
+
+// TestParseTextErrors rejects malformed lines with ErrBadExposition.
+func TestParseTextErrors(t *testing.T) {
+	for _, bad := range []string{
+		"no_value\n",
+		`m{x=unquoted} 1` + "\n",
+		`m{x="dangling} 1` + "\n",
+		`m{x="bad\q"} 1` + "\n",
+		"m 1 2 3\n",
+		"m notafloat\n",
+	} {
+		if _, err := telemetry.ParseText(strings.NewReader(bad)); !errors.Is(err, telemetry.ErrBadExposition) {
+			t.Errorf("ParseText(%q) err = %v, want ErrBadExposition", bad, err)
+		}
+	}
+	// Trailing timestamps are legal and ignored.
+	samples, err := telemetry.ParseText(strings.NewReader("m 1 1234567890\n"))
+	if err != nil || len(samples) != 1 || samples[0].Value != 1 {
+		t.Errorf("timestamped line: samples=%+v err=%v", samples, err)
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n++
+	return 0, errors.New("sink closed")
+}
+
+// TestMetricWriterStickyError: after the first failed write the writer
+// goes quiet instead of hammering the broken sink.
+func TestMetricWriterStickyError(t *testing.T) {
+	fw := &failWriter{}
+	mw := telemetry.NewMetricWriter(fw)
+	mw.Header("m", "h", "gauge")
+	mw.Sample("m", 1)
+	mw.Sample("m", 2)
+	if mw.Err() == nil {
+		t.Fatal("no error from failing sink")
+	}
+	if fw.n != 1 {
+		t.Errorf("writes after first failure: %d calls, want 1", fw.n)
+	}
+}

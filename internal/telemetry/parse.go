@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns a label value, or "" when absent.
+func (s Sample) Label(name string) string { return s.Labels[name] }
+
+// ErrBadExposition is wrapped by every parse error from ParseText.
+var ErrBadExposition = errors.New("telemetry: bad exposition")
+
+// ParseText parses Prometheus text exposition (the subset MetricWriter
+// emits: comments, blank lines, and name{labels} value lines; trailing
+// timestamps are accepted and ignored). It is the consumer side used by
+// `accrualctl top` and the writer round-trip tests.
+func ParseText(r io.Reader) ([]Sample, error) {
+	var out []Sample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrBadExposition, lineNo, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadExposition, err)
+	}
+	return out, nil
+}
+
+func parseLine(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	i := strings.IndexAny(line, "{ ")
+	if i <= 0 {
+		return s, errors.New("missing metric name")
+	}
+	s.Name = line[:i]
+	rest := line[i:]
+	if rest[0] == '{' {
+		var err error
+		rest, err = parseLabels(rest[1:], s.Labels)
+		if err != nil {
+			return s, err
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, errors.New("want value and optional timestamp")
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("value %q: %v", fields[0], err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels consumes `name="value",...}` and returns the remainder of
+// the line after the closing brace.
+func parseLabels(rest string, into map[string]string) (string, error) {
+	for {
+		rest = strings.TrimLeft(rest, " \t")
+		if rest == "" {
+			return "", errors.New("unterminated label set")
+		}
+		if rest[0] == '}' {
+			return rest[1:], nil
+		}
+		eq := strings.IndexByte(rest, '=')
+		if eq <= 0 {
+			return "", errors.New("missing label name")
+		}
+		name := strings.TrimSpace(rest[:eq])
+		rest = rest[eq+1:]
+		if rest == "" || rest[0] != '"' {
+			return "", errors.New("unquoted label value")
+		}
+		val, rem, err := parseQuoted(rest[1:])
+		if err != nil {
+			return "", err
+		}
+		into[name] = val
+		rest = strings.TrimLeft(rem, " \t")
+		if rest != "" && rest[0] == ',' {
+			rest = rest[1:]
+		}
+	}
+}
+
+// parseQuoted consumes an escaped label value up to its closing quote.
+func parseQuoted(rest string) (val, rem string, err error) {
+	var sb strings.Builder
+	for i := 0; i < len(rest); i++ {
+		switch rest[i] {
+		case '"':
+			return sb.String(), rest[i+1:], nil
+		case '\\':
+			i++
+			if i >= len(rest) {
+				return "", "", errors.New("dangling escape")
+			}
+			switch rest[i] {
+			case 'n':
+				sb.WriteByte('\n')
+			case '\\', '"':
+				sb.WriteByte(rest[i])
+			default:
+				return "", "", fmt.Errorf("bad escape \\%c", rest[i])
+			}
+		default:
+			sb.WriteByte(rest[i])
+		}
+	}
+	return "", "", errors.New("unterminated label value")
+}

@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Sampler drives a QoS estimator set from its own goroutine, polling a
+// LevelSource on a fixed cadence — the telemetry twin of
+// service.Watcher. Create one with StartSampler; Stop is idempotent and
+// joins the goroutine. LastSample exposes the staleness of the loop.
+type Sampler struct {
+	q     *QoS
+	src   LevelSource
+	every time.Duration
+
+	mu      sync.Mutex
+	done    chan struct{}
+	stopped chan struct{}
+	last    atomic.Int64 // unix nanoseconds of the latest sample round
+	rounds  atomic.Int64
+}
+
+// StartSampler launches the sampling loop (non-positive periods default
+// to one second).
+func StartSampler(q *QoS, src LevelSource, every time.Duration) *Sampler {
+	if every <= 0 {
+		every = time.Second
+	}
+	s := &Sampler{
+		q:       q,
+		src:     src,
+		every:   every,
+		done:    make(chan struct{}),
+		stopped: make(chan struct{}),
+	}
+	go s.loop()
+	return s
+}
+
+func (s *Sampler) loop() {
+	defer close(s.stopped)
+	ticker := time.NewTicker(s.every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-ticker.C:
+			s.q.Sample(s.src)
+			s.last.Store(s.src.Now().UnixNano())
+			s.rounds.Add(1)
+		}
+	}
+}
+
+// LastSample returns the source-clock time of the latest completed
+// sampling round (the zero time before the first).
+func (s *Sampler) LastSample() time.Time {
+	ns := s.last.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
+// Rounds returns how many sampling rounds have completed.
+func (s *Sampler) Rounds() int64 { return s.rounds.Load() }
+
+// Stop terminates the sampler and waits for its goroutine to exit. Stop
+// is idempotent and safe to call concurrently.
+func (s *Sampler) Stop() {
+	s.mu.Lock()
+	select {
+	case <-s.done:
+		s.mu.Unlock()
+		<-s.stopped
+		return
+	default:
+	}
+	close(s.done)
+	s.mu.Unlock()
+	<-s.stopped
+}

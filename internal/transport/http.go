@@ -11,6 +11,7 @@ import (
 
 	"accrual/internal/core"
 	"accrual/internal/service"
+	"accrual/internal/telemetry"
 	"accrual/internal/transport/statecodec"
 )
 
@@ -28,6 +29,7 @@ import (
 //	GET /v1/state                binary snapshot of all detector state
 //	PUT /v1/state                restore detector state from a snapshot
 //	GET /v1/healthz              liveness probe
+//	GET /v1/metrics              Prometheus text exposition (WithAPITelemetry)
 //
 // /v1/state carries the statecodec binary format (see
 // internal/transport/statecodec) and is the live state handoff path: a
@@ -35,9 +37,12 @@ import (
 // new one, so detectors resume with their learned estimators instead of
 // re-learning the network from scratch.
 type API struct {
-	mon *service.Monitor
-	rec *service.Recorder
-	mux *http.ServeMux
+	mon     *service.Monitor
+	rec     *service.Recorder
+	hub     *telemetry.Hub
+	watcher *service.Watcher
+	sampler *telemetry.Sampler
+	mux     *http.ServeMux
 }
 
 // APIOption configures the HTTP handler.
@@ -47,6 +52,24 @@ type APIOption func(*API)
 // recent level samples per process.
 func WithRecorder(rec *service.Recorder) APIOption {
 	return func(a *API) { a.rec = rec }
+}
+
+// WithAPITelemetry enables GET /v1/metrics, serving the hub's counters
+// and online QoS estimates in the Prometheus text format.
+func WithAPITelemetry(hub *telemetry.Hub) APIOption {
+	return func(a *API) { a.hub = hub }
+}
+
+// WithWatcher exposes the watcher's last-poll timestamp on /v1/metrics,
+// so a stalled application poll loop is visible from the outside.
+func WithWatcher(w *service.Watcher) APIOption {
+	return func(a *API) { a.watcher = w }
+}
+
+// WithSampler exposes the QoS sampler's last-round timestamp on
+// /v1/metrics.
+func WithSampler(s *telemetry.Sampler) APIOption {
+	return func(a *API) { a.sampler = s }
 }
 
 // NewAPI returns the HTTP handler for a monitor.
@@ -62,6 +85,7 @@ func NewAPI(mon *service.Monitor, opts ...APIOption) *API {
 	a.mux.HandleFunc("GET /v1/state", a.handleStateDump)
 	a.mux.HandleFunc("PUT /v1/state", a.handleStateRestore)
 	a.mux.HandleFunc("GET /v1/healthz", a.handleHealthz)
+	a.mux.HandleFunc("GET /v1/metrics", a.handleMetrics)
 	return a
 }
 

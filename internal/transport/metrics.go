@@ -1,0 +1,157 @@
+package transport
+
+import (
+	"net/http"
+	"time"
+
+	"accrual/internal/service"
+	"accrual/internal/telemetry"
+)
+
+// metricsContentType is the Prometheus text exposition media type.
+const metricsContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// handleMetrics serves GET /v1/metrics: the hub's hot-path counters,
+// transport dispositions, online QoS estimates and the liveness
+// timestamps of the background loops, all in the text format every
+// Prometheus-compatible scraper understands. The exposition is written
+// with the hand-rolled telemetry.MetricWriter — no client library.
+func (a *API) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	if a.hub == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "telemetry not enabled"})
+		return
+	}
+	w.Header().Set("Content-Type", metricsContentType)
+	mw := telemetry.NewMetricWriter(w)
+
+	mw.Header("accrual_monitor_processes", "Processes currently monitored", "gauge")
+	mw.Sample("accrual_monitor_processes", float64(a.mon.Len()))
+
+	tot := a.hub.Counters.Totals()
+	counter := func(name, help string, v uint64) {
+		mw.Header(name, help, "counter")
+		mw.Sample(name, float64(v))
+	}
+	counter("accrual_heartbeats_ingested_total",
+		"Heartbeats accepted by the monitor hot path", tot.HeartbeatsIngested)
+	counter("accrual_heartbeats_stale_total",
+		"Heartbeats with a duplicate or out-of-order sequence number", tot.HeartbeatsStale)
+	counter("accrual_queries_total",
+		"Suspicion queries served (direct and through application views)", tot.Queries)
+	counter("accrual_registrations_total",
+		"Process registrations, explicit and automatic", tot.Registrations)
+	counter("accrual_deregistrations_total",
+		"Process deregistrations", tot.Deregistrations)
+
+	ts := a.hub.Transport.Snapshot()
+	counter("accrual_udp_packets_received_total",
+		"UDP datagrams read from the heartbeat socket", ts.PacketsReceived)
+	counter("accrual_udp_heartbeats_delivered_total",
+		"Decoded heartbeats accepted by the monitor", ts.Delivered)
+	mw.Header("accrual_udp_packets_dropped_total",
+		"Datagrams that never reached a detector, by disposition", "counter")
+	for _, d := range []struct {
+		reason string
+		v      uint64
+	}{
+		{"short", ts.PacketsShort},
+		{"bad_magic", ts.PacketsBadMagic},
+		{"bad_version", ts.PacketsBadVersion},
+		{"malformed", ts.PacketsMalformed},
+		{"rejected", ts.Rejected},
+	} {
+		mw.Sample("accrual_udp_packets_dropped_total", float64(d.v),
+			telemetry.Label{Name: "reason", Value: d.reason})
+	}
+	mw.Header("accrual_udp_ingest_queue_high_water",
+		"Deepest ingest-queue depth observed since start", "gauge")
+	mw.Sample("accrual_udp_ingest_queue_high_water", float64(ts.QueueHighWater))
+
+	a.writeQoSMetrics(mw)
+
+	mw.Header("accrual_watcher_last_poll_timestamp_seconds",
+		"Monitor-clock time of the watcher's latest poll round (0 when never or not wired)", "gauge")
+	mw.Sample("accrual_watcher_last_poll_timestamp_seconds", timestampSeconds(lastPoll(a.watcher)))
+	mw.Header("accrual_recorder_last_tick_timestamp_seconds",
+		"Monitor-clock time of the recorder's latest sampling round (0 when never or not wired)", "gauge")
+	mw.Sample("accrual_recorder_last_tick_timestamp_seconds", timestampSeconds(lastTick(a.rec)))
+	mw.Header("accrual_sampler_last_sample_timestamp_seconds",
+		"Monitor-clock time of the QoS sampler's latest round (0 when never or not wired)", "gauge")
+	mw.Sample("accrual_sampler_last_sample_timestamp_seconds", timestampSeconds(lastSample(a.sampler)))
+	_ = mw.Err()
+}
+
+// writeQoSMetrics emits the per-process online estimates plus the
+// aggregate detection-time summary. NaN values (not yet estimable) are
+// rendered verbatim — the format allows it and dashboards treat them as
+// gaps.
+func (a *API) writeQoSMetrics(mw *telemetry.MetricWriter) {
+	ests := a.hub.QoS().Estimates()
+	perProc := func(name, help, typ string, value func(telemetry.Estimate) float64) {
+		mw.Header(name, help, typ)
+		for _, est := range ests {
+			mw.Sample(name, value(est), telemetry.Label{Name: "proc", Value: est.ID})
+		}
+	}
+	perProc(telemetry.MetricSuspicionLevel,
+		"Latest sampled suspicion level", "gauge",
+		func(e telemetry.Estimate) float64 { return float64(e.Level) })
+	perProc(telemetry.MetricQoSLambdaM,
+		"Online estimate of the mistake rate lambda_M, S-transitions per second", "gauge",
+		func(e telemetry.Estimate) float64 { return e.LambdaM })
+	perProc(telemetry.MetricQoSPA,
+		"Online estimate of the query accuracy probability P_A", "gauge",
+		func(e telemetry.Estimate) float64 { return e.PA })
+	perProc(telemetry.MetricQoSTMR,
+		"Online estimate of the mean mistake recurrence time T_MR", "gauge",
+		func(e telemetry.Estimate) float64 { return e.TMR })
+	perProc(telemetry.MetricQoSTM,
+		"Online estimate of the mean mistake duration T_M", "gauge",
+		func(e telemetry.Estimate) float64 { return e.TM })
+	perProc(telemetry.MetricQoSTG,
+		"Online estimate of the mean good period T_G", "gauge",
+		func(e telemetry.Estimate) float64 { return e.TG })
+
+	count, mean, max := a.hub.QoS().DetectionStats()
+	mw.Header("accrual_qos_detections_total",
+		"Crashes detected (crash-marked processes deregistered while suspected)", "counter")
+	mw.Sample("accrual_qos_detections_total", float64(count))
+	mw.Header("accrual_qos_detection_time_seconds",
+		"Detection time T_D over recorded crashes", "gauge")
+	mw.Sample("accrual_qos_detection_time_seconds", mean.Seconds(),
+		telemetry.Label{Name: "stat", Value: "mean"})
+	mw.Sample("accrual_qos_detection_time_seconds", max.Seconds(),
+		telemetry.Label{Name: "stat", Value: "max"})
+}
+
+// lastPoll, lastTick and lastSample tolerate nil sources so the scrape
+// shape is stable regardless of which loops the daemon runs.
+func lastPoll(w *service.Watcher) time.Time {
+	if w == nil {
+		return time.Time{}
+	}
+	return w.LastPoll()
+}
+
+func lastTick(r *service.Recorder) time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return r.LastTick()
+}
+
+func lastSample(s *telemetry.Sampler) time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return s.LastSample()
+}
+
+// timestampSeconds renders a loop-liveness timestamp the Prometheus way:
+// Unix seconds as a float, 0 when the loop has never completed a round.
+func timestampSeconds(t time.Time) float64 {
+	if t.IsZero() {
+		return 0
+	}
+	return float64(t.UnixNano()) / float64(time.Second)
+}

@@ -35,10 +35,22 @@ const (
 
 var packetMagic = [4]byte{'A', 'F', 'D', '1'}
 
-// Errors returned by the packet codec.
+// Errors returned by the packet codec. The decode errors are typed per
+// failure mode so the listener can count dispositions separately, and
+// all of them wrap ErrBadPacket so existing errors.Is checks keep
+// matching.
 var (
 	// ErrBadPacket is wrapped by every decoding error.
 	ErrBadPacket = errors.New("transport: bad packet")
+	// ErrPacketShort marks a datagram below the minimum packet length.
+	ErrPacketShort = fmt.Errorf("%w: too short", ErrBadPacket)
+	// ErrBadMagic marks a datagram whose magic bytes mismatch.
+	ErrBadMagic = fmt.Errorf("%w: bad magic", ErrBadPacket)
+	// ErrBadVersion marks a datagram with an unsupported format version.
+	ErrBadVersion = fmt.Errorf("%w: unsupported version", ErrBadPacket)
+	// ErrLengthMismatch marks a datagram whose length disagrees with its
+	// declared id length (or whose id is empty).
+	ErrLengthMismatch = fmt.Errorf("%w: length mismatch", ErrBadPacket)
 	// ErrIDTooLong is returned when a process id exceeds 255 bytes.
 	ErrIDTooLong = errors.New("transport: process id too long")
 )
@@ -68,17 +80,17 @@ func MarshalHeartbeat(hb core.Heartbeat) ([]byte, error) {
 // zero Arrived time; the caller stamps it on receipt.
 func UnmarshalHeartbeat(buf []byte) (core.Heartbeat, error) {
 	if len(buf) < headerLen+1+trailerLen {
-		return core.Heartbeat{}, fmt.Errorf("%w: %d bytes", ErrBadPacket, len(buf))
+		return core.Heartbeat{}, fmt.Errorf("%w: %d bytes", ErrPacketShort, len(buf))
 	}
 	if [4]byte(buf[0:4]) != packetMagic {
-		return core.Heartbeat{}, fmt.Errorf("%w: bad magic", ErrBadPacket)
+		return core.Heartbeat{}, ErrBadMagic
 	}
 	if buf[4] != packetVersion {
-		return core.Heartbeat{}, fmt.Errorf("%w: version %d", ErrBadPacket, buf[4])
+		return core.Heartbeat{}, fmt.Errorf("%w: version %d", ErrBadVersion, buf[4])
 	}
 	n := int(buf[5])
 	if n == 0 || len(buf) != headerLen+n+trailerLen {
-		return core.Heartbeat{}, fmt.Errorf("%w: length mismatch (id %d, packet %d)", ErrBadPacket, n, len(buf))
+		return core.Heartbeat{}, fmt.Errorf("%w: id %d, packet %d", ErrLengthMismatch, n, len(buf))
 	}
 	id := string(buf[headerLen : headerLen+n])
 	off := headerLen + n

@@ -56,8 +56,7 @@ func TestSenderListenerEndToEnd(t *testing.T) {
 	defer s.Stop()
 
 	waitUntil(t, 3*time.Second, func() bool {
-		received, _ := l.Stats()
-		return received >= 3
+		return l.Stats().Delivered >= 3
 	})
 	lvl, err := mon.Suspicion("w1")
 	if err != nil {
@@ -96,8 +95,7 @@ func TestListenerIngestWorkers(t *testing.T) {
 	}
 
 	waitUntil(t, 3*time.Second, func() bool {
-		received, _ := l.Stats()
-		return received >= senders*3 && mon.Len() == senders
+		return l.Stats().Delivered >= uint64(senders*3) && mon.Len() == senders
 	})
 	for _, id := range mon.Processes() {
 		lvl, err := mon.Suspicion(id)
@@ -108,8 +106,8 @@ func TestListenerIngestWorkers(t *testing.T) {
 			t.Errorf("%s: suspicion = %v, want small while heartbeats flow", id, lvl)
 		}
 	}
-	if _, rejected := l.Stats(); rejected != 0 {
-		t.Errorf("rejected = %d, want 0", rejected)
+	if dropped := l.Stats().Dropped(); dropped != 0 {
+		t.Errorf("dropped = %d, want 0", dropped)
 	}
 }
 
@@ -176,9 +174,11 @@ func TestListenerRejectsGarbage(t *testing.T) {
 		t.Fatal(err)
 	}
 	waitUntil(t, 3*time.Second, func() bool {
-		_, rejected := l.Stats()
-		return rejected == 1
+		return l.Stats().Dropped() == 1
 	})
+	if st := l.Stats(); st.PacketsShort != 1 || st.PacketsReceived != 1 {
+		t.Errorf("stats = %+v, want the garbage datagram counted as short", st)
+	}
 	if got := mon.Processes(); len(got) != 0 {
 		t.Errorf("garbage registered a process: %v", got)
 	}
@@ -407,9 +407,7 @@ func TestMultiSenderHeartbeatsAllTargets(t *testing.T) {
 	defer ms.Stop()
 
 	waitUntil(t, 3*time.Second, func() bool {
-		ra, _ := la.Stats()
-		rb, _ := lb.Stats()
-		return ra >= 2 && rb >= 2
+		return la.Stats().Delivered >= 2 && lb.Stats().Delivered >= 2
 	})
 	for _, mon := range []*service.Monitor{monA, monB} {
 		if _, err := mon.Suspicion("node"); err != nil {

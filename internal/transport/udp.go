@@ -1,16 +1,17 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"net"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"accrual/internal/clock"
 	"accrual/internal/core"
 	"accrual/internal/service"
+	"accrual/internal/telemetry"
 )
 
 // Sender periodically emits heartbeats for one process over UDP — the
@@ -154,8 +155,10 @@ type Listener struct {
 	wg      sync.WaitGroup
 	stopped chan struct{}
 
-	received atomic.Uint64
-	rejected atomic.Uint64
+	// tel counts packet dispositions. It defaults to a listener-private
+	// instance and is redirected to a shared hub by WithTelemetry, so
+	// the counting code never branches on "telemetry enabled".
+	tel *telemetry.TransportCounters
 }
 
 // ListenerOption configures a Listener.
@@ -165,6 +168,13 @@ type ListenerOption func(*Listener)
 // (default: the wall clock).
 func WithListenerClock(clk clock.Clock) ListenerOption {
 	return func(l *Listener) { l.clk = clk }
+}
+
+// WithTelemetry points the listener's packet counters at a shared
+// telemetry hub, so the daemon's /v1/metrics scrape sees transport
+// dispositions alongside the monitor counters.
+func WithTelemetry(hub *telemetry.Hub) ListenerOption {
+	return func(l *Listener) { l.tel = &hub.Transport }
 }
 
 // WithIngestWorkers enables parallel heartbeat ingestion with n worker
@@ -192,6 +202,7 @@ func Listen(addr string, mon *service.Monitor, opts ...ListenerOption) (*Listene
 		clk:     clock.Wall{},
 		mon:     mon,
 		stopped: make(chan struct{}),
+		tel:     new(telemetry.TransportCounters),
 	}
 	for _, opt := range opts {
 		opt(l)
@@ -225,9 +236,19 @@ func (l *Listener) loop() {
 		if err != nil {
 			return // closed
 		}
+		l.tel.PacketsReceived.Add(1)
 		hb, err := UnmarshalHeartbeat(buf[:n])
 		if err != nil {
-			l.rejected.Add(1)
+			switch {
+			case errors.Is(err, ErrPacketShort):
+				l.tel.PacketsShort.Add(1)
+			case errors.Is(err, ErrBadMagic):
+				l.tel.PacketsBadMagic.Add(1)
+			case errors.Is(err, ErrBadVersion):
+				l.tel.PacketsBadVersion.Add(1)
+			default:
+				l.tel.PacketsMalformed.Add(1)
+			}
 			continue
 		}
 		hb.Arrived = l.clk.Now()
@@ -235,7 +256,9 @@ func (l *Listener) loop() {
 			l.deliver(hb)
 			continue
 		}
-		l.queues[fnv1a(hb.From)%uint32(len(l.queues))] <- hb
+		q := l.queues[fnv1a(hb.From)%uint32(len(l.queues))]
+		q <- hb
+		l.tel.ObserveQueueDepth(len(q))
 	}
 }
 
@@ -249,10 +272,10 @@ func (l *Listener) ingest(q <-chan core.Heartbeat) {
 
 func (l *Listener) deliver(hb core.Heartbeat) {
 	if err := l.mon.Heartbeat(hb); err != nil {
-		l.rejected.Add(1)
+		l.tel.Rejected.Add(1)
 		return
 	}
-	l.received.Add(1)
+	l.tel.Delivered.Add(1)
 }
 
 // fnv1a is the 32-bit FNV-1a hash used for worker routing; it matches the
@@ -266,9 +289,16 @@ func fnv1a(s string) uint32 {
 	return h
 }
 
-// Stats returns how many heartbeats were accepted and rejected.
-func (l *Listener) Stats() (received, rejected uint64) {
-	return l.received.Load(), l.rejected.Load()
+// ListenerStats is a point-in-time snapshot of the listener's packet
+// dispositions: every datagram read, every way it can fail to become a
+// delivered heartbeat, and the ingest-queue high-water mark.
+type ListenerStats = telemetry.TransportStats
+
+// Stats snapshots the listener's packet counters. Tests assert on these
+// instead of sleeping: Delivered/Dropped move strictly after the packet
+// in question has been fully accounted.
+func (l *Listener) Stats() ListenerStats {
+	return l.tel.Snapshot()
 }
 
 // Close stops the read loop, drains the ingest workers and waits for all
