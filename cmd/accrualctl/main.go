@@ -2,8 +2,10 @@
 //
 // Subcommands:
 //
-//	accrualctl beat -id node-1 -to host:7946 [-interval 1s]
-//	    run a heartbeat sender for this process (blocks; ^C to stop)
+//	accrualctl beat -id node-1 -to host:7946 [-interval 1s] [-sender-backoff 30s]
+//	    run a heartbeat sender for this process (blocks; ^C to stop);
+//	    an unreachable daemon is redialed with exponential backoff and
+//	    DNS re-resolution, capped at -sender-backoff
 //	accrualctl ls   [-api http://host:8080]
 //	    list all monitored processes ranked by suspicion level
 //	accrualctl get  -id node-1 [-api ...]
@@ -200,13 +202,19 @@ func cmdBeat(args []string) error {
 	id := fs.String("id", "", "process id to announce")
 	to := fs.String("to", "127.0.0.1:7946", "daemon UDP address")
 	interval := fs.Duration("interval", time.Second, "heartbeat interval")
+	backoff := fs.Duration("sender-backoff", 30*time.Second, "maximum redial backoff after the daemon becomes unreachable (redials re-resolve DNS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *id == "" {
 		return fmt.Errorf("missing -id")
 	}
-	sender, err := transport.NewSender(*id, *to, *interval)
+	backoffMin := time.Second
+	if *backoff < backoffMin {
+		backoffMin = *backoff
+	}
+	sender, err := transport.NewSender(*id, *to, *interval,
+		transport.WithSenderBackoff(backoffMin, *backoff))
 	if err != nil {
 		return err
 	}

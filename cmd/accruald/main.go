@@ -6,8 +6,15 @@
 // Usage:
 //
 //	accruald [-udp :7946] [-http :8080] [-detector phi] [-interval 1s]
+//	         [-ingest-workers N] [-ingest-queue 256]
 //	         [-state-file accrual.state] [-state-interval 30s]
 //	         [-qos-high 2] [-qos-low 1] [-pprof-addr localhost:6060]
+//
+// Ingest never blocks on a slow shard: each ingest worker owns a bounded
+// queue (-ingest-queue) and a full queue sheds its newest packets with a
+// counted drop (accrual_udp_packets_shed_total) instead of stalling the
+// shared UDP read loop — one overloaded process degrades only its own
+// heartbeat stream.
 //
 // The daemon is observable while it runs: GET /v1/metrics serves
 // hot-path counters, UDP packet dispositions and online QoS estimates
@@ -81,6 +88,7 @@ func run(ctx context.Context, args []string, ready chan<- [2]string) error {
 		history   = fs.Int("history", 600, "level samples kept per process for /v1/history (0 disables)")
 		shards    = fs.Int("shards", 0, "monitor registry shard count, rounded up to a power of two (0 = default 64)")
 		ingestWk  = fs.Int("ingest-workers", runtime.GOMAXPROCS(0), "parallel heartbeat ingest goroutines (0 = ingest from the read loop)")
+		ingestQ   = fs.Int("ingest-queue", 256, "per-worker ingest queue capacity; a full queue sheds newest packets (counted, never blocking the read loop)")
 		stateFile = fs.String("state-file", "", "persist detector state here for warm restarts (empty disables)")
 		stateIntv = fs.Duration("state-interval", 30*time.Second, "period between state-file saves")
 		qosHigh   = fs.Float64("qos-high", float64(telemetry.DefaultQoSHigh), "online QoS reference threshold: suspect above this level")
@@ -125,6 +133,9 @@ func run(ctx context.Context, args []string, ready chan<- [2]string) error {
 	lnOpts := []transport.ListenerOption{transport.WithTelemetry(hub)}
 	if *ingestWk > 0 {
 		lnOpts = append(lnOpts, transport.WithIngestWorkers(*ingestWk))
+	}
+	if *ingestQ > 0 {
+		lnOpts = append(lnOpts, transport.WithIngestQueueCap(*ingestQ))
 	}
 	listener, err := transport.Listen(*udpAddr, mon, lnOpts...)
 	if err != nil {

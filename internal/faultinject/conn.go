@@ -1,0 +1,93 @@
+package faultinject
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Conn wraps a datagram net.Conn, passing every Write through an
+// Injector: writes may be dropped, duplicated, reordered, truncated or
+// delayed before reaching the underlying socket. Reads and the rest of
+// the net.Conn surface pass through untouched.
+//
+// Write always reports success for mangled-away packets — exactly the
+// silence of a lossy network. Delayed packets are flushed by real timers;
+// Close waits for any still in flight, then closes the underlying conn.
+//
+// Plug one into a transport.Sender with WithSenderDialer to run a real
+// sender/listener pair over a hostile link:
+//
+//	dial := func(target string) (net.Conn, error) {
+//		c, err := net.Dial("udp", target)
+//		if err != nil {
+//			return nil, err
+//		}
+//		return faultinject.WrapConn(c, inj), nil
+//	}
+type Conn struct {
+	net.Conn
+
+	mu     sync.Mutex
+	inj    *Injector
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// WrapConn wraps c with the injector. The injector must not be shared
+// with other concurrent users; Conn serialises its own access.
+func WrapConn(c net.Conn, inj *Injector) *Conn {
+	return &Conn{Conn: c, inj: inj}
+}
+
+// Write mangles p through the injector and forwards the surviving
+// packets. It reports len(p) even when the packet was dropped — the
+// sender must not be able to tell, just like with a real lossy link.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, net.ErrClosed
+	}
+	pkts := c.inj.Apply(p)
+	c.mu.Unlock()
+	for _, pk := range pkts {
+		c.forward(pk)
+	}
+	return len(p), nil
+}
+
+func (c *Conn) forward(pk Packet) {
+	if pk.Delay <= 0 {
+		_, _ = c.Conn.Write(pk.Data)
+		return
+	}
+	c.wg.Add(1)
+	time.AfterFunc(pk.Delay, func() {
+		defer c.wg.Done()
+		c.mu.Lock()
+		closed := c.closed
+		c.mu.Unlock()
+		if !closed {
+			_, _ = c.Conn.Write(pk.Data)
+		}
+	})
+}
+
+// Close flushes any packet held for reordering, waits for delayed writes
+// to fire and closes the underlying conn.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	held := c.inj.Flush()
+	c.mu.Unlock()
+	for _, pk := range held {
+		_, _ = c.Conn.Write(pk.Data)
+	}
+	c.wg.Wait()
+	return c.Conn.Close()
+}

@@ -1,0 +1,74 @@
+package faultinject_test
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"accrual/internal/clock"
+	"accrual/internal/core"
+	"accrual/internal/faultinject"
+	"accrual/internal/service"
+	"accrual/internal/simple"
+	"accrual/internal/transport"
+)
+
+func waitUntil(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not reached before timeout")
+}
+
+// TestConnWrapperEndToEnd runs a real Sender/Listener pair over a
+// fault-wrapped socket: half the heartbeats are dropped or duplicated on
+// the wire, yet the monitor still learns about the process, keeps its
+// suspicion low while beats flow, and accounts every received packet.
+func TestConnWrapperEndToEnd(t *testing.T) {
+	mon := service.NewMonitor(clock.Wall{}, func(_ string, start time.Time) core.Detector {
+		return simple.New(start)
+	})
+	l, err := transport.Listen("127.0.0.1:0", mon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	inj := faultinject.New(faultinject.Faults{Drop: 0.4, Dup: 0.2, Reorder: 0.2}, 11)
+	s, err := transport.NewSender("flaky", l.Addr().String(), 5*time.Millisecond,
+		transport.WithSenderDialer(func(target string) (net.Conn, error) {
+			c, err := net.Dial("udp", target)
+			if err != nil {
+				return nil, err
+			}
+			return faultinject.WrapConn(c, inj), nil
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+
+	waitUntil(t, 5*time.Second, func() bool {
+		return l.Stats().Delivered >= 10
+	})
+	lvl, err := mon.Suspicion("flaky")
+	if err != nil {
+		t.Fatalf("process never registered through the hostile link: %v", err)
+	}
+	if lvl > 2 {
+		t.Errorf("suspicion = %v, want small while heartbeats flow (even lossy ones)", lvl)
+	}
+	st := l.Stats()
+	if st.PacketsReceived != st.Delivered+st.Dropped() {
+		t.Errorf("accounting broken: received %d != delivered %d + dropped %d",
+			st.PacketsReceived, st.Delivered, st.Dropped())
+	}
+}

@@ -1,0 +1,143 @@
+// Package faultinject mangles heartbeat traffic deterministically, so
+// tests can prove the detectors and the transport behave sanely under
+// the fault classes the paper's system model allows. The partially
+// synchronous model (§3.1) and the ◇P-on-lossy-channels constructions it
+// cites assume messages may be lost, duplicated, reordered, delayed or
+// corrupted — never that they arrive cleanly. An accrual detector's
+// Property 2 (bounded suspicion for a correct process) has to survive
+// all of that, and the only way to test it repeatably is to inject the
+// faults from a seeded PRNG instead of waiting for a flaky network.
+//
+// The core is the pure Injector: packets in, mangled packets out, no
+// goroutines, no clocks, fully determined by (Faults, seed). Conn wraps
+// it around a real net.Conn for end-to-end tests over actual sockets.
+package faultinject
+
+import (
+	"math/rand/v2"
+	"time"
+
+	"accrual/internal/stats"
+)
+
+// Faults is the fault plan: per-packet probabilities for each fault
+// class, all independent rolls. The zero value injects nothing.
+type Faults struct {
+	// Drop is the probability a packet is silently lost.
+	Drop float64
+	// Dup is the probability a packet is delivered twice.
+	Dup float64
+	// Reorder is the probability a packet is held back and delivered
+	// after the next packet (a pairwise swap, the minimal reordering).
+	Reorder float64
+	// Truncate is the probability a packet is cut to a random proper
+	// prefix (wire corruption that shortens the datagram).
+	Truncate float64
+	// Delay is the probability a packet is delayed; the delay itself is
+	// uniform in (0, MaxDelay].
+	Delay float64
+	// MaxDelay bounds injected delays. Ignored when Delay is zero.
+	MaxDelay time.Duration
+}
+
+// Packet is one mangled packet leaving the injector: the bytes to
+// deliver plus how much later than "now" they should be delivered.
+// A pure-simulation harness adds Delay to its virtual clock; Conn turns
+// it into a real timer.
+type Packet struct {
+	Data  []byte
+	Delay time.Duration
+}
+
+// Stats counts what the injector did, for asserting fault rates.
+type Stats struct {
+	// In counts packets offered to Apply.
+	In int
+	// Out counts packets emitted (including duplicates).
+	Out int
+	Dropped, Dupped, Reordered, Truncated, Delayed int
+}
+
+// Injector applies a fault plan to a packet stream. It is deterministic:
+// the same seed and the same input stream produce the same output
+// stream. Not safe for concurrent use; wrap calls in a mutex (Conn does)
+// or keep one injector per goroutine.
+type Injector struct {
+	faults Faults
+	rng    *rand.Rand
+	held   *Packet
+	stats  Stats
+}
+
+// New returns an injector for the given fault plan, seeded via
+// stats.NewRand so runs are reproducible.
+func New(f Faults, seed uint64) *Injector {
+	return &Injector{faults: f, rng: stats.NewRand(seed)}
+}
+
+func (in *Injector) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	return in.rng.Float64() < p
+}
+
+// Apply mangles one packet and returns the packets to deliver now, in
+// order. The input slice is copied, so callers may reuse their buffer.
+// An empty result means the packet was dropped or held for reordering;
+// held packets ride out with a later Apply or with Flush.
+func (in *Injector) Apply(data []byte) []Packet {
+	in.stats.In++
+	var out []Packet
+	p := append([]byte(nil), data...)
+	switch {
+	case in.roll(in.faults.Drop):
+		in.stats.Dropped++
+	default:
+		if in.roll(in.faults.Truncate) && len(p) > 1 {
+			p = p[:1+in.rng.IntN(len(p)-1)]
+			in.stats.Truncated++
+		}
+		var d time.Duration
+		if in.faults.MaxDelay > 0 && in.roll(in.faults.Delay) {
+			d = time.Duration(1 + in.rng.Int64N(int64(in.faults.MaxDelay)))
+			in.stats.Delayed++
+		}
+		pk := Packet{Data: p, Delay: d}
+		if in.held == nil && in.roll(in.faults.Reorder) {
+			in.held = &pk
+			in.stats.Reordered++
+		} else {
+			out = append(out, pk)
+			in.stats.Out++
+			if in.roll(in.faults.Dup) {
+				out = append(out, pk)
+				in.stats.Out++
+				in.stats.Dupped++
+			}
+			// A previously held packet is released behind the packet
+			// that overtook it — the pairwise swap is now complete.
+			if in.held != nil {
+				out = append(out, *in.held)
+				in.stats.Out++
+				in.held = nil
+			}
+		}
+	}
+	return out
+}
+
+// Flush releases any packet still held for reordering. Call it when the
+// input stream ends so no packet is lost to an unfinished swap.
+func (in *Injector) Flush() []Packet {
+	if in.held == nil {
+		return nil
+	}
+	pk := *in.held
+	in.held = nil
+	in.stats.Out++
+	return []Packet{pk}
+}
+
+// Stats returns the counts so far.
+func (in *Injector) Stats() Stats { return in.stats }

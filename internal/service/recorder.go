@@ -17,11 +17,24 @@ type Recorder struct {
 	mon      *Monitor
 	capacity int
 
+	// tickMu serialises sampling rounds and guards scratch; it is never
+	// held together with mu, so a tick in progress cannot block History
+	// or Ticks for longer than one merge.
+	tickMu  sync.Mutex
+	scratch []levelSample
+
 	mu      sync.Mutex
 	byProc  map[string]*ring
 	samples int64
 
 	lastTick atomic.Int64 // unix nanoseconds of the latest completed tick
+}
+
+// levelSample is one (process, level) pair collected during a tick
+// before it is merged into the rings.
+type levelSample struct {
+	id  string
+	lvl core.Level
 }
 
 type ring struct {
@@ -65,19 +78,31 @@ func NewRecorder(mon *Monitor, capacity int) *Recorder {
 // cadence the history should have. It streams the levels shard by shard
 // through Monitor.EachLevel, so a tick neither pauses the whole registry
 // nor allocates an intermediate snapshot map.
+//
+// The walk — which evaluates every detector — runs without holding the
+// ring lock: levels are collected into a reusable scratch buffer first
+// and merged into the rings afterwards, so concurrent History and Ticks
+// calls wait only for the merge (map pushes), never for a registry-wide
+// round of detector evaluations.
 func (r *Recorder) Tick() {
 	now := r.mon.Now()
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.samples++
+	r.tickMu.Lock()
+	defer r.tickMu.Unlock()
+	r.scratch = r.scratch[:0]
 	r.mon.EachLevel(func(id string, lvl core.Level) {
-		rg, ok := r.byProc[id]
+		r.scratch = append(r.scratch, levelSample{id: id, lvl: lvl})
+	})
+	r.mu.Lock()
+	r.samples++
+	for _, s := range r.scratch {
+		rg, ok := r.byProc[s.id]
 		if !ok {
 			rg = &ring{buf: make([]core.QueryRecord, r.capacity)}
-			r.byProc[id] = rg
+			r.byProc[s.id] = rg
 		}
-		rg.push(core.QueryRecord{At: now, Level: lvl})
-	})
+		rg.push(core.QueryRecord{At: now, Level: s.lvl})
+	}
+	r.mu.Unlock()
 	r.lastTick.Store(now.UnixNano())
 }
 

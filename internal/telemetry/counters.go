@@ -96,11 +96,24 @@ type TransportCounters struct {
 	// PacketsMalformed counts datagrams that failed decoding for any
 	// other reason (length mismatch, zero-length id).
 	PacketsMalformed atomic.Uint64
+	// PacketsShed counts decoded heartbeats dropped at the ingest queue
+	// because the target worker's bounded queue was full (drop-newest
+	// shed policy). Shedding is per shard: one stalled worker sheds its
+	// own traffic while the read loop keeps serving every other shard.
+	PacketsShed atomic.Uint64
 	// Rejected counts decoded heartbeats the monitor refused (unknown
 	// process with auto-registration off).
 	Rejected atomic.Uint64
 	// Delivered counts heartbeats accepted by the monitor.
 	Delivered atomic.Uint64
+
+	// SendFailures counts heartbeats a Sender failed to put on the wire:
+	// write errors plus ticks skipped while disconnected awaiting a
+	// redial backoff.
+	SendFailures atomic.Uint64
+	// Redials counts Sender reconnection attempts after a torn-down
+	// socket (each attempt re-resolves the target address).
+	Redials atomic.Uint64
 
 	queueHighWater atomic.Int64
 }
@@ -132,8 +145,11 @@ type TransportStats struct {
 	PacketsBadMagic   uint64
 	PacketsBadVersion uint64
 	PacketsMalformed  uint64
+	PacketsShed       uint64
 	Rejected          uint64
 	Delivered         uint64
+	SendFailures      uint64
+	Redials           uint64
 	QueueHighWater    int
 }
 
@@ -145,15 +161,21 @@ func (t *TransportCounters) Snapshot() TransportStats {
 		PacketsBadMagic:   t.PacketsBadMagic.Load(),
 		PacketsBadVersion: t.PacketsBadVersion.Load(),
 		PacketsMalformed:  t.PacketsMalformed.Load(),
+		PacketsShed:       t.PacketsShed.Load(),
 		Rejected:          t.Rejected.Load(),
 		Delivered:         t.Delivered.Load(),
+		SendFailures:      t.SendFailures.Load(),
+		Redials:           t.Redials.Load(),
 		QueueHighWater:    t.QueueHighWater(),
 	}
 }
 
 // Dropped sums every packet that was received but never reached a
-// detector: undecodable datagrams plus heartbeats the monitor refused.
+// detector: undecodable datagrams, heartbeats shed at a full ingest
+// queue, and heartbeats the monitor refused. Together with Delivered and
+// any heartbeats still queued it accounts for every received datagram —
+// nothing is dropped silently.
 func (s TransportStats) Dropped() uint64 {
 	return s.PacketsShort + s.PacketsBadMagic + s.PacketsBadVersion +
-		s.PacketsMalformed + s.Rejected
+		s.PacketsMalformed + s.PacketsShed + s.Rejected
 }

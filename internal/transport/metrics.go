@@ -63,9 +63,17 @@ func (a *API) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		mw.Sample("accrual_udp_packets_dropped_total", float64(d.v),
 			telemetry.Label{Name: "reason", Value: d.reason})
 	}
+	mw.Header("accrual_udp_packets_shed_total",
+		"Heartbeats shed at a full per-worker ingest queue (drop-newest policy), by reason", "counter")
+	mw.Sample("accrual_udp_packets_shed_total", float64(ts.PacketsShed),
+		telemetry.Label{Name: "reason", Value: "queue_full"})
 	mw.Header("accrual_udp_ingest_queue_high_water",
 		"Deepest ingest-queue depth observed since start", "gauge")
 	mw.Sample("accrual_udp_ingest_queue_high_water", float64(ts.QueueHighWater))
+	counter("accrual_sender_send_failures_total",
+		"Heartbeats a local sender failed to put on the wire (write errors and backoff skips)", ts.SendFailures)
+	counter("accrual_sender_redials_total",
+		"Local sender reconnection attempts after a torn-down socket", ts.Redials)
 
 	a.writeQoSMetrics(mw)
 

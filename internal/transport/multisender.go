@@ -52,6 +52,18 @@ func (m *MultiSender) Stop() {
 	}
 }
 
+// Health reports per-target delivery health, in target order: which
+// monitors are reachable, how many sends each has missed and when each
+// last succeeded. A redundant layout stays useful only while a quorum of
+// targets is healthy, and this is the signal to alert on.
+func (m *MultiSender) Health() []SenderHealth {
+	out := make([]SenderHealth, len(m.senders))
+	for i, s := range m.senders {
+		out[i] = s.Health()
+	}
+	return out
+}
+
 // Sent returns the number of heartbeats emitted to each target, in
 // target order.
 func (m *MultiSender) Sent() []uint64 {

@@ -53,12 +53,19 @@ var (
 	ErrLengthMismatch = fmt.Errorf("%w: length mismatch", ErrBadPacket)
 	// ErrIDTooLong is returned when a process id exceeds 255 bytes.
 	ErrIDTooLong = errors.New("transport: process id too long")
+	// ErrEmptyID is returned when a process id is empty. An empty id is a
+	// configuration mistake, not an oversized one, so it gets its own
+	// error instead of a nonsensical "id too long: 0 bytes".
+	ErrEmptyID = errors.New("transport: empty process id")
 )
 
 // MarshalHeartbeat encodes a heartbeat for the wire. Only From, Seq and
 // Sent are carried; Arrived is assigned by the receiver.
 func MarshalHeartbeat(hb core.Heartbeat) ([]byte, error) {
-	if len(hb.From) == 0 || len(hb.From) > maxIDLen {
+	if len(hb.From) == 0 {
+		return nil, ErrEmptyID
+	}
+	if len(hb.From) > maxIDLen {
 		return nil, fmt.Errorf("%w: %d bytes", ErrIDTooLong, len(hb.From))
 	}
 	buf := make([]byte, headerLen+len(hb.From)+trailerLen)

@@ -44,8 +44,8 @@ func TestMarshalZeroSentTime(t *testing.T) {
 }
 
 func TestMarshalIDValidation(t *testing.T) {
-	if _, err := MarshalHeartbeat(core.Heartbeat{From: "", Seq: 1}); !errors.Is(err, ErrIDTooLong) {
-		t.Errorf("empty id: %v", err)
+	if _, err := MarshalHeartbeat(core.Heartbeat{From: "", Seq: 1}); !errors.Is(err, ErrEmptyID) {
+		t.Errorf("empty id: %v, want ErrEmptyID", err)
 	}
 	long := strings.Repeat("x", 256)
 	if _, err := MarshalHeartbeat(core.Heartbeat{From: long, Seq: 1}); !errors.Is(err, ErrIDTooLong) {

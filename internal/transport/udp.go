@@ -11,24 +11,87 @@ import (
 	"accrual/internal/clock"
 	"accrual/internal/core"
 	"accrual/internal/service"
+	"accrual/internal/stats"
 	"accrual/internal/telemetry"
 )
+
+const (
+	// defaultQueueCap is the per-worker ingest queue capacity.
+	defaultQueueCap = 256
+	// senderRedialAfter is how many consecutive write failures tear down
+	// the connected socket and switch the sender to backoff redialing. A
+	// connected UDP socket can fail transiently (ICMP unreachable races),
+	// so a single error is not worth a teardown.
+	senderRedialAfter = 3
+	// senderLogInterval rate-limits failure logging: at most one line per
+	// interval per sender, with a suppressed-message count.
+	senderLogInterval = time.Minute
+	// Default redial backoff bounds; see WithSenderBackoff.
+	defaultBackoffMin = time.Second
+	defaultBackoffMax = 30 * time.Second
+)
+
+// SenderHealth is a point-in-time view of one sender's delivery health,
+// the per-target signal MultiSender.Health aggregates for redundant
+// monitoring layouts.
+type SenderHealth struct {
+	// Target is the configured destination address.
+	Target string
+	// Connected reports whether the sender currently holds a socket. A
+	// disconnected sender is redialing with backoff.
+	Connected bool
+	// ConsecutiveFailures counts send failures since the last success.
+	ConsecutiveFailures int
+	// SendFailures counts heartbeats that never made the wire: write
+	// errors plus ticks skipped while awaiting a redial backoff.
+	SendFailures uint64
+	// Redials counts reconnection attempts (each re-resolves the target).
+	Redials uint64
+	// LastError is the most recent dial or write error (nil if none).
+	LastError error
+	// LastSuccess is the sender-clock time of the last successful send
+	// (zero before the first).
+	LastSuccess time.Time
+}
 
 // Sender periodically emits heartbeats for one process over UDP — the
 // monitored side of the simple implementation (§5.1). Create one with
 // NewSender, start it with Start and stop it with Stop; the goroutine is
 // always joined on Stop.
+//
+// A sender survives a dead target: after senderRedialAfter consecutive
+// write failures it closes the socket and redials with exponential
+// backoff plus jitter. Every redial goes through the dialer (net.Dial by
+// default), which re-resolves the target address — a monitor that moved
+// behind a DNS name is picked up without restarting the sender. Failures
+// are counted (WithSenderTelemetry) and logged at most once per minute.
 type Sender struct {
 	id       string
 	target   string
 	interval time.Duration
 	clk      clock.Clock
+	dial     func(target string) (net.Conn, error)
 
-	mu      sync.Mutex
-	conn    net.Conn
-	seq     uint64
-	done    chan struct{}
-	stopped chan struct{}
+	backoffMin time.Duration
+	backoffMax time.Duration
+
+	tel *telemetry.TransportCounters
+
+	mu         sync.Mutex
+	conn       net.Conn
+	seq        uint64
+	done       chan struct{}
+	stopped    chan struct{}
+	consecFail int
+	lastErr    error
+	lastOK     time.Time
+	backoff    time.Duration
+	nextRedial time.Time
+	jitter     func() float64
+
+	logMu      sync.Mutex
+	lastLogAt  time.Time
+	suppressed int
 }
 
 // SenderOption configures a Sender.
@@ -40,21 +103,67 @@ func WithSenderClock(clk clock.Clock) SenderOption {
 	return func(s *Sender) { s.clk = clk }
 }
 
+// WithSenderDialer substitutes the function used to (re)connect to the
+// target (default: net.Dial("udp", target)). Tests inject flaky or
+// fault-wrapped connections here; every redial calls it afresh, so the
+// default re-resolves DNS on each attempt.
+func WithSenderDialer(dial func(target string) (net.Conn, error)) SenderOption {
+	return func(s *Sender) {
+		if dial != nil {
+			s.dial = dial
+		}
+	}
+}
+
+// WithSenderBackoff bounds the redial backoff: the first redial waits
+// min, each failed attempt doubles the wait up to max, and every wait is
+// jittered ±25% so a fleet of senders does not redial in lockstep.
+// Non-positive values keep the defaults (1s..30s).
+func WithSenderBackoff(min, max time.Duration) SenderOption {
+	return func(s *Sender) {
+		if min > 0 {
+			s.backoffMin = min
+		}
+		if max > 0 {
+			s.backoffMax = max
+		}
+		if s.backoffMax < s.backoffMin {
+			s.backoffMax = s.backoffMin
+		}
+	}
+}
+
+// WithSenderTelemetry points the sender's failure counters at a shared
+// telemetry hub, so send failures and redials show up on /v1/metrics of
+// a daemon that also emits heartbeats.
+func WithSenderTelemetry(hub *telemetry.Hub) SenderOption {
+	return func(s *Sender) { s.tel = &hub.Transport }
+}
+
 // NewSender returns a heartbeat sender for process id targeting the UDP
 // address target (host:port), sending every interval.
 func NewSender(id, target string, interval time.Duration, opts ...SenderOption) (*Sender, error) {
-	if id == "" || len(id) > maxIDLen {
+	if id == "" {
+		return nil, ErrEmptyID
+	}
+	if len(id) > maxIDLen {
 		return nil, fmt.Errorf("%w: %d bytes", ErrIDTooLong, len(id))
 	}
 	if interval <= 0 {
 		return nil, fmt.Errorf("transport: non-positive heartbeat interval %v", interval)
 	}
 	s := &Sender{
-		id:       id,
-		target:   target,
-		interval: interval,
-		clk:      clock.Wall{},
+		id:         id,
+		target:     target,
+		interval:   interval,
+		clk:        clock.Wall{},
+		dial:       func(target string) (net.Conn, error) { return net.Dial("udp", target) },
+		backoffMin: defaultBackoffMin,
+		backoffMax: defaultBackoffMax,
+		tel:        new(telemetry.TransportCounters),
 	}
+	rng := stats.NewRand(uint64(time.Now().UnixNano()))
+	s.jitter = rng.Float64
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -63,41 +172,84 @@ func NewSender(id, target string, interval time.Duration, opts ...SenderOption) 
 
 // Start dials the target and launches the heartbeat loop. The first
 // heartbeat is sent immediately so the monitor learns about the process
-// without waiting a full interval.
+// without waiting a full interval. An initial dial failure is returned
+// (fail fast on misconfiguration); failures after a successful Start are
+// handled by the redial machinery instead.
 func (s *Sender) Start() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.done != nil {
 		return fmt.Errorf("transport: sender %q already started", s.id)
 	}
-	conn, err := net.Dial("udp", s.target)
+	conn, err := s.dial(s.target)
 	if err != nil {
 		return fmt.Errorf("transport: dial %s: %w", s.target, err)
 	}
 	s.conn = conn
+	s.consecFail = 0
+	s.backoff = 0
+	s.nextRedial = time.Time{}
 	s.done = make(chan struct{})
 	s.stopped = make(chan struct{})
-	go s.loop(conn, s.done, s.stopped)
+	go s.loop(s.done, s.stopped)
 	return nil
 }
 
-func (s *Sender) loop(conn net.Conn, done <-chan struct{}, stopped chan<- struct{}) {
+func (s *Sender) loop(done <-chan struct{}, stopped chan<- struct{}) {
 	defer close(stopped)
 	ticker := time.NewTicker(s.interval)
 	defer ticker.Stop()
-	s.sendOne(conn)
+	s.sendOne(done)
 	for {
 		select {
 		case <-done:
 			return
 		case <-ticker.C:
-			s.sendOne(conn)
+			s.sendOne(done)
 		}
 	}
 }
 
-func (s *Sender) sendOne(conn net.Conn) {
+// sendOne emits one heartbeat, redialing first if the socket was torn
+// down and its backoff has elapsed. On a write error it counts the
+// failure and, after senderRedialAfter consecutive errors, closes the
+// socket and schedules a backoff redial — so an unreachable target costs
+// one counted skip per tick instead of a log line per tick forever.
+func (s *Sender) sendOne(done <-chan struct{}) {
 	s.mu.Lock()
+	conn := s.conn
+	if conn == nil {
+		if time.Now().Before(s.nextRedial) {
+			s.tel.SendFailures.Add(1)
+			s.mu.Unlock()
+			return
+		}
+		s.tel.Redials.Add(1)
+		s.mu.Unlock()
+		c, err := s.dial(s.target) // outside the lock: dialing may block on DNS
+		s.mu.Lock()
+		select {
+		case <-done:
+			// Stopped while dialing; don't resurrect the connection.
+			if c != nil {
+				_ = c.Close()
+			}
+			s.mu.Unlock()
+			return
+		default:
+		}
+		if err != nil {
+			s.tel.SendFailures.Add(1)
+			s.consecFail++
+			s.lastErr = err
+			s.scheduleRedialLocked()
+			s.mu.Unlock()
+			s.logLimited("redial %s: %v", s.target, err)
+			return
+		}
+		s.conn = c
+		conn = c
+	}
 	s.seq++
 	hb := core.Heartbeat{From: s.id, Seq: s.seq, Sent: s.clk.Now()}
 	s.mu.Unlock()
@@ -106,21 +258,93 @@ func (s *Sender) sendOne(conn net.Conn) {
 		return // cannot happen: id validated at construction
 	}
 	if _, err := conn.Write(buf); err != nil {
-		// UDP writes fail transiently (e.g. ICMP unreachable); the next
-		// tick retries, which is exactly heartbeat semantics.
-		log.Printf("transport: sender %q: %v", s.id, err)
+		s.mu.Lock()
+		s.tel.SendFailures.Add(1)
+		s.consecFail++
+		s.lastErr = err
+		if s.consecFail >= senderRedialAfter && s.conn == conn {
+			// Persistent failure: tear the socket down and let the next
+			// ticks redial (re-resolving the target) with backoff.
+			_ = conn.Close()
+			s.conn = nil
+			s.scheduleRedialLocked()
+		}
+		s.mu.Unlock()
+		s.logLimited("send to %s: %v", s.target, err)
+		return
 	}
+	s.mu.Lock()
+	s.consecFail = 0
+	s.backoff = 0
+	s.lastErr = nil
+	s.lastOK = hb.Sent
+	s.mu.Unlock()
 }
 
-// Sent returns the number of heartbeats emitted so far.
+// scheduleRedialLocked doubles the backoff (bounded by backoffMax) and
+// sets the next redial time with ±25% jitter. Caller holds s.mu.
+func (s *Sender) scheduleRedialLocked() {
+	if s.backoff == 0 {
+		s.backoff = s.backoffMin
+	} else {
+		s.backoff *= 2
+		if s.backoff > s.backoffMax {
+			s.backoff = s.backoffMax
+		}
+	}
+	jittered := time.Duration(float64(s.backoff) * (0.75 + 0.5*s.jitter()))
+	s.nextRedial = time.Now().Add(jittered)
+}
+
+// logLimited logs at most once per senderLogInterval, folding the
+// intervening failures into a suppressed count on the next line.
+func (s *Sender) logLimited(format string, args ...any) {
+	now := time.Now()
+	s.logMu.Lock()
+	if !s.lastLogAt.IsZero() && now.Sub(s.lastLogAt) < senderLogInterval {
+		s.suppressed++
+		s.logMu.Unlock()
+		return
+	}
+	s.lastLogAt = now
+	n := s.suppressed
+	s.suppressed = 0
+	s.logMu.Unlock()
+	msg := fmt.Sprintf(format, args...)
+	if n > 0 {
+		log.Printf("transport: sender %q: %s (%d similar suppressed)", s.id, msg, n)
+		return
+	}
+	log.Printf("transport: sender %q: %s", s.id, msg)
+}
+
+// Sent returns the number of heartbeats emitted so far. The sequence is
+// monotone across Stop/Start cycles.
 func (s *Sender) Sent() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.seq
 }
 
+// Health reports the sender's current delivery health.
+func (s *Sender) Health() SenderHealth {
+	st := s.tel.Snapshot()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SenderHealth{
+		Target:              s.target,
+		Connected:           s.conn != nil,
+		ConsecutiveFailures: s.consecFail,
+		SendFailures:        st.SendFailures,
+		Redials:             st.Redials,
+		LastError:           s.lastErr,
+		LastSuccess:         s.lastOK,
+	}
+}
+
 // Stop terminates the heartbeat loop and waits for it to exit. Stop is
-// idempotent.
+// idempotent, and a stopped sender can be started again (the sequence
+// numbers continue where they left off).
 func (s *Sender) Stop() {
 	s.mu.Lock()
 	done, stopped, conn := s.done, s.stopped, s.conn
@@ -131,7 +355,9 @@ func (s *Sender) Stop() {
 	}
 	close(done)
 	<-stopped
-	_ = conn.Close()
+	if conn != nil {
+		_ = conn.Close()
+	}
 }
 
 // Listener receives heartbeats over UDP and feeds them into a
@@ -146,10 +372,11 @@ func (s *Sender) Stop() {
 // are always ingested in arrival order while different processes proceed
 // on different cores.
 type Listener struct {
-	conn    *net.UDPConn
-	clk     clock.Clock
-	mon     *service.Monitor
-	workers int
+	conn     *net.UDPConn
+	clk      clock.Clock
+	mon      *service.Monitor
+	workers  int
+	queueCap int
 
 	queues  []chan core.Heartbeat
 	wg      sync.WaitGroup
@@ -178,12 +405,29 @@ func WithTelemetry(hub *telemetry.Hub) ListenerOption {
 }
 
 // WithIngestWorkers enables parallel heartbeat ingestion with n worker
-// goroutines (n < 1 keeps the synchronous single-loop default). Workers
-// apply backpressure: when every ingest queue is full the read loop
-// blocks and the kernel socket buffer absorbs — and eventually drops —
-// the excess, which is exactly heartbeat semantics under overload.
+// goroutines (n < 1 keeps the synchronous single-loop default). Each
+// worker owns a bounded queue the read loop feeds without ever blocking:
+// when one worker's queue is full its newest packets are shed (counted
+// in Stats as PacketsShed), so a stalled shard never delays another
+// process's heartbeats — suspicion levels degrade per process, not
+// globally, exactly the isolation the accrual model wants under
+// overload.
 func WithIngestWorkers(n int) ListenerOption {
 	return func(l *Listener) { l.workers = n }
+}
+
+// WithIngestQueueCap sets the per-worker ingest queue capacity (default
+// 256; values below 1 keep the default). A deeper queue rides out longer
+// detector stalls before shedding, at the cost of staler heartbeats when
+// it finally drains — for accrual detectors fresh-and-lossy beats
+// stale-and-complete, so prefer the default unless shed counters say
+// otherwise.
+func WithIngestQueueCap(n int) ListenerOption {
+	return func(l *Listener) {
+		if n >= 1 {
+			l.queueCap = n
+		}
+	}
 }
 
 // Listen binds a UDP socket on addr (host:port, port 0 for ephemeral) and
@@ -198,11 +442,12 @@ func Listen(addr string, mon *service.Monitor, opts ...ListenerOption) (*Listene
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
 	l := &Listener{
-		conn:    conn,
-		clk:     clock.Wall{},
-		mon:     mon,
-		stopped: make(chan struct{}),
-		tel:     new(telemetry.TransportCounters),
+		conn:     conn,
+		clk:      clock.Wall{},
+		mon:      mon,
+		queueCap: defaultQueueCap,
+		stopped:  make(chan struct{}),
+		tel:      new(telemetry.TransportCounters),
 	}
 	for _, opt := range opts {
 		opt(l)
@@ -210,7 +455,7 @@ func Listen(addr string, mon *service.Monitor, opts ...ListenerOption) (*Listene
 	if l.workers > 0 {
 		l.queues = make([]chan core.Heartbeat, l.workers)
 		for i := range l.queues {
-			l.queues[i] = make(chan core.Heartbeat, 256)
+			l.queues[i] = make(chan core.Heartbeat, l.queueCap)
 			l.wg.Add(1)
 			go l.ingest(l.queues[i])
 		}
@@ -257,8 +502,16 @@ func (l *Listener) loop() {
 			continue
 		}
 		q := l.queues[fnv1a(hb.From)%uint32(len(l.queues))]
-		q <- hb
-		l.tel.ObserveQueueDepth(len(q))
+		// Never block the shared read loop on one worker's full queue:
+		// shed the newest packet for that shard and count it. The next
+		// heartbeat from the same process carries strictly fresher
+		// information, so drop-newest loses nothing the detector needs.
+		select {
+		case q <- hb:
+			l.tel.ObserveQueueDepth(len(q))
+		default:
+			l.tel.PacketsShed.Add(1)
+		}
 	}
 }
 
