@@ -3,9 +3,12 @@
 // Subcommands:
 //
 //	accrualctl beat -id node-1 -to host:7946 [-interval 1s] [-sender-backoff 30s]
+//	               [-batch 32] [-flush 50ms]
 //	    run a heartbeat sender for this process (blocks; ^C to stop);
 //	    an unreachable daemon is redialed with exponential backoff and
-//	    DNS re-resolution, capped at -sender-backoff
+//	    DNS re-resolution, capped at -sender-backoff. A comma-separated
+//	    -id heartbeats for many local processes at once; -batch/-flush
+//	    coalesce beats into AFB1 batch datagrams (see docs/TUNING.md)
 //	accrualctl ls   [-api http://host:8080]
 //	    list all monitored processes ranked by suspicion level
 //	accrualctl get  -id node-1 [-api ...]
@@ -40,6 +43,7 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -199,22 +203,32 @@ func cmdStateRestore(args []string) error {
 
 func cmdBeat(args []string) error {
 	fs := flag.NewFlagSet("beat", flag.ContinueOnError)
-	id := fs.String("id", "", "process id to announce")
+	id := fs.String("id", "", "process id to announce (comma-separate several to heartbeat for many local processes)")
 	to := fs.String("to", "127.0.0.1:7946", "daemon UDP address")
 	interval := fs.Duration("interval", time.Second, "heartbeat interval")
 	backoff := fs.Duration("sender-backoff", 30*time.Second, "maximum redial backoff after the daemon becomes unreachable (redials re-resolve DNS)")
+	batch := fs.Int("batch", 0, "coalesce up to this many beats into one AFB1 datagram (0 disables; multiple -id values default to one frame per round)")
+	flush := fs.Duration("flush", 0, "hold a partial batch up to this long before flushing (0 flushes every round)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *id == "" {
 		return fmt.Errorf("missing -id")
 	}
+	ids := strings.Split(*id, ",")
 	backoffMin := time.Second
 	if *backoff < backoffMin {
 		backoffMin = *backoff
 	}
-	sender, err := transport.NewSender(*id, *to, *interval,
-		transport.WithSenderBackoff(backoffMin, *backoff))
+	opts := []transport.SenderOption{transport.WithSenderBackoff(backoffMin, *backoff)}
+	if *batch > 0 || *flush > 0 {
+		n := *batch
+		if n <= 0 {
+			n = len(ids)
+		}
+		opts = append(opts, transport.WithBatch(n, *flush))
+	}
+	sender, err := transport.NewGroupSender(ids, *to, *interval, opts...)
 	if err != nil {
 		return err
 	}

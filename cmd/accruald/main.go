@@ -6,7 +6,7 @@
 // Usage:
 //
 //	accruald [-udp :7946] [-http :8080] [-detector phi] [-interval 1s]
-//	         [-ingest-workers N] [-ingest-queue 256]
+//	         [-ingest-workers N] [-ingest-queue 256] [-read-batch 16]
 //	         [-state-file accrual.state] [-state-interval 30s]
 //	         [-qos-high 2] [-qos-low 1] [-pprof-addr localhost:6060]
 //
@@ -89,6 +89,7 @@ func run(ctx context.Context, args []string, ready chan<- [2]string) error {
 		shards    = fs.Int("shards", 0, "monitor registry shard count, rounded up to a power of two (0 = default 64)")
 		ingestWk  = fs.Int("ingest-workers", runtime.GOMAXPROCS(0), "parallel heartbeat ingest goroutines (0 = ingest from the read loop)")
 		ingestQ   = fs.Int("ingest-queue", 256, "per-worker ingest queue capacity; a full queue sheds newest packets (counted, never blocking the read loop)")
+		readBatch = fs.Int("read-batch", 16, "datagrams drained per read syscall via recvmmsg where available (1 = plain reads)")
 		stateFile = fs.String("state-file", "", "persist detector state here for warm restarts (empty disables)")
 		stateIntv = fs.Duration("state-interval", 30*time.Second, "period between state-file saves")
 		qosHigh   = fs.Float64("qos-high", float64(telemetry.DefaultQoSHigh), "online QoS reference threshold: suspect above this level")
@@ -136,6 +137,9 @@ func run(ctx context.Context, args []string, ready chan<- [2]string) error {
 	}
 	if *ingestQ > 0 {
 		lnOpts = append(lnOpts, transport.WithIngestQueueCap(*ingestQ))
+	}
+	if *readBatch > 0 {
+		lnOpts = append(lnOpts, transport.WithReadBatch(*readBatch))
 	}
 	listener, err := transport.Listen(*udpAddr, mon, lnOpts...)
 	if err != nil {

@@ -28,6 +28,9 @@ type benchResult struct {
 	OpsPerSec   float64 `json:"ops_per_sec"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	// Extra carries benchmark-specific metrics reported via
+	// b.ReportMetric (e.g. the batch bench's beats/frame).
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // benchmarks maps -bench names to the functions testing.Benchmark runs.
@@ -37,6 +40,7 @@ var benchmarks = map[string]func(*testing.B){
 	"ingest": benchIngest,
 	"query":  benchQuery,
 	"scrape": benchScrape,
+	"batch":  benchBatch,
 }
 
 func benchMonitor() (*service.Monitor, *telemetry.Hub) {
@@ -86,6 +90,52 @@ func benchQuery(b *testing.B) {
 	})
 }
 
+// benchBatch measures the userspace half of the coalesced heartbeat
+// pipeline per beat: encode 32 beats into one AFB1 frame with a reused
+// encoder, decode it with a warm id interner, and ingest the batch
+// through Monitor.HeartbeatBatch (one shard-lock acquisition per shard
+// per frame). Sockets are deliberately excluded so the number is
+// deterministic and the zero-alloc gate in CI is meaningful; the
+// syscall amortisation on top of this is measured by the repo's
+// BenchmarkIngestBatch over real loopback sockets.
+func benchBatch(b *testing.B) {
+	mon, _ := benchMonitor()
+	const batch = 32
+	beats := make([]core.Heartbeat, batch)
+	arrived := mon.Now()
+	for i := range beats {
+		beats[i] = core.Heartbeat{From: fmt.Sprintf("proc-%02d", i), Seq: 1, Arrived: arrived}
+	}
+	mon.HeartbeatBatch(beats) // register everyone up front
+	enc := transport.NewBatchEncoder(batch)
+	intern := transport.NewIDInterner()
+	scratch := make([]core.Heartbeat, 0, batch)
+	seq := uint64(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; done += batch {
+		seq++
+		enc.Reset()
+		for i := range beats {
+			beats[i].Seq = seq
+			if err := enc.Add(beats[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		decoded, err := transport.UnmarshalBatch(enc.Bytes(), scratch[:0], intern)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := range decoded {
+			decoded[i].Arrived = arrived
+		}
+		if acc, rej := mon.HeartbeatBatch(decoded); acc != batch || rej != 0 {
+			b.Fatalf("HeartbeatBatch = (%d, %d), want (%d, 0)", acc, rej, batch)
+		}
+	}
+	b.ReportMetric(batch, "beats/frame")
+}
+
 // benchScrape measures one full /v1/metrics render over a 100-process
 // registry with live QoS estimates.
 func benchScrape(b *testing.B) {
@@ -122,7 +172,7 @@ func runBenchmarks(name, outDir string) error {
 	} else if _, ok := benchmarks[name]; ok {
 		names = append(names, name)
 	} else {
-		return fmt.Errorf("unknown benchmark %q (want ingest, query, scrape or all)", name)
+		return fmt.Errorf("unknown benchmark %q (want ingest, query, scrape, batch or all)", name)
 	}
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
@@ -139,6 +189,12 @@ func runBenchmarks(name, outDir string) error {
 		}
 		if nsPerOp > 0 {
 			res.OpsPerSec = 1e9 / nsPerOp
+		}
+		if len(r.Extra) > 0 {
+			res.Extra = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				res.Extra[k] = v
+			}
 		}
 		data, err := json.MarshalIndent(res, "", "  ")
 		if err != nil {

@@ -9,6 +9,8 @@
 //	loss       heartbeat loss rate vs mistake rate per detector
 //	interval   heartbeat interval vs detection time at a fixed threshold
 //	gst        windowed mistake rate across a global stabilisation time
+//	batch      sender coalescing window vs detection time and mistakes
+//	           (the latency cost of batched heartbeat transport)
 //
 // Usage:
 //
@@ -24,6 +26,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/rand/v2"
 	"os"
 	"time"
 
@@ -46,9 +49,9 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("fdbench", flag.ContinueOnError)
 	var (
-		sweep    = fs.String("sweep", "threshold", "sweep to run: threshold, window, loss, interval, gst")
+		sweep    = fs.String("sweep", "threshold", "sweep to run: threshold, window, loss, interval, gst, batch")
 		seed     = fs.Uint64("seed", 42, "base random seed")
-		bench    = fs.String("bench", "", "run a micro-benchmark instead of a sweep: ingest, query, scrape or all")
+		bench    = fs.String("bench", "", "run a micro-benchmark instead of a sweep: ingest, query, scrape, batch or all")
 		benchOut = fs.String("bench-out", ".", "directory for BENCH_<name>.json results")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -72,6 +75,8 @@ func run(args []string) int {
 		sweepInterval(*seed)
 	case "gst":
 		sweepGST(*seed)
+	case "batch":
+		sweepBatch(*seed)
 	default:
 		fmt.Fprintf(os.Stderr, "fdbench: unknown sweep %q\n", *sweep)
 		return 2
@@ -92,9 +97,17 @@ type runResult struct {
 // explicit knobs for the sweeps.
 func runPair(seed uint64, det core.Detector, interval time.Duration, loss sim.LossModel,
 	crashAfter, horizon time.Duration) runResult {
+	delay := sim.RandomDelay{Dist: stats.Normal{Mu: 0.010, Sigma: 0.005}, Min: time.Millisecond}
+	return runPairLink(seed, det, interval, delay, loss, crashAfter, horizon)
+}
+
+// runPairLink is runPair with the link delay model exposed, for sweeps
+// that perturb delivery latency itself (the batch sweep).
+func runPairLink(seed uint64, det core.Detector, interval time.Duration, delay sim.DelayModel,
+	loss sim.LossModel, crashAfter, horizon time.Duration) runResult {
 	s := sim.New(seed)
 	net := sim.NewNetwork(s, sim.Link{
-		Delay: sim.RandomDelay{Dist: stats.Normal{Mu: 0.010, Sigma: 0.005}, Min: time.Millisecond},
+		Delay: delay,
 		Loss:  loss,
 	})
 	start := s.Now()
@@ -236,6 +249,50 @@ func sweepInterval(seed uint64) {
 			continue
 		}
 		fmt.Printf("%d,%.1f\n", iv.Milliseconds(), float64(td.Microseconds())/1000)
+	}
+}
+
+// coalesceDelay models sender-side batching on top of a base network
+// delay: a beat collected into a pending batch waits somewhere between
+// zero (the flush that sends it was already due) and the full flush
+// window before it reaches the wire, uniformly spread across the window.
+type coalesceDelay struct {
+	base sim.DelayModel
+	hold time.Duration
+}
+
+func (d coalesceDelay) Delay(rng *rand.Rand) time.Duration {
+	dl := d.base.Delay(rng)
+	if d.hold > 0 {
+		dl += time.Duration(rng.Int64N(int64(d.hold) + 1))
+	}
+	return dl
+}
+
+// sweepBatch prints the latency cost of heartbeat coalescing: detection
+// time and mistake rate of a φ detector as the sender's flush window
+// (WithBatch maxDelay) grows from zero to multiple heartbeat intervals.
+// The held beats arrive later and with more arrival-time spread, so both
+// T_D and the estimator's variance pay for the saved syscalls — this
+// curve is the quantitative form of the guidance in docs/TUNING.md.
+func sweepBatch(seed uint64) {
+	fmt.Println("flush_ms,td_ms,lambda_m_per_min")
+	base := sim.RandomDelay{Dist: stats.Normal{Mu: 0.010, Sigma: 0.005}, Min: time.Millisecond}
+	for _, flush := range []time.Duration{
+		0, 10 * time.Millisecond, 20 * time.Millisecond, 50 * time.Millisecond,
+		100 * time.Millisecond, 200 * time.Millisecond, 500 * time.Millisecond,
+	} {
+		delay := coalesceDelay{base: base, hold: flush}
+		crash := runPairLink(seed, phiDet(sim.Epoch), hbInterval, delay,
+			sim.NoLoss{}, 60*time.Second, 90*time.Second)
+		acc := runPairLink(seed+1, phiDet(sim.Epoch), hbInterval, delay,
+			sim.NoLoss{}, 0, 10*time.Minute)
+		td, ok, _ := metricsAt(crash, 3)
+		_, _, lam := metricsAt(acc, 3)
+		if !ok {
+			continue
+		}
+		fmt.Printf("%d,%.1f,%.4f\n", flush.Milliseconds(), float64(td.Microseconds())/1000, lam)
 	}
 }
 

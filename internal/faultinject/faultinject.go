@@ -33,6 +33,14 @@ type Faults struct {
 	// Truncate is the probability a packet is cut to a random proper
 	// prefix (wire corruption that shortens the datagram).
 	Truncate float64
+	// TruncateRecord is the probability an AFB1 batch frame is cut in
+	// the middle of one of its beat records — past the batch header and
+	// at least one byte into a record, the nastiest prefix for a batch
+	// decoder because the frame still looks like a healthy batch until
+	// the cut. A correct decoder must reject the whole frame
+	// (ErrLengthMismatch), never apply the records before the cut.
+	// Non-batch packets are left alone; rolls independently of Truncate.
+	TruncateRecord float64
 	// Delay is the probability a packet is delayed; the delay itself is
 	// uniform in (0, MaxDelay].
 	Delay float64
@@ -54,8 +62,10 @@ type Stats struct {
 	// In counts packets offered to Apply.
 	In int
 	// Out counts packets emitted (including duplicates).
-	Out int
+	Out                                            int
 	Dropped, Dupped, Reordered, Truncated, Delayed int
+	// RecordTruncated counts AFB1 batch frames cut mid-record.
+	RecordTruncated int
 }
 
 // Injector applies a fault plan to a packet stream. It is deterministic:
@@ -98,6 +108,12 @@ func (in *Injector) Apply(data []byte) []Packet {
 			p = p[:1+in.rng.IntN(len(p)-1)]
 			in.stats.Truncated++
 		}
+		if in.roll(in.faults.TruncateRecord) {
+			if cut, ok := in.midRecordCut(p); ok {
+				p = p[:cut]
+				in.stats.RecordTruncated++
+			}
+		}
 		var d time.Duration
 		if in.faults.MaxDelay > 0 && in.roll(in.faults.Delay) {
 			d = time.Duration(1 + in.rng.Int64N(int64(in.faults.MaxDelay)))
@@ -125,6 +141,48 @@ func (in *Injector) Apply(data []byte) []Packet {
 		}
 	}
 	return out
+}
+
+// Batch-frame layout facts, duplicated from the transport package's AFB1
+// codec (importing it here would cycle through transport's tests). Keep
+// in sync with internal/transport/batch.go: 4-byte "AFB1" magic, 1-byte
+// version, 2-byte big-endian beat count, then per beat a 1-byte id
+// length, the id, and a 16-byte (seq, sent) trailer.
+const (
+	afb1HeaderLen     = 7
+	afb1RecordTrailer = 16
+)
+
+// midRecordCut walks p as an AFB1 batch frame and picks a cut offset
+// strictly inside one of its beat records — past the batch header, at
+// least one byte into the record, and before the record's end. ok is
+// false when p is not a well-formed batch frame (nothing to cut
+// meaningfully).
+func (in *Injector) midRecordCut(p []byte) (int, bool) {
+	if len(p) < afb1HeaderLen || string(p[0:4]) != "AFB1" {
+		return 0, false
+	}
+	count := int(p[5])<<8 | int(p[6])
+	if count == 0 {
+		return 0, false
+	}
+	type span struct{ start, end int }
+	var records []span
+	off := afb1HeaderLen
+	for i := 0; i < count; i++ {
+		if off >= len(p) {
+			return 0, false // already truncated
+		}
+		n := int(p[off])
+		end := off + 1 + n + afb1RecordTrailer
+		if n == 0 || end > len(p) {
+			return 0, false
+		}
+		records = append(records, span{off, end})
+		off = end
+	}
+	r := records[in.rng.IntN(len(records))]
+	return r.start + 1 + in.rng.IntN(r.end-r.start-1), true
 }
 
 // Flush releases any packet still held for reordering. Call it when the

@@ -1,0 +1,250 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"accrual/internal/clock"
+	"accrual/internal/core"
+	"accrual/internal/simple"
+	"accrual/internal/telemetry"
+)
+
+func batchTestMonitor(opts ...MonitorOption) *Monitor {
+	clk := clock.NewManual(time.Date(2005, 3, 22, 0, 0, 0, 0, time.UTC))
+	return NewMonitor(clk, func(_ string, start time.Time) core.Detector {
+		return simple.New(start)
+	}, opts...)
+}
+
+// TestHeartbeatBatchMatchesSingle proves batch ingest is observationally
+// equivalent to per-beat ingest: same registrations, same suspicion
+// levels, same stale accounting.
+func TestHeartbeatBatchMatchesSingle(t *testing.T) {
+	single := batchTestMonitor(WithTelemetry(telemetry.NewHub()))
+	hubB := telemetry.NewHub()
+	batched := batchTestMonitor(WithTelemetry(hubB))
+
+	at := single.Now()
+	var beats []core.Heartbeat
+	for round := 1; round <= 5; round++ {
+		at = at.Add(100 * time.Millisecond)
+		for p := 0; p < 9; p++ {
+			beats = append(beats, core.Heartbeat{
+				From: fmt.Sprintf("proc-%d", p), Seq: uint64(round), Arrived: at,
+			})
+		}
+	}
+	// One duplicate (stale) beat at the end.
+	beats = append(beats, core.Heartbeat{From: "proc-0", Seq: 1, Arrived: at})
+
+	for _, hb := range beats {
+		if err := single.Heartbeat(hb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	acc, rej := batched.HeartbeatBatch(beats)
+	if acc != len(beats) || rej != 0 {
+		t.Fatalf("HeartbeatBatch = (%d, %d), want (%d, 0)", acc, rej, len(beats))
+	}
+	if got, want := batched.Len(), single.Len(); got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+	ss, sb := single.Snapshot(), batched.Snapshot()
+	for id, lvl := range ss {
+		if sb[id] != lvl {
+			t.Errorf("process %s: batch level %v, single level %v", id, sb[id], lvl)
+		}
+	}
+	tb := hubB.Counters.Totals()
+	if tb.HeartbeatsIngested != uint64(len(beats)) {
+		t.Errorf("batch HeartbeatsIngested = %d, want %d", tb.HeartbeatsIngested, len(beats))
+	}
+	if tb.HeartbeatsStale != 1 {
+		t.Errorf("batch HeartbeatsStale = %d, want 1", tb.HeartbeatsStale)
+	}
+	if tb.Registrations != 9 {
+		t.Errorf("batch Registrations = %d, want 9", tb.Registrations)
+	}
+}
+
+// TestHeartbeatBatchLockOncePerShard is the lock-amortisation contract:
+// in steady state (every sender registered) one batch acquires each
+// touched shard lock exactly once, read-mode, no matter how many beats
+// land on the shard — the syscall-batching win carried through to the
+// registry. A batch with unseen senders pays at most one extra write
+// acquisition per touched shard.
+func TestHeartbeatBatchLockOncePerShard(t *testing.T) {
+	mon := batchTestMonitor()
+	at := mon.Now().Add(time.Second)
+	const procs = 64
+	var beats []core.Heartbeat
+	for p := 0; p < procs; p++ {
+		beats = append(beats, core.Heartbeat{
+			From: fmt.Sprintf("proc-%02d", p), Seq: 1, Arrived: at,
+		})
+	}
+
+	type acquisition struct {
+		reads, writes int
+	}
+	locks := map[uint32]*acquisition{}
+	mon.onShardLock = func(si uint32, write bool) {
+		a := locks[si]
+		if a == nil {
+			a = &acquisition{}
+			locks[si] = a
+		}
+		if write {
+			a.writes++
+		} else {
+			a.reads++
+		}
+	}
+
+	// Cold batch: every sender unseen — one read plus one write per shard.
+	if acc, rej := mon.HeartbeatBatch(beats); acc != procs || rej != 0 {
+		t.Fatalf("cold HeartbeatBatch = (%d, %d), want (%d, 0)", acc, rej, procs)
+	}
+	for si, a := range locks {
+		if a.reads != 1 || a.writes > 1 {
+			t.Errorf("cold batch shard %d: %d read / %d write acquisitions, want 1 / <=1", si, a.reads, a.writes)
+		}
+	}
+
+	// Steady state: same senders again — exactly one read, zero writes,
+	// even with many beats per shard.
+	clear(locks)
+	for i := range beats {
+		beats[i].Seq = 2
+		beats[i].Arrived = at.Add(100 * time.Millisecond)
+	}
+	if acc, _ := mon.HeartbeatBatch(beats); acc != procs {
+		t.Fatalf("steady HeartbeatBatch accepted %d, want %d", acc, procs)
+	}
+	if len(locks) == 0 {
+		t.Fatal("lock observer saw no acquisitions")
+	}
+	for si, a := range locks {
+		if a.reads != 1 || a.writes != 0 {
+			t.Errorf("steady batch shard %d: %d read / %d write acquisitions, want exactly 1 / 0", si, a.reads, a.writes)
+		}
+	}
+}
+
+// TestHeartbeatBatchPreservesPerProcessOrder feeds one process's beats
+// out of natural shard-sort stability traps: the grouping sort must keep
+// each process's beats in batch order, or sequence tracking would
+// misreport staleness.
+func TestHeartbeatBatchPreservesPerProcessOrder(t *testing.T) {
+	hub := telemetry.NewHub()
+	mon := batchTestMonitor(WithTelemetry(hub))
+	at := mon.Now().Add(time.Second)
+	var beats []core.Heartbeat
+	// Interleave two processes with ascending seqs; any reordering of a
+	// process's own beats would mark a fresh beat stale.
+	for seq := uint64(1); seq <= 20; seq++ {
+		beats = append(beats,
+			core.Heartbeat{From: "alpha", Seq: seq, Arrived: at},
+			core.Heartbeat{From: "omega", Seq: seq, Arrived: at},
+		)
+	}
+	if acc, _ := mon.HeartbeatBatch(beats); acc != len(beats) {
+		t.Fatalf("accepted %d, want %d", acc, len(beats))
+	}
+	if stale := hub.Counters.Totals().HeartbeatsStale; stale != 0 {
+		t.Errorf("in-order batch produced %d stale beats, want 0", stale)
+	}
+}
+
+// TestHeartbeatBatchRejectsUnknown checks the no-auto-register mode:
+// unknown senders are counted rejected without aborting the batch.
+func TestHeartbeatBatchRejectsUnknown(t *testing.T) {
+	mon := batchTestMonitor(WithoutAutoRegister())
+	if err := mon.Register("known"); err != nil {
+		t.Fatal(err)
+	}
+	at := mon.Now().Add(time.Second)
+	beats := []core.Heartbeat{
+		{From: "known", Seq: 1, Arrived: at},
+		{From: "ghost", Seq: 1, Arrived: at},
+		{From: "known", Seq: 2, Arrived: at},
+		{From: "phantom", Seq: 1, Arrived: at},
+	}
+	acc, rej := mon.HeartbeatBatch(beats)
+	if acc != 2 || rej != 2 {
+		t.Fatalf("HeartbeatBatch = (%d, %d), want (2, 2)", acc, rej)
+	}
+	if mon.Known("ghost") || mon.Known("phantom") {
+		t.Error("rejected senders were registered")
+	}
+}
+
+// TestHeartbeatBatchZeroAllocSteadyState pins the batch ingest hot path
+// at zero allocations once every sender is registered — the registry
+// half of the end-to-end zero-alloc batch pipeline (the codec half lives
+// in transport).
+func TestHeartbeatBatchZeroAllocSteadyState(t *testing.T) {
+	mon := batchTestMonitor(WithTelemetry(telemetry.NewHub()))
+	at := mon.Now()
+	beats := make([]core.Heartbeat, 32)
+	for i := range beats {
+		beats[i] = core.Heartbeat{From: fmt.Sprintf("proc-%02d", i%8), Seq: 1, Arrived: at}
+	}
+	mon.HeartbeatBatch(beats) // register everyone
+	seq := uint64(1)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		seq++
+		at = at.Add(100 * time.Millisecond)
+		for i := range beats {
+			beats[i].Seq = seq
+			beats[i].Arrived = at
+		}
+		if acc, _ := mon.HeartbeatBatch(beats); acc != len(beats) {
+			t.Fatalf("accepted %d, want %d", acc, len(beats))
+		}
+	}); allocs != 0 {
+		t.Errorf("steady-state HeartbeatBatch: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestHeartbeatBatchConcurrent hammers HeartbeatBatch alongside single
+// beats, queries and deregistrations under -race.
+func TestHeartbeatBatchConcurrent(t *testing.T) {
+	mon := batchTestMonitor(WithTelemetry(telemetry.NewHub()))
+	at := mon.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			beats := make([]core.Heartbeat, 16)
+			for round := 0; round < 200; round++ {
+				for i := range beats {
+					beats[i] = core.Heartbeat{
+						From:    fmt.Sprintf("g%d-proc-%d", g, i),
+						Seq:     uint64(round + 1),
+						Arrived: at.Add(time.Duration(round) * 50 * time.Millisecond),
+					}
+				}
+				mon.HeartbeatBatch(beats)
+			}
+		}(g)
+	}
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			_, _ = mon.Suspicion(fmt.Sprintf("g0-proc-%d", i%16))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			mon.Deregister(fmt.Sprintf("g1-proc-%d", i%16))
+		}
+	}()
+	wg.Wait()
+}

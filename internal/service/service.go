@@ -129,6 +129,12 @@ type Monitor struct {
 	// hash to pick a counter stripe, so instrumentation costs one
 	// uncontended atomic add and zero allocations per operation.
 	tel *telemetry.Hub
+
+	// onShardLock, when non-nil, observes every shard-lock acquisition
+	// HeartbeatBatch performs (shard index, write?). Tests use it to
+	// verify the once-per-shard-per-batch contract; production monitors
+	// leave it nil.
+	onShardLock func(shard uint32, write bool)
 }
 
 // MonitorOption configures a Monitor.

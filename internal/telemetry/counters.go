@@ -107,6 +107,17 @@ type TransportCounters struct {
 	// Delivered counts heartbeats accepted by the monitor.
 	Delivered atomic.Uint64
 
+	// BatchesReceived counts AFB1 batch frames that decoded successfully.
+	BatchesReceived atomic.Uint64
+	// BatchBeats counts heartbeats carried inside decoded AFB1 batch
+	// frames (single-beat AFD1 datagrams are not included).
+	BatchBeats atomic.Uint64
+	// BatchBeatsShed counts heartbeats from batch frames dropped at a
+	// full ingest queue — the batch-path subset of PacketsShed, kept
+	// separately so shed-per-batch is observable (a burst of shed batch
+	// beats means coalescing is overrunning a stalled shard).
+	BatchBeatsShed atomic.Uint64
+
 	// SendFailures counts heartbeats a Sender failed to put on the wire:
 	// write errors plus ticks skipped while disconnected awaiting a
 	// redial backoff.
@@ -116,6 +127,29 @@ type TransportCounters struct {
 	Redials atomic.Uint64
 
 	queueHighWater atomic.Int64
+	batchHighWater atomic.Int64
+}
+
+// ObserveBatch records one decoded AFB1 frame carrying beats heartbeats,
+// keeping the largest-batch high-water mark.
+func (t *TransportCounters) ObserveBatch(beats int) {
+	t.BatchesReceived.Add(1)
+	t.BatchBeats.Add(uint64(beats))
+	b := int64(beats)
+	for {
+		cur := t.batchHighWater.Load()
+		if b <= cur {
+			return
+		}
+		if t.batchHighWater.CompareAndSwap(cur, b) {
+			return
+		}
+	}
+}
+
+// BatchHighWater returns the largest decoded batch observed, in beats.
+func (t *TransportCounters) BatchHighWater() int {
+	return int(t.batchHighWater.Load())
 }
 
 // ObserveQueueDepth records an ingest-queue depth sample, keeping the
@@ -148,9 +182,13 @@ type TransportStats struct {
 	PacketsShed       uint64
 	Rejected          uint64
 	Delivered         uint64
+	BatchesReceived   uint64
+	BatchBeats        uint64
+	BatchBeatsShed    uint64
 	SendFailures      uint64
 	Redials           uint64
 	QueueHighWater    int
+	BatchHighWater    int
 }
 
 // Snapshot reads every counter once.
@@ -164,9 +202,13 @@ func (t *TransportCounters) Snapshot() TransportStats {
 		PacketsShed:       t.PacketsShed.Load(),
 		Rejected:          t.Rejected.Load(),
 		Delivered:         t.Delivered.Load(),
+		BatchesReceived:   t.BatchesReceived.Load(),
+		BatchBeats:        t.BatchBeats.Load(),
+		BatchBeatsShed:    t.BatchBeatsShed.Load(),
 		SendFailures:      t.SendFailures.Load(),
 		Redials:           t.Redials.Load(),
 		QueueHighWater:    t.QueueHighWater(),
+		BatchHighWater:    t.BatchHighWater(),
 	}
 }
 

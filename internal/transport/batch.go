@@ -1,0 +1,261 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"accrual/internal/core"
+)
+
+// Batch wire format (big endian). One AFB1 frame coalesces 1..N
+// heartbeats behind a single shared header, so a sender heartbeating for
+// many local processes — or holding several ticks' worth of beats for a
+// flush window — pays one datagram and the listener one read syscall for
+// the whole batch. Kumar & Welch's ◇P-on-ADD-channels construction shows
+// bounded-size composite heartbeat messages preserve eventual-perfect
+// detection; this is that composite message.
+//
+//	offset  size  field
+//	0       4     magic "AFB1"
+//	4       1     version (1)
+//	5       2     beat count N (1..MaxBatchBeats)
+//	7       ...   N records, each:
+//	                1  id length n (1..255)
+//	                n  process id (UTF-8)
+//	                8  sequence number
+//	                8  send time, Unix nanoseconds
+//
+// A decoder either accepts the whole frame or rejects the whole frame:
+// a truncated or corrupted batch yields ErrLengthMismatch and zero
+// heartbeats, never a half-applied prefix. Single-beat AFD1 datagrams
+// remain accepted alongside AFB1 for backward compatibility.
+const (
+	batchVersion = 1
+	// batchHeaderLen is magic + version + uint16 count.
+	batchHeaderLen = 7
+	// batchRecordOverhead is the per-beat framing beyond the id bytes.
+	batchRecordOverhead = 1 + trailerLen
+	// MaxBatchBeats bounds the beat count one frame may carry. It is a
+	// decode-side cap too, so a hostile count field cannot make the
+	// listener reserve pathological scratch space.
+	MaxBatchBeats = 4096
+	// MaxBatchPacketSize is the largest AFB1 frame a listener accepts —
+	// the maximum UDP payload over IPv4. Senders flush well below this
+	// (see BatchEncoder.Add), but the read buffer must fit the worst
+	// case a peer could emit.
+	MaxBatchPacketSize = 65507
+)
+
+var batchMagic = [4]byte{'A', 'F', 'B', '1'}
+
+// ErrBatchFull is returned by BatchEncoder.Add when the frame already
+// holds the configured maximum number of beats or the next record would
+// overflow the maximum frame size. The caller flushes and retries.
+var ErrBatchFull = errors.New("transport: batch frame full")
+
+// IsBatchFrame reports whether buf starts with the AFB1 batch magic —
+// the dispatch test the listener applies before choosing a decoder.
+func IsBatchFrame(buf []byte) bool {
+	return len(buf) >= 4 && [4]byte(buf[0:4]) == batchMagic
+}
+
+// BatchEncoder builds AFB1 frames into a single reusable buffer:
+// Reset, Add beats until ErrBatchFull (or until the caller decides to
+// flush), then Bytes. The encoder never allocates after its buffer has
+// grown to the high-water frame size, which is what keeps a coalescing
+// sender's steady state at zero allocations per beat.
+type BatchEncoder struct {
+	buf      []byte
+	count    int
+	maxBeats int
+}
+
+// NewBatchEncoder returns an encoder that accepts up to maxBeats beats
+// per frame (clamped to 1..MaxBatchBeats).
+func NewBatchEncoder(maxBeats int) *BatchEncoder {
+	if maxBeats < 1 {
+		maxBeats = 1
+	}
+	if maxBeats > MaxBatchBeats {
+		maxBeats = MaxBatchBeats
+	}
+	e := &BatchEncoder{maxBeats: maxBeats}
+	e.Reset()
+	return e
+}
+
+// Reset drops any accumulated beats and re-initialises the header.
+func (e *BatchEncoder) Reset() {
+	if cap(e.buf) < batchHeaderLen {
+		e.buf = make([]byte, batchHeaderLen, 512)
+	}
+	e.buf = e.buf[:batchHeaderLen]
+	copy(e.buf[0:4], batchMagic[:])
+	e.buf[4] = batchVersion
+	e.buf[5], e.buf[6] = 0, 0
+	e.count = 0
+}
+
+// Add appends one heartbeat record. Only From, Seq and Sent are carried;
+// Arrived is assigned by the receiver. It returns ErrBatchFull when the
+// frame cannot take another record (flush and retry), ErrEmptyID or
+// ErrIDTooLong for an invalid id.
+func (e *BatchEncoder) Add(hb core.Heartbeat) error {
+	if len(hb.From) == 0 {
+		return ErrEmptyID
+	}
+	if len(hb.From) > maxIDLen {
+		return fmt.Errorf("%w: %d bytes", ErrIDTooLong, len(hb.From))
+	}
+	if e.count >= e.maxBeats ||
+		len(e.buf)+batchRecordOverhead+len(hb.From) > MaxBatchPacketSize {
+		return ErrBatchFull
+	}
+	e.buf = appendBeatRecord(e.buf, hb)
+	e.count++
+	return nil
+}
+
+// Count returns the number of beats currently in the frame.
+func (e *BatchEncoder) Count() int { return e.count }
+
+// Len returns the encoded frame size so far, header included.
+func (e *BatchEncoder) Len() int { return len(e.buf) }
+
+// Bytes finalises the count field and returns the encoded frame. The
+// returned slice aliases the encoder's buffer: it is valid until the
+// next Reset or Add. A frame with zero beats returns nil (nothing worth
+// a datagram).
+func (e *BatchEncoder) Bytes() []byte {
+	if e.count == 0 {
+		return nil
+	}
+	binary.BigEndian.PutUint16(e.buf[5:7], uint16(e.count))
+	return e.buf
+}
+
+// appendBeatRecord appends one (idlen, id, seq, sent) record — the
+// format shared verbatim with the AFD1 trailer, so both codecs stay in
+// lockstep.
+func appendBeatRecord(dst []byte, hb core.Heartbeat) []byte {
+	dst = append(dst, byte(len(hb.From)))
+	dst = append(dst, hb.From...)
+	var tail [trailerLen]byte
+	binary.BigEndian.PutUint64(tail[0:8], hb.Seq)
+	var sent int64
+	if !hb.Sent.IsZero() {
+		sent = hb.Sent.UnixNano()
+	}
+	binary.BigEndian.PutUint64(tail[8:16], uint64(sent))
+	return append(dst, tail[:]...)
+}
+
+// MarshalBatch encodes beats as one AFB1 frame — the convenience wrapper
+// over BatchEncoder for tests and one-shot callers; hot paths hold an
+// encoder instead.
+func MarshalBatch(beats []core.Heartbeat) ([]byte, error) {
+	if len(beats) == 0 {
+		return nil, fmt.Errorf("%w: empty batch", ErrLengthMismatch)
+	}
+	e := NewBatchEncoder(len(beats))
+	for _, hb := range beats {
+		if err := e.Add(hb); err != nil {
+			return nil, err
+		}
+	}
+	// Copy out: the encoder is function-local, but callers expect an
+	// independent slice.
+	return append([]byte(nil), e.Bytes()...), nil
+}
+
+// UnmarshalBatch decodes an AFB1 frame, appending the beats to dst and
+// returning the extended slice. Decoding is all-or-nothing: on any error
+// dst is returned unchanged, so a truncated frame can never half-apply.
+// Arrived is zero on every returned beat; the caller stamps it.
+//
+// A non-nil interner canonicalises the id strings, which makes steady
+// state decoding (all ids seen before) allocation-free; with nil each id
+// is freshly allocated.
+func UnmarshalBatch(buf []byte, dst []core.Heartbeat, intern *IDInterner) ([]core.Heartbeat, error) {
+	if len(buf) < batchHeaderLen {
+		return dst, fmt.Errorf("%w: %d bytes", ErrPacketShort, len(buf))
+	}
+	if [4]byte(buf[0:4]) != batchMagic {
+		return dst, ErrBadMagic
+	}
+	if buf[4] != batchVersion {
+		return dst, fmt.Errorf("%w: batch version %d", ErrBadVersion, buf[4])
+	}
+	count := int(binary.BigEndian.Uint16(buf[5:7]))
+	if count == 0 || count > MaxBatchBeats {
+		return dst, fmt.Errorf("%w: batch count %d", ErrLengthMismatch, count)
+	}
+	orig := len(dst)
+	off := batchHeaderLen
+	for i := 0; i < count; i++ {
+		if off >= len(buf) {
+			return dst[:orig], fmt.Errorf("%w: batch truncated at record %d/%d", ErrLengthMismatch, i+1, count)
+		}
+		n := int(buf[off])
+		if n == 0 || off+1+n+trailerLen > len(buf) {
+			return dst[:orig], fmt.Errorf("%w: batch record %d/%d (id %d, %d bytes left)",
+				ErrLengthMismatch, i+1, count, n, len(buf)-off)
+		}
+		id := intern.Intern(buf[off+1 : off+1+n])
+		off += 1 + n
+		hb := core.Heartbeat{
+			From: id,
+			Seq:  binary.BigEndian.Uint64(buf[off:]),
+		}
+		if sentNano := int64(binary.BigEndian.Uint64(buf[off+8:])); sentNano != 0 {
+			hb.Sent = unixNano(sentNano)
+		}
+		off += trailerLen
+		dst = append(dst, hb)
+	}
+	if off != len(buf) {
+		return dst[:orig], fmt.Errorf("%w: %d trailing bytes after %d records",
+			ErrLengthMismatch, len(buf)-off, count)
+	}
+	return dst, nil
+}
+
+// maxInternedIDs bounds the interner: beyond it, unknown ids are
+// converted without being remembered, so an attacker spraying random ids
+// costs allocations, never unbounded memory.
+const maxInternedIDs = 1 << 16
+
+// IDInterner canonicalises process-id byte strings so that repeated
+// decoding of the same ids reuses one string allocation. The map lookup
+// with a byte-slice key compiles to an allocation-free probe, which is
+// what lets a listener's steady-state decode path run at zero
+// allocations per beat. Not safe for concurrent use; the read loop owns
+// one.
+type IDInterner struct {
+	m map[string]string
+}
+
+// NewIDInterner returns an empty interner.
+func NewIDInterner() *IDInterner {
+	return &IDInterner{m: make(map[string]string)}
+}
+
+// Intern returns the canonical string for b, remembering it for next
+// time. A nil interner degrades to a plain conversion.
+func (in *IDInterner) Intern(b []byte) string {
+	if in == nil {
+		return string(b)
+	}
+	if s, ok := in.m[string(b)]; ok { // compiler-optimised: no conversion alloc
+		return s
+	}
+	s := string(b)
+	if len(in.m) < maxInternedIDs {
+		in.m[s] = s
+	}
+	return s
+}
+
+// Len returns the number of remembered ids.
+func (in *IDInterner) Len() int { return len(in.m) }

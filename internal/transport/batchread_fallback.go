@@ -1,0 +1,32 @@
+//go:build !(linux && (amd64 || arm64))
+
+package transport
+
+import "net"
+
+// batchReadSupported reports whether this platform batches read syscalls
+// (recvmmsg). Here it does not: the reader degrades to one plain read
+// per call, with the same slot-buffer interface so the listener's loop
+// is identical on every platform.
+const batchReadSupported = false
+
+// batchReader is the portable fallback: one reused slot, one read
+// syscall per datagram.
+type batchReader struct {
+	conn  *net.UDPConn
+	bufs  [][]byte
+	sizes []int
+}
+
+func newBatchReader(conn *net.UDPConn, _ int) *batchReader {
+	return &batchReader{
+		conn:  conn,
+		bufs:  [][]byte{make([]byte, MaxBatchPacketSize)},
+		sizes: make([]int, 1),
+	}
+}
+
+// read fills slot 0 with the next datagram.
+func (br *batchReader) read() (int, error) {
+	return br.readOne()
+}

@@ -1,0 +1,94 @@
+//go:build linux && (amd64 || arm64)
+
+package transport
+
+import (
+	"net"
+	"syscall"
+	"unsafe"
+)
+
+// batchReadSupported reports whether this platform batches read syscalls
+// (recvmmsg). Elsewhere the reader degrades to one plain read per call.
+const batchReadSupported = true
+
+// mmsghdr mirrors struct mmsghdr on 64-bit Linux: a plain msghdr plus
+// the kernel-filled received-bytes count, padded to 8-byte alignment.
+type mmsghdr struct {
+	hdr  syscall.Msghdr
+	nrcv uint32
+	_    [4]byte
+}
+
+// batchReader drains up to len(bufs) datagrams per recvmmsg(2) syscall
+// into fixed per-slot buffers — the receive-side mirror of the AFB1
+// coalescing senders do. Slot buffers, iovecs and mmsghdrs are laid out
+// once at construction; the read loop reuses them for the lifetime of
+// the socket, so a fully loaded listener performs one syscall and zero
+// allocations per batch of datagrams.
+type batchReader struct {
+	conn  *net.UDPConn
+	rc    syscall.RawConn
+	bufs  [][]byte
+	sizes []int
+	hdrs  []mmsghdr
+	iovs  []syscall.Iovec
+}
+
+func newBatchReader(conn *net.UDPConn, slots int) *batchReader {
+	if slots < 1 {
+		slots = 1
+	}
+	br := &batchReader{
+		conn:  conn,
+		bufs:  make([][]byte, slots),
+		sizes: make([]int, slots),
+		hdrs:  make([]mmsghdr, slots),
+		iovs:  make([]syscall.Iovec, slots),
+	}
+	for i := range br.bufs {
+		br.bufs[i] = make([]byte, MaxBatchPacketSize)
+		br.iovs[i].Base = &br.bufs[i][0]
+		br.iovs[i].SetLen(MaxBatchPacketSize)
+		br.hdrs[i].hdr.Iov = &br.iovs[i]
+		br.hdrs[i].hdr.Iovlen = 1
+	}
+	if slots > 1 {
+		if rc, err := conn.SyscallConn(); err == nil {
+			br.rc = rc
+		}
+	}
+	return br
+}
+
+// read blocks until at least one datagram is available and returns how
+// many slots were filled; packet i is bufs[i][:sizes[i]]. With more than
+// one slot it issues a single non-blocking recvmmsg per readiness event,
+// so a burst of datagrams costs one syscall instead of one each.
+func (br *batchReader) read() (int, error) {
+	if br.rc == nil {
+		return br.readOne()
+	}
+	var n int
+	var errno syscall.Errno
+	err := br.rc.Read(func(fd uintptr) bool {
+		r1, _, e := syscall.Syscall6(syscall.SYS_RECVMMSG, fd,
+			uintptr(unsafe.Pointer(&br.hdrs[0])), uintptr(len(br.hdrs)),
+			uintptr(syscall.MSG_DONTWAIT), 0, 0)
+		if e == syscall.EAGAIN || e == syscall.EWOULDBLOCK || e == syscall.EINTR {
+			return false // not readable yet; wait for the poller
+		}
+		n, errno = int(r1), e
+		return true
+	})
+	if err != nil {
+		return 0, err // socket closed (or unexpected poll error): stop the loop
+	}
+	if errno != 0 {
+		return 0, errno
+	}
+	for i := 0; i < n; i++ {
+		br.sizes[i] = int(br.hdrs[i].nrcv)
+	}
+	return n, nil
+}

@@ -67,6 +67,15 @@ func (a *API) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		"Heartbeats shed at a full per-worker ingest queue (drop-newest policy), by reason", "counter")
 	mw.Sample("accrual_udp_packets_shed_total", float64(ts.PacketsShed),
 		telemetry.Label{Name: "reason", Value: "queue_full"})
+	counter("accrual_udp_batches_received_total",
+		"AFB1 batch frames decoded from the heartbeat socket", ts.BatchesReceived)
+	counter("accrual_udp_batch_beats_total",
+		"Heartbeats carried inside decoded AFB1 batch frames", ts.BatchBeats)
+	counter("accrual_udp_batch_beats_shed_total",
+		"Batch-frame heartbeats shed at a full ingest queue (subset of accrual_udp_packets_shed_total)", ts.BatchBeatsShed)
+	mw.Header("accrual_udp_batch_beats_high_water",
+		"Largest decoded batch observed since start, in beats", "gauge")
+	mw.Sample("accrual_udp_batch_beats_high_water", float64(ts.BatchHighWater))
 	mw.Header("accrual_udp_ingest_queue_high_water",
 		"Deepest ingest-queue depth observed since start", "gauge")
 	mw.Sample("accrual_udp_ingest_queue_high_water", float64(ts.QueueHighWater))

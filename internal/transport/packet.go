@@ -62,30 +62,39 @@ var (
 // MarshalHeartbeat encodes a heartbeat for the wire. Only From, Seq and
 // Sent are carried; Arrived is assigned by the receiver.
 func MarshalHeartbeat(hb core.Heartbeat) ([]byte, error) {
+	return AppendHeartbeat(nil, hb)
+}
+
+// AppendHeartbeat appends the wire encoding of hb to dst and returns the
+// extended slice — the allocation-free variant of MarshalHeartbeat for
+// senders that reuse one encode buffer across beats (pass dst[:0]).
+func AppendHeartbeat(dst []byte, hb core.Heartbeat) ([]byte, error) {
 	if len(hb.From) == 0 {
-		return nil, ErrEmptyID
+		return dst, ErrEmptyID
 	}
 	if len(hb.From) > maxIDLen {
-		return nil, fmt.Errorf("%w: %d bytes", ErrIDTooLong, len(hb.From))
+		return dst, fmt.Errorf("%w: %d bytes", ErrIDTooLong, len(hb.From))
 	}
-	buf := make([]byte, headerLen+len(hb.From)+trailerLen)
-	copy(buf[0:4], packetMagic[:])
-	buf[4] = packetVersion
-	buf[5] = byte(len(hb.From))
-	copy(buf[headerLen:], hb.From)
-	off := headerLen + len(hb.From)
-	binary.BigEndian.PutUint64(buf[off:], hb.Seq)
-	var sent int64
-	if !hb.Sent.IsZero() {
-		sent = hb.Sent.UnixNano()
-	}
-	binary.BigEndian.PutUint64(buf[off+8:], uint64(sent))
-	return buf, nil
+	dst = append(dst, packetMagic[:]...)
+	dst = append(dst, packetVersion)
+	// The (idlen, id, seq, sent) tail is the exact record format AFB1
+	// batch frames repeat per beat.
+	return appendBeatRecord(dst, hb), nil
 }
+
+// unixNano converts a non-zero wire timestamp back to time.Time.
+func unixNano(nanos int64) time.Time { return time.Unix(0, nanos) }
 
 // UnmarshalHeartbeat decodes a wire packet. The returned heartbeat has a
 // zero Arrived time; the caller stamps it on receipt.
 func UnmarshalHeartbeat(buf []byte) (core.Heartbeat, error) {
+	return unmarshalHeartbeat(buf, nil)
+}
+
+// unmarshalHeartbeat is UnmarshalHeartbeat with an optional id interner,
+// so the listener's steady-state decode of known senders does not
+// allocate a fresh id string per datagram.
+func unmarshalHeartbeat(buf []byte, intern *IDInterner) (core.Heartbeat, error) {
 	if len(buf) < headerLen+1+trailerLen {
 		return core.Heartbeat{}, fmt.Errorf("%w: %d bytes", ErrPacketShort, len(buf))
 	}
@@ -99,13 +108,13 @@ func UnmarshalHeartbeat(buf []byte) (core.Heartbeat, error) {
 	if n == 0 || len(buf) != headerLen+n+trailerLen {
 		return core.Heartbeat{}, fmt.Errorf("%w: id %d, packet %d", ErrLengthMismatch, n, len(buf))
 	}
-	id := string(buf[headerLen : headerLen+n])
+	id := intern.Intern(buf[headerLen : headerLen+n])
 	off := headerLen + n
 	seq := binary.BigEndian.Uint64(buf[off:])
 	sentNano := int64(binary.BigEndian.Uint64(buf[off+8:]))
 	var sent time.Time
 	if sentNano != 0 {
-		sent = time.Unix(0, sentNano)
+		sent = unixNano(sentNano)
 	}
 	return core.Heartbeat{From: id, Seq: seq, Sent: sent}, nil
 }

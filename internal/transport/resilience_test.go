@@ -193,11 +193,11 @@ type flakyConn struct {
 	closed atomic.Bool
 }
 
-func (c *flakyConn) Read([]byte) (int, error)  { return 0, net.ErrClosed }
-func (c *flakyConn) Write([]byte) (int, error) { return 0, errors.New("simulated unreachable") }
-func (c *flakyConn) Close() error              { c.closed.Store(true); return nil }
-func (c *flakyConn) LocalAddr() net.Addr       { return &net.UDPAddr{} }
-func (c *flakyConn) RemoteAddr() net.Addr      { return &net.UDPAddr{} }
+func (c *flakyConn) Read([]byte) (int, error)         { return 0, net.ErrClosed }
+func (c *flakyConn) Write([]byte) (int, error)        { return 0, errors.New("simulated unreachable") }
+func (c *flakyConn) Close() error                     { c.closed.Store(true); return nil }
+func (c *flakyConn) LocalAddr() net.Addr              { return &net.UDPAddr{} }
+func (c *flakyConn) RemoteAddr() net.Addr             { return &net.UDPAddr{} }
 func (c *flakyConn) SetDeadline(time.Time) error      { return nil }
 func (c *flakyConn) SetReadDeadline(time.Time) error  { return nil }
 func (c *flakyConn) SetWriteDeadline(time.Time) error { return nil }

@@ -18,6 +18,13 @@ import (
 const (
 	// defaultQueueCap is the per-worker ingest queue capacity.
 	defaultQueueCap = 256
+	// defaultReadBatch is the number of datagrams the listener tries to
+	// drain per read syscall where recvmmsg is available (see
+	// WithReadBatch). One is the plain-read path.
+	defaultReadBatch = 16
+	// maxReadBatch bounds WithReadBatch; each slot pins a full
+	// MaxBatchPacketSize buffer for the life of the listener.
+	maxReadBatch = 256
 	// senderRedialAfter is how many consecutive write failures tear down
 	// the connected socket and switch the sender to backoff redialing. A
 	// connected UDP socket can fail transiently (ICMP unreachable races),
@@ -67,6 +74,7 @@ type SenderHealth struct {
 // are counted (WithSenderTelemetry) and logged at most once per minute.
 type Sender struct {
 	id       string
+	ids      []string // all process ids this sender beats for (ids[0] == id)
 	target   string
 	interval time.Duration
 	clk      clock.Clock
@@ -74,6 +82,12 @@ type Sender struct {
 
 	backoffMin time.Duration
 	backoffMax time.Duration
+
+	// Batch coalescing (WithBatch): beats accumulate in pending and are
+	// flushed as one AFB1 frame per target once batchMax beats are held
+	// or the oldest pending beat has waited batchDelay.
+	batchMax   int
+	batchDelay time.Duration
 
 	tel *telemetry.TransportCounters
 
@@ -88,6 +102,13 @@ type Sender struct {
 	backoff    time.Duration
 	nextRedial time.Time
 	jitter     func() float64
+
+	// Loop-goroutine-only state: the encode buffers and the pending
+	// batch are touched exclusively by the single loop goroutine, so
+	// they need no locking and are reused beat after beat.
+	encBuf  []byte
+	benc    *BatchEncoder
+	pending []core.Heartbeat
 
 	logMu      sync.Mutex
 	lastLogAt  time.Time
@@ -140,20 +161,62 @@ func WithSenderTelemetry(hub *telemetry.Hub) SenderOption {
 	return func(s *Sender) { s.tel = &hub.Transport }
 }
 
+// WithBatch switches the sender to coalesced AFB1 batch frames: beats
+// accumulate and are flushed as one datagram once maxBeats are pending
+// or the oldest pending beat has waited maxDelay, whichever comes first.
+// A maxDelay of zero flushes at every heartbeat round — for a group
+// sender that still folds the whole round into one datagram with no
+// added latency, while maxDelay > 0 additionally coalesces across
+// rounds, trading up to maxDelay of detection latency for fewer
+// syscalls and datagrams (see docs/TUNING.md, "Batching and
+// coalescing"). maxBeats below 1 falls back to 1; the target must run a
+// batch-aware listener (anything since the AFB1 frame landed).
+func WithBatch(maxBeats int, maxDelay time.Duration) SenderOption {
+	return func(s *Sender) {
+		if maxBeats < 1 {
+			maxBeats = 1
+		}
+		if maxBeats > MaxBatchBeats {
+			maxBeats = MaxBatchBeats
+		}
+		s.batchMax = maxBeats
+		if maxDelay > 0 {
+			s.batchDelay = maxDelay
+		}
+	}
+}
+
 // NewSender returns a heartbeat sender for process id targeting the UDP
 // address target (host:port), sending every interval.
 func NewSender(id, target string, interval time.Duration, opts ...SenderOption) (*Sender, error) {
-	if id == "" {
+	return NewGroupSender([]string{id}, target, interval, opts...)
+}
+
+// NewGroupSender returns one sender heartbeating for every process id in
+// ids — the node-agent layout where a single host emits beats for many
+// local processes. Each heartbeat round emits one beat per id; combined
+// with WithBatch the whole round coalesces into one datagram instead of
+// len(ids) of them. All ids share the round's sequence number, which is
+// strictly increasing per process, exactly what the monitor's staleness
+// tracking needs.
+func NewGroupSender(ids []string, target string, interval time.Duration, opts ...SenderOption) (*Sender, error) {
+	if len(ids) == 0 {
 		return nil, ErrEmptyID
 	}
-	if len(id) > maxIDLen {
-		return nil, fmt.Errorf("%w: %d bytes", ErrIDTooLong, len(id))
+	for _, id := range ids {
+		if id == "" {
+			return nil, ErrEmptyID
+		}
+		if len(id) > maxIDLen {
+			return nil, fmt.Errorf("%w: %d bytes", ErrIDTooLong, len(id))
+		}
 	}
 	if interval <= 0 {
 		return nil, fmt.Errorf("transport: non-positive heartbeat interval %v", interval)
 	}
 	s := &Sender{
-		id:         id,
+		id:         ids[0],
+		ids:        append([]string(nil), ids...),
 		target:     target,
 		interval:   interval,
 		clk:        clock.Wall{},
@@ -166,6 +229,11 @@ func NewSender(id, target string, interval time.Duration, opts ...SenderOption) 
 	s.jitter = rng.Float64
 	for _, opt := range opts {
 		opt(s)
+	}
+	if len(s.ids) > 1 && s.batchMax == 0 {
+		// A group sender without batching would need one datagram per id
+		// per round anyway; default it into per-round coalescing.
+		s.batchMax = len(s.ids)
 	}
 	return s, nil
 }
@@ -199,6 +267,10 @@ func (s *Sender) loop(done <-chan struct{}, stopped chan<- struct{}) {
 	defer close(stopped)
 	ticker := time.NewTicker(s.interval)
 	defer ticker.Stop()
+	if s.batchMax > 0 {
+		s.batchLoop(done, ticker)
+		return
+	}
 	s.sendOne(done)
 	for {
 		select {
@@ -210,19 +282,146 @@ func (s *Sender) loop(done <-chan struct{}, stopped chan<- struct{}) {
 	}
 }
 
-// sendOne emits one heartbeat, redialing first if the socket was torn
-// down and its backoff has elapsed. On a write error it counts the
-// failure and, after senderRedialAfter consecutive errors, closes the
-// socket and schedules a backoff redial — so an unreachable target costs
-// one counted skip per tick instead of a log line per tick forever.
+// batchLoop is the coalescing variant of the send loop: every heartbeat
+// round collects one beat per process id into pending, full frames
+// (batchMax beats) flush immediately, and a partial remainder flushes
+// once its oldest beat has waited batchDelay (immediately when the
+// delay is zero). Stop flushes whatever is pending, so no collected
+// beat is silently lost.
+func (s *Sender) batchLoop(done <-chan struct{}, ticker *time.Ticker) {
+	if s.benc == nil {
+		s.benc = NewBatchEncoder(s.batchMax)
+	}
+	flush := time.NewTimer(time.Hour)
+	if !flush.Stop() {
+		<-flush.C
+	}
+	armed := false
+	disarm := func() {
+		if armed && !flush.Stop() {
+			select {
+			case <-flush.C:
+			default:
+			}
+		}
+		armed = false
+	}
+	round := func() {
+		s.collectRound()
+		for len(s.pending) >= s.batchMax {
+			s.flushBatch(done, s.batchMax)
+		}
+		if len(s.pending) == 0 || s.batchDelay == 0 {
+			s.flushBatch(done, len(s.pending))
+			disarm()
+			return
+		}
+		if !armed {
+			flush.Reset(s.batchDelay)
+			armed = true
+		}
+	}
+	round()
+	for {
+		select {
+		case <-done:
+			// Final flush: the socket is still open (Stop closes it only
+			// after this loop exits), so held beats make the wire.
+			for len(s.pending) > 0 {
+				s.flushBatch(done, s.batchMax)
+			}
+			return
+		case <-ticker.C:
+			round()
+		case <-flush.C:
+			armed = false
+			for len(s.pending) > 0 {
+				s.flushBatch(done, s.batchMax)
+			}
+		}
+	}
+}
+
+// collectRound appends one beat per process id to pending. All ids share
+// the round's sequence number — strictly increasing per process, which
+// is all the monitor's staleness tracking requires.
+func (s *Sender) collectRound() {
+	s.mu.Lock()
+	s.seq++
+	seq := s.seq
+	s.mu.Unlock()
+	now := s.clk.Now()
+	for _, id := range s.ids {
+		s.pending = append(s.pending, core.Heartbeat{From: id, Seq: seq, Sent: now})
+	}
+}
+
+// flushBatch encodes up to max pending beats as one AFB1 frame and
+// sends it. Beats that cannot be sent (backoff, write error) are
+// dropped and counted as send failures — during an outage the next
+// round's beats carry strictly fresher information, so retaining a
+// backlog would only delay recovery and bloat memory.
+func (s *Sender) flushBatch(done <-chan struct{}, max int) {
+	if max > len(s.pending) {
+		max = len(s.pending)
+	}
+	if max <= 0 {
+		return
+	}
+	s.benc.Reset()
+	n := 0
+	for n < max {
+		if err := s.benc.Add(s.pending[n]); err != nil {
+			// Frame byte budget reached; the rest rides the next flush.
+			// Unreachable at n==0: one record always fits an empty frame
+			// and ids were validated at construction.
+			break
+		}
+		n++
+	}
+	if n == 0 {
+		n = 1 // defensive: never livelock on an unencodable beat
+	} else if frame := s.benc.Bytes(); frame != nil {
+		sent := s.pending[n-1].Sent
+		if conn, ok := s.acquireConn(done, n); ok {
+			s.writeFrame(conn, frame, n, sent)
+		}
+	}
+	s.pending = append(s.pending[:0], s.pending[n:]...)
+}
+
+// sendOne emits one single-beat AFD1 heartbeat, redialing first if the
+// socket was torn down and its backoff has elapsed. The encode buffer is
+// reused across beats, so the steady-state send path does not allocate.
 func (s *Sender) sendOne(done <-chan struct{}) {
+	conn, ok := s.acquireConn(done, 1)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	s.seq++
+	hb := core.Heartbeat{From: s.id, Seq: s.seq, Sent: s.clk.Now()}
+	s.mu.Unlock()
+	var err error
+	s.encBuf, err = AppendHeartbeat(s.encBuf[:0], hb)
+	if err != nil {
+		return // cannot happen: id validated at construction
+	}
+	s.writeFrame(conn, s.encBuf, 1, hb.Sent)
+}
+
+// acquireConn returns the live socket, redialing first when the sender
+// is disconnected and its backoff has elapsed. ok=false means no socket
+// this round — backoff still pending, the redial failed, or the sender
+// is stopping — with the missed beats counted as send failures.
+func (s *Sender) acquireConn(done <-chan struct{}, beats int) (net.Conn, bool) {
 	s.mu.Lock()
 	conn := s.conn
 	if conn == nil {
 		if time.Now().Before(s.nextRedial) {
-			s.tel.SendFailures.Add(1)
+			s.tel.SendFailures.Add(uint64(beats))
 			s.mu.Unlock()
-			return
+			return nil, false
 		}
 		s.tel.Redials.Add(1)
 		s.mu.Unlock()
@@ -235,50 +434,53 @@ func (s *Sender) sendOne(done <-chan struct{}) {
 				_ = c.Close()
 			}
 			s.mu.Unlock()
-			return
+			return nil, false
 		default:
 		}
 		if err != nil {
-			s.tel.SendFailures.Add(1)
+			s.tel.SendFailures.Add(uint64(beats))
 			s.consecFail++
 			s.lastErr = err
 			s.scheduleRedialLocked()
 			s.mu.Unlock()
 			s.logLimited("redial %s: %v", s.target, err)
-			return
+			return nil, false
 		}
 		s.conn = c
 		conn = c
 	}
-	s.seq++
-	hb := core.Heartbeat{From: s.id, Seq: s.seq, Sent: s.clk.Now()}
 	s.mu.Unlock()
-	buf, err := MarshalHeartbeat(hb)
-	if err != nil {
-		return // cannot happen: id validated at construction
-	}
-	if _, err := conn.Write(buf); err != nil {
+	return conn, true
+}
+
+// writeFrame writes one encoded frame carrying beats heartbeats and
+// handles the failure accounting: errors count per beat, and after
+// senderRedialAfter consecutive failing frames the socket is torn down
+// and the next rounds redial (re-resolving the target) with backoff —
+// so an unreachable target costs counted skips, not a log line per
+// tick forever.
+func (s *Sender) writeFrame(conn net.Conn, frame []byte, beats int, sent time.Time) bool {
+	if _, err := conn.Write(frame); err != nil {
 		s.mu.Lock()
-		s.tel.SendFailures.Add(1)
+		s.tel.SendFailures.Add(uint64(beats))
 		s.consecFail++
 		s.lastErr = err
 		if s.consecFail >= senderRedialAfter && s.conn == conn {
-			// Persistent failure: tear the socket down and let the next
-			// ticks redial (re-resolving the target) with backoff.
 			_ = conn.Close()
 			s.conn = nil
 			s.scheduleRedialLocked()
 		}
 		s.mu.Unlock()
 		s.logLimited("send to %s: %v", s.target, err)
-		return
+		return false
 	}
 	s.mu.Lock()
 	s.consecFail = 0
 	s.backoff = 0
 	s.lastErr = nil
-	s.lastOK = hb.Sent
+	s.lastOK = sent
 	s.mu.Unlock()
+	return true
 }
 
 // scheduleRedialLocked doubles the backoff (bounded by backoffMax) and
@@ -318,8 +520,9 @@ func (s *Sender) logLimited(format string, args ...any) {
 	log.Printf("transport: sender %q: %s", s.id, msg)
 }
 
-// Sent returns the number of heartbeats emitted so far. The sequence is
-// monotone across Stop/Start cycles.
+// Sent returns the number of heartbeat rounds emitted so far (for a
+// group sender each round carries one beat per process id). The
+// sequence is monotone across Stop/Start cycles.
 func (s *Sender) Sent() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -347,14 +550,20 @@ func (s *Sender) Health() SenderHealth {
 // numbers continue where they left off).
 func (s *Sender) Stop() {
 	s.mu.Lock()
-	done, stopped, conn := s.done, s.stopped, s.conn
-	s.done, s.stopped, s.conn = nil, nil, nil
+	done, stopped := s.done, s.stopped
+	s.done, s.stopped = nil, nil
 	s.mu.Unlock()
 	if done == nil {
 		return
 	}
 	close(done)
 	<-stopped
+	// The socket outlives the loop join on purpose: a coalescing loop
+	// performs its final flush of held beats on the way out.
+	s.mu.Lock()
+	conn := s.conn
+	s.conn = nil
+	s.mu.Unlock()
 	if conn != nil {
 		_ = conn.Close()
 	}
@@ -372,15 +581,24 @@ func (s *Sender) Stop() {
 // are always ingested in arrival order while different processes proceed
 // on different cores.
 type Listener struct {
-	conn     *net.UDPConn
-	clk      clock.Clock
-	mon      *service.Monitor
-	workers  int
-	queueCap int
+	conn      *net.UDPConn
+	clk       clock.Clock
+	mon       *service.Monitor
+	workers   int
+	queueCap  int
+	readSlots int
 
-	queues  []chan core.Heartbeat
+	queues  []chan ingestItem
 	wg      sync.WaitGroup
 	stopped chan struct{}
+
+	// Read-loop-only scratch state, reused packet after packet so the
+	// steady-state receive path does not allocate: the id interner backs
+	// decoded heartbeat ids, beatScratch holds one decoded batch, and
+	// groups partitions it per worker.
+	intern      *IDInterner
+	beatScratch []core.Heartbeat
+	groups      [][]core.Heartbeat
 
 	// tel counts packet dispositions. It defaults to a listener-private
 	// instance and is redirected to a shared hub by WithTelemetry, so
@@ -416,6 +634,27 @@ func WithIngestWorkers(n int) ListenerOption {
 	return func(l *Listener) { l.workers = n }
 }
 
+// WithReadBatch sets how many datagrams the read loop tries to drain per
+// read syscall (default 16, clamped to 1..256). On Linux amd64/arm64 the
+// loop uses recvmmsg(2), so a burst of n datagrams costs one syscall
+// instead of n; elsewhere — and with n == 1 — it degrades to one plain
+// read per datagram with identical semantics. Arrival timestamps are
+// stamped once per drained batch: beats in one batch share an Arrived
+// time, which at worst skews an inter-arrival sample by the in-batch
+// decode time (microseconds against heartbeat intervals of milliseconds
+// or more).
+func WithReadBatch(n int) ListenerOption {
+	return func(l *Listener) {
+		if n < 1 {
+			n = 1
+		}
+		if n > maxReadBatch {
+			n = maxReadBatch
+		}
+		l.readSlots = n
+	}
+}
+
 // WithIngestQueueCap sets the per-worker ingest queue capacity (default
 // 256; values below 1 keep the default). A deeper queue rides out longer
 // detector stalls before shedding, at the cost of staler heartbeats when
@@ -442,20 +681,23 @@ func Listen(addr string, mon *service.Monitor, opts ...ListenerOption) (*Listene
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
 	l := &Listener{
-		conn:     conn,
-		clk:      clock.Wall{},
-		mon:      mon,
-		queueCap: defaultQueueCap,
-		stopped:  make(chan struct{}),
-		tel:      new(telemetry.TransportCounters),
+		conn:      conn,
+		clk:       clock.Wall{},
+		mon:       mon,
+		queueCap:  defaultQueueCap,
+		readSlots: defaultReadBatch,
+		stopped:   make(chan struct{}),
+		tel:       new(telemetry.TransportCounters),
+		intern:    NewIDInterner(),
 	}
 	for _, opt := range opts {
 		opt(l)
 	}
 	if l.workers > 0 {
-		l.queues = make([]chan core.Heartbeat, l.workers)
+		l.queues = make([]chan ingestItem, l.workers)
+		l.groups = make([][]core.Heartbeat, l.workers)
 		for i := range l.queues {
-			l.queues[i] = make(chan core.Heartbeat, l.queueCap)
+			l.queues[i] = make(chan ingestItem, l.queueCap)
 			l.wg.Add(1)
 			go l.ingest(l.queues[i])
 		}
@@ -467,6 +709,35 @@ func Listen(addr string, mon *service.Monitor, opts ...ListenerOption) (*Listene
 // Addr returns the bound UDP address.
 func (l *Listener) Addr() net.Addr { return l.conn.LocalAddr() }
 
+// ingestItem is one unit of work for an ingest worker: either a single
+// heartbeat (group == nil) or a pooled per-shard group of beats from one
+// or more batch frames.
+type ingestItem struct {
+	hb    core.Heartbeat
+	group *beatGroup
+}
+
+// beatGroup carries the beats of one batch frame routed to one worker.
+// Groups are pooled and their backing slices reused, so the batch fan-out
+// path does not allocate in steady state.
+type beatGroup struct {
+	beats []core.Heartbeat
+}
+
+var groupPool = sync.Pool{New: func() any { return new(beatGroup) }}
+
+// readOne is the shared single-datagram read used by the portable
+// fallback and by single-slot readers. conn.Read (not ReadFromUDP) keeps
+// the path allocation-free: the source address is discarded anyway.
+func (br *batchReader) readOne() (int, error) {
+	n, err := br.conn.Read(br.bufs[0])
+	if err != nil {
+		return 0, err
+	}
+	br.sizes[0] = n
+	return 1, nil
+}
+
 func (l *Listener) loop() {
 	defer func() {
 		for _, q := range l.queues {
@@ -475,51 +746,143 @@ func (l *Listener) loop() {
 		l.wg.Wait()
 		close(l.stopped)
 	}()
-	buf := make([]byte, MaxPacketSize)
+	br := newBatchReader(l.conn, l.readSlots)
 	for {
-		n, _, err := l.conn.ReadFromUDP(buf)
+		n, err := br.read()
 		if err != nil {
 			return // closed
 		}
-		l.tel.PacketsReceived.Add(1)
-		hb, err := UnmarshalHeartbeat(buf[:n])
+		// One clock read per drained batch: every datagram pulled by this
+		// syscall was already on the socket, so one timestamp is the most
+		// honest arrival time available for all of them.
+		arrived := l.clk.Now()
+		for i := 0; i < n; i++ {
+			l.handleDatagram(br.bufs[i][:br.sizes[i]], arrived)
+		}
+	}
+}
+
+// handleDatagram decodes one datagram — AFB1 batch or single-beat AFD1,
+// told apart by the magic — counts its disposition, and hands the
+// decoded beats to ingest.
+func (l *Listener) handleDatagram(buf []byte, arrived time.Time) {
+	l.tel.PacketsReceived.Add(1)
+	if IsBatchFrame(buf) {
+		beats, err := UnmarshalBatch(buf, l.beatScratch[:0], l.intern)
 		if err != nil {
-			switch {
-			case errors.Is(err, ErrPacketShort):
-				l.tel.PacketsShort.Add(1)
-			case errors.Is(err, ErrBadMagic):
-				l.tel.PacketsBadMagic.Add(1)
-			case errors.Is(err, ErrBadVersion):
-				l.tel.PacketsBadVersion.Add(1)
-			default:
-				l.tel.PacketsMalformed.Add(1)
-			}
+			l.countDecodeError(err)
+			return
+		}
+		l.beatScratch = beats[:0] // keep the grown capacity for the next frame
+		l.tel.ObserveBatch(len(beats))
+		for i := range beats {
+			beats[i].Arrived = arrived
+		}
+		l.dispatchBatch(beats)
+		return
+	}
+	hb, err := unmarshalHeartbeat(buf, l.intern)
+	if err != nil {
+		l.countDecodeError(err)
+		return
+	}
+	hb.Arrived = arrived
+	l.dispatchOne(hb, false)
+}
+
+// countDecodeError buckets a decode failure into the drop taxonomy.
+func (l *Listener) countDecodeError(err error) {
+	switch {
+	case errors.Is(err, ErrPacketShort):
+		l.tel.PacketsShort.Add(1)
+	case errors.Is(err, ErrBadMagic):
+		l.tel.PacketsBadMagic.Add(1)
+	case errors.Is(err, ErrBadVersion):
+		l.tel.PacketsBadVersion.Add(1)
+	default:
+		l.tel.PacketsMalformed.Add(1)
+	}
+}
+
+// dispatchOne routes a single decoded heartbeat: synchronously into the
+// monitor without workers, otherwise onto the owning worker's queue.
+func (l *Listener) dispatchOne(hb core.Heartbeat, fromBatch bool) {
+	if l.queues == nil {
+		l.deliver(hb)
+		return
+	}
+	q := l.queues[fnv1a(hb.From)%uint32(len(l.queues))]
+	// Never block the shared read loop on one worker's full queue:
+	// shed the newest packet for that shard and count it. The next
+	// heartbeat from the same process carries strictly fresher
+	// information, so drop-newest loses nothing the detector needs.
+	select {
+	case q <- ingestItem{hb: hb}:
+		l.tel.ObserveQueueDepth(len(q))
+	default:
+		l.tel.PacketsShed.Add(1)
+		if fromBatch {
+			l.tel.BatchBeatsShed.Add(1)
+		}
+	}
+}
+
+// dispatchBatch routes one decoded batch frame. Without workers the whole
+// frame goes straight into Monitor.HeartbeatBatch; with workers the frame
+// is partitioned by the worker hash — the same FNV-1a the Monitor shards
+// on — into per-worker groups so each worker can in turn hand its group
+// to HeartbeatBatch, preserving per-process order throughout. Shedding
+// stays all-or-nothing per group: a full worker queue drops that worker's
+// share of the frame (counted per beat) without touching the rest.
+func (l *Listener) dispatchBatch(beats []core.Heartbeat) {
+	if l.queues == nil {
+		acc, rej := l.mon.HeartbeatBatch(beats)
+		l.tel.Delivered.Add(uint64(acc))
+		l.tel.Rejected.Add(uint64(rej))
+		return
+	}
+	if len(beats) == 1 {
+		l.dispatchOne(beats[0], true)
+		return
+	}
+	for i := range l.groups {
+		l.groups[i] = l.groups[i][:0]
+	}
+	for _, hb := range beats {
+		w := fnv1a(hb.From) % uint32(len(l.queues))
+		l.groups[w] = append(l.groups[w], hb)
+	}
+	for w, g := range l.groups {
+		if len(g) == 0 {
 			continue
 		}
-		hb.Arrived = l.clk.Now()
-		if l.queues == nil {
-			l.deliver(hb)
-			continue
-		}
-		q := l.queues[fnv1a(hb.From)%uint32(len(l.queues))]
-		// Never block the shared read loop on one worker's full queue:
-		// shed the newest packet for that shard and count it. The next
-		// heartbeat from the same process carries strictly fresher
-		// information, so drop-newest loses nothing the detector needs.
+		bg := groupPool.Get().(*beatGroup)
+		bg.beats = append(bg.beats[:0], g...)
 		select {
-		case q <- hb:
-			l.tel.ObserveQueueDepth(len(q))
+		case l.queues[w] <- ingestItem{group: bg}:
+			l.tel.ObserveQueueDepth(len(l.queues[w]))
 		default:
-			l.tel.PacketsShed.Add(1)
+			l.tel.PacketsShed.Add(uint64(len(g)))
+			l.tel.BatchBeatsShed.Add(uint64(len(g)))
+			bg.beats = bg.beats[:0]
+			groupPool.Put(bg)
 		}
 	}
 }
 
 // ingest drains one worker queue into the monitor.
-func (l *Listener) ingest(q <-chan core.Heartbeat) {
+func (l *Listener) ingest(q <-chan ingestItem) {
 	defer l.wg.Done()
-	for hb := range q {
-		l.deliver(hb)
+	for it := range q {
+		if it.group == nil {
+			l.deliver(it.hb)
+			continue
+		}
+		acc, rej := l.mon.HeartbeatBatch(it.group.beats)
+		l.tel.Delivered.Add(uint64(acc))
+		l.tel.Rejected.Add(uint64(rej))
+		it.group.beats = it.group.beats[:0]
+		groupPool.Put(it.group)
 	}
 }
 
