@@ -217,6 +217,84 @@ func TestIngestHotPathZeroAlloc(t *testing.T) {
 	}
 }
 
+// newScrapeAPI builds a telemetry-wired API over a procs-process
+// registry with live QoS estimates — the fixture behind the scrape
+// benchmark and its zero-alloc gate.
+func newScrapeAPI(tb testing.TB, procs int) *transport.API {
+	tb.Helper()
+	hub := telemetry.NewHub()
+	mon := service.NewMonitor(clock.NewManual(benchStart), simpleMonitorFactory,
+		service.WithTelemetry(hub))
+	at := benchStart.Add(time.Second)
+	for i := 0; i < procs; i++ {
+		id := fmt.Sprintf("proc-%06d", i)
+		if err := mon.Heartbeat(core.Heartbeat{From: id, Seq: 1, Arrived: at}); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	hub.QoS().Sample(mon)
+	return transport.NewAPI(mon, transport.WithAPITelemetry(hub))
+}
+
+// countingDiscard counts bytes and drops them, so scrape measurements
+// cover only the render itself.
+type countingDiscard struct{ n int64 }
+
+func (c *countingDiscard) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+// BenchmarkScrape measures one full /v1/metrics render over a warm
+// 100-process registry — the pooled, append-encoded exposition path.
+func BenchmarkScrape(b *testing.B) {
+	api := newScrapeAPI(b, 100)
+	cw := &countingDiscard{}
+	if err := api.WriteMetrics(cw); err != nil { // warm pools and header cache
+		b.Fatal(err)
+	}
+	exposition := cw.n
+	cw.n = 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := api.WriteMetrics(cw); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(exposition), "exposition_bytes")
+}
+
+// TestScrapeSteadyStateZeroAlloc is the scrape allocation budget as a
+// plain test: after a warm-up render, a full /v1/metrics render must not
+// allocate, and a cursor page may allocate at most once (the
+// continuation bookkeeping).
+func TestScrapeSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector defeats sync.Pool reuse; allocation budget not meaningful")
+	}
+	api := newScrapeAPI(t, 100)
+	cw := &countingDiscard{}
+	if err := api.WriteMetrics(cw); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if err := api.WriteMetrics(cw); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("steady-state scrape render: %.1f allocs/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, err := api.WriteMetricsPage(cw, 0, 10); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 1 {
+		t.Errorf("cursor page render: %.1f allocs/op, want <= 1", allocs)
+	}
+}
+
 // BenchmarkQueryParallel measures suspicion-query throughput with one
 // goroutine per core querying across a warm 128-process registry.
 func BenchmarkQueryParallel(b *testing.B) {

@@ -30,15 +30,20 @@ func cmdTop(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// One view for the whole run: the parser's scan/sample buffers, the
+	// row map and the rank slice persist across refreshes, so the watch
+	// loop reaches a steady state where a refresh allocates (almost)
+	// nothing no matter how long it runs.
+	var view topView
 	if *once {
-		return scrapeAndRender(os.Stdout, *api, *n)
+		return view.scrapeAndRender(os.Stdout, *api, *n)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	ticker := time.NewTicker(*every)
 	defer ticker.Stop()
 	for {
-		if err := scrapeAndRender(os.Stdout, *api, *n); err != nil {
+		if err := view.scrapeAndRender(os.Stdout, *api, *n); err != nil {
 			fmt.Fprintf(os.Stderr, "top: %v\n", err)
 		}
 		select {
@@ -49,7 +54,27 @@ func cmdTop(args []string) error {
 	}
 }
 
-func scrapeAndRender(w io.Writer, api string, n int) error {
+// topRow is one process's row, assembled from the per-process samples.
+type topRow struct {
+	id                     string
+	level, lambda, pa, tmr float64
+	gen                    uint64 // refresh that last touched this row
+}
+
+// topView is the reusable state of the top table: a text parser with
+// retained buffers, the row map (rows survive across refreshes and are
+// invalidated by generation counter instead of map churn) and the rank
+// slice.
+type topView struct {
+	parser telemetry.TextParser
+	rows   map[string]*topRow
+	ranked []*topRow
+	gen    uint64
+}
+
+// scrapeAndRender fetches one exposition and renders the table, reusing
+// the view's buffers.
+func (v *topView) scrapeAndRender(w io.Writer, api string, n int) error {
 	resp, err := http.Get(api + "/v1/metrics")
 	if err != nil {
 		return err
@@ -58,30 +83,31 @@ func scrapeAndRender(w io.Writer, api string, n int) error {
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("/v1/metrics: %s (is the daemon running with telemetry?)", resp.Status)
 	}
-	samples, err := telemetry.ParseText(resp.Body)
+	samples, err := v.parser.Parse(resp.Body)
 	if err != nil {
 		return err
 	}
-	return renderTop(w, samples, n)
+	return v.render(w, samples, n)
 }
 
-// topRow is one process's row, assembled from the per-process samples.
-type topRow struct {
-	id                     string
-	level, lambda, pa, tmr float64
-}
-
-// renderTop turns parsed exposition samples into the ranked table.
+// render turns parsed exposition samples into the ranked table.
 // Processes are ordered most-suspected first; metrics that are not yet
 // estimable (NaN) render as "-".
-func renderTop(w io.Writer, samples []telemetry.Sample, n int) error {
-	rows := map[string]*topRow{}
+func (v *topView) render(w io.Writer, samples []telemetry.Sample, n int) error {
+	if v.rows == nil {
+		v.rows = map[string]*topRow{}
+	}
+	v.gen++
 	row := func(proc string) *topRow {
-		r, ok := rows[proc]
+		r, ok := v.rows[proc]
 		if !ok {
+			r = &topRow{id: proc}
+			v.rows[proc] = r
+		}
+		if r.gen != v.gen {
 			nan := math.NaN()
-			r = &topRow{id: proc, level: nan, lambda: nan, pa: nan, tmr: nan}
-			rows[proc] = r
+			r.level, r.lambda, r.pa, r.tmr = nan, nan, nan, nan
+			r.gen = v.gen
 		}
 		return r
 	}
@@ -101,8 +127,13 @@ func renderTop(w io.Writer, samples []telemetry.Sample, n int) error {
 			row(proc).tmr = s.Value
 		}
 	}
-	ranked := make([]*topRow, 0, len(rows))
-	for _, r := range rows {
+	ranked := v.ranked[:0]
+	for id, r := range v.rows {
+		if r.gen != v.gen {
+			// Departed since the previous refresh.
+			delete(v.rows, id)
+			continue
+		}
 		ranked = append(ranked, r)
 	}
 	sort.Slice(ranked, func(i, j int) bool {
@@ -118,6 +149,7 @@ func renderTop(w io.Writer, samples []telemetry.Sample, n int) error {
 		}
 		return ranked[i].id < ranked[j].id
 	})
+	v.ranked = ranked
 	if n > 0 && len(ranked) > n {
 		ranked = ranked[:n]
 	}
@@ -130,6 +162,13 @@ func renderTop(w io.Writer, samples []telemetry.Sample, n int) error {
 		fmt.Fprintln(w, "(no monitored processes)")
 	}
 	return nil
+}
+
+// renderTop renders one table with a throwaway view — the one-shot
+// entry point kept for tests and simple callers.
+func renderTop(w io.Writer, samples []telemetry.Sample, n int) error {
+	var v topView
+	return v.render(w, samples, n)
 }
 
 // topCell formats one table value, rendering NaN (not yet estimable) as

@@ -110,3 +110,55 @@ func TestRenderTopRanking(t *testing.T) {
 		t.Errorf("empty table output = %q", sb.String())
 	}
 }
+
+// TestTopViewReuseAcrossRefreshes drives one topView through refreshes
+// with changing membership: rows must carry no stale values over from
+// the previous scrape, departed processes must drop out, and the output
+// must match a throwaway render of the same samples.
+func TestTopViewReuseAcrossRefreshes(t *testing.T) {
+	mk := func(pairs ...any) []telemetry.Sample {
+		var out []telemetry.Sample
+		for i := 0; i < len(pairs); i += 2 {
+			out = append(out, telemetry.Sample{
+				Name:   telemetry.MetricSuspicionLevel,
+				Labels: map[string]string{"proc": pairs[i].(string)},
+				Value:  pairs[i+1].(float64),
+			})
+		}
+		return out
+	}
+	var v topView
+	rounds := [][]telemetry.Sample{
+		mk("a", 1.0, "b", 2.0, "c", 3.0),
+		mk("a", 5.0, "c", 0.5), // b departs, order flips
+		mk("d", 9.0),           // everyone but a newcomer departs
+	}
+	for i, samples := range rounds {
+		var got, want strings.Builder
+		if err := v.render(&got, samples, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := renderTop(&want, samples, 0); err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != want.String() {
+			t.Errorf("round %d: reused view diverges from one-shot render\n--- got ---\n%s--- want ---\n%s",
+				i, got.String(), want.String())
+		}
+	}
+	if len(v.rows) != 1 {
+		t.Errorf("rows retained = %d, want only the final survivor", len(v.rows))
+	}
+	// A QoS value seen for a process in round 0 must not bleed into a
+	// later round where only its level is exposed.
+	var sb strings.Builder
+	_ = v.render(&sb, []telemetry.Sample{
+		{Name: telemetry.MetricQoSPA, Labels: map[string]string{"proc": "e"}, Value: 0.5},
+		{Name: telemetry.MetricSuspicionLevel, Labels: map[string]string{"proc": "e"}, Value: 1.0},
+	}, 0)
+	sb.Reset()
+	_ = v.render(&sb, mk("e", 1.0), 0)
+	if line := strings.Split(sb.String(), "\n")[1]; !strings.Contains(line, "-") {
+		t.Errorf("stale P_A survived a refresh: %q", line)
+	}
+}

@@ -3,7 +3,6 @@ package main
 import (
 	"encoding/json"
 	"fmt"
-	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"sync/atomic"
@@ -36,10 +35,11 @@ type benchResult struct {
 // benchmarks maps -bench names to the functions testing.Benchmark runs.
 // All of them exercise the telemetry-instrumented paths, so the emitted
 // numbers are the observable daemon's, not an uninstrumented ideal's.
+// "scrape" is handled separately by runBenchmarks: it sweeps over the
+// -procs registry sizes.
 var benchmarks = map[string]func(*testing.B){
 	"ingest": benchIngest,
 	"query":  benchQuery,
-	"scrape": benchScrape,
 	"batch":  benchBatch,
 }
 
@@ -136,77 +136,126 @@ func benchBatch(b *testing.B) {
 	b.ReportMetric(batch, "beats/frame")
 }
 
-// benchScrape measures one full /v1/metrics render over a 100-process
-// registry with live QoS estimates.
-func benchScrape(b *testing.B) {
-	mon, hub := benchMonitor()
-	arrived := mon.Now()
-	for i := 0; i < 100; i++ {
-		id := fmt.Sprintf("proc-%03d", i)
-		if err := mon.Heartbeat(core.Heartbeat{From: id, Seq: 1, Arrived: arrived}); err != nil {
+// countWriter counts bytes and discards them — the scrape benchmark's
+// sink, so the measured allocations are the render's own, not a
+// response recorder's.
+type countWriter struct{ n int64 }
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+// benchScrapeN returns a benchmark measuring one full /v1/metrics render
+// over a procs-process registry with live QoS estimates, via the API's
+// exported WriteMetrics (the exact render the HTTP handler streams). A
+// warm-up render primes the writer pool and header cache before the
+// timer starts, so the loop measures the steady state a scraper sees.
+func benchScrapeN(procs int) func(*testing.B) {
+	return func(b *testing.B) {
+		mon, hub := benchMonitor()
+		arrived := mon.Now()
+		for i := 0; i < procs; i++ {
+			id := fmt.Sprintf("proc-%06d", i)
+			if err := mon.Heartbeat(core.Heartbeat{From: id, Seq: 1, Arrived: arrived}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		hub.QoS().Sample(mon)
+		api := transport.NewAPI(mon, transport.WithAPITelemetry(hub))
+		cw := &countWriter{}
+		if err := api.WriteMetrics(cw); err != nil {
 			b.Fatal(err)
 		}
+		exposition := cw.n
+		cw.n = 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := api.WriteMetrics(cw); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(exposition), "exposition_bytes")
+		b.ReportMetric(float64(procs), "procs")
 	}
-	hub.QoS().Sample(mon)
-	api := transport.NewAPI(mon, transport.WithAPITelemetry(hub))
-	req := httptest.NewRequest("GET", "/v1/metrics", nil)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		rec := httptest.NewRecorder()
-		api.ServeHTTP(rec, req)
-		if rec.Code != 200 {
-			b.Fatalf("status = %d", rec.Code)
+}
+
+// writeBenchResult renders one testing.BenchmarkResult to
+// BENCH_<artifact>.json in outDir and prints a one-line summary.
+func writeBenchResult(artifact string, r testing.BenchmarkResult, outDir string) error {
+	nsPerOp := float64(r.T.Nanoseconds()) / float64(r.N)
+	res := benchResult{
+		Name:        artifact,
+		N:           r.N,
+		NsPerOp:     nsPerOp,
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if nsPerOp > 0 {
+		res.OpsPerSec = 1e9 / nsPerOp
+	}
+	if len(r.Extra) > 0 {
+		res.Extra = make(map[string]float64, len(r.Extra))
+		for k, v := range r.Extra {
+			res.Extra[k] = v
 		}
 	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	path := filepath.Join(outDir, "BENCH_"+artifact+".json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d iterations, %.1f ns/op, %.0f ops/sec, %d allocs/op -> %s\n",
+		artifact, res.N, res.NsPerOp, res.OpsPerSec, res.AllocsPerOp, path)
+	return nil
 }
 
 // runBenchmarks executes the named benchmark ("all" for every one) and
 // writes BENCH_<name>.json files into outDir, printing a one-line
-// summary per benchmark to stdout.
-func runBenchmarks(name, outDir string) error {
-	names := make([]string, 0, len(benchmarks))
-	if name == "all" {
-		for n := range benchmarks {
-			names = append(names, n)
+// summary per benchmark to stdout. The scrape benchmark runs once per
+// entry of scrapeProcs; the canonical 100-process point lands in
+// BENCH_scrape.json, other sizes in BENCH_scrape_<procs>.json.
+func runBenchmarks(name, outDir string, scrapeProcs []int) error {
+	var names []string
+	switch {
+	case name == "all":
+		names = []string{"ingest", "query", "batch", "scrape"}
+	case name == "scrape":
+		names = []string{"scrape"}
+	default:
+		if _, ok := benchmarks[name]; !ok {
+			return fmt.Errorf("unknown benchmark %q (want ingest, query, scrape, batch or all)", name)
 		}
-	} else if _, ok := benchmarks[name]; ok {
-		names = append(names, name)
-	} else {
-		return fmt.Errorf("unknown benchmark %q (want ingest, query, scrape, batch or all)", name)
+		names = []string{name}
 	}
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
 	for _, n := range names {
-		r := testing.Benchmark(benchmarks[n])
-		nsPerOp := float64(r.T.Nanoseconds()) / float64(r.N)
-		res := benchResult{
-			Name:        n,
-			N:           r.N,
-			NsPerOp:     nsPerOp,
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-		}
-		if nsPerOp > 0 {
-			res.OpsPerSec = 1e9 / nsPerOp
-		}
-		if len(r.Extra) > 0 {
-			res.Extra = make(map[string]float64, len(r.Extra))
-			for k, v := range r.Extra {
-				res.Extra[k] = v
+		if n == "scrape" {
+			if len(scrapeProcs) == 0 {
+				scrapeProcs = []int{100}
 			}
+			for _, procs := range scrapeProcs {
+				artifact := "scrape"
+				if procs != 100 {
+					artifact = fmt.Sprintf("scrape_%d", procs)
+				}
+				if err := writeBenchResult(artifact, testing.Benchmark(benchScrapeN(procs)), outDir); err != nil {
+					return err
+				}
+			}
+			continue
 		}
-		data, err := json.MarshalIndent(res, "", "  ")
-		if err != nil {
+		if err := writeBenchResult(n, testing.Benchmark(benchmarks[n]), outDir); err != nil {
 			return err
 		}
-		data = append(data, '\n')
-		path := filepath.Join(outDir, "BENCH_"+n+".json")
-		if err := os.WriteFile(path, data, 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("%s: %d iterations, %.1f ns/op, %.0f ops/sec, %d allocs/op -> %s\n",
-			n, res.N, res.NsPerOp, res.OpsPerSec, res.AllocsPerOp, path)
 	}
 	return nil
 }

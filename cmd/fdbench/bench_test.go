@@ -36,3 +36,58 @@ func TestBenchUnknownName(t *testing.T) {
 		t.Errorf("unknown bench exit = %d, want 2", code)
 	}
 }
+
+// TestBenchScrapeSweep runs the scrape benchmark over two -procs sizes
+// and validates the per-size artifact contract: the canonical 100-proc
+// point lands in BENCH_scrape.json, other sizes in
+// BENCH_scrape_<n>.json, all with zero allocations and an
+// exposition_bytes extra that grows with the registry.
+func TestBenchScrapeSweep(t *testing.T) {
+	dir := t.TempDir()
+	if code := run([]string{"-bench", "scrape", "-procs", "100,500", "-bench-out", dir}); code != 0 {
+		t.Fatalf("bench exit = %d", code)
+	}
+	load := func(name string) benchResult {
+		t.Helper()
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res benchResult
+		if err := json.Unmarshal(data, &res); err != nil {
+			t.Fatalf("%s is not valid JSON: %v", name, err)
+		}
+		return res
+	}
+	small := load("BENCH_scrape.json")
+	big := load("BENCH_scrape_500.json")
+	for _, res := range []benchResult{small, big} {
+		if res.N <= 0 || res.NsPerOp <= 0 {
+			t.Errorf("implausible result: %+v", res)
+		}
+		if res.AllocsPerOp != 0 {
+			t.Errorf("%s: scrape render allocates: %d allocs/op", res.Name, res.AllocsPerOp)
+		}
+	}
+	if small.Extra["procs"] != 100 || big.Extra["procs"] != 500 {
+		t.Errorf("procs extras = %v / %v", small.Extra, big.Extra)
+	}
+	if small.Extra["exposition_bytes"] <= 0 ||
+		big.Extra["exposition_bytes"] <= small.Extra["exposition_bytes"] {
+		t.Errorf("exposition_bytes did not grow: %v -> %v",
+			small.Extra["exposition_bytes"], big.Extra["exposition_bytes"])
+	}
+}
+
+func TestParseProcs(t *testing.T) {
+	if got, err := parseProcs("100, 10000,100000"); err != nil ||
+		len(got) != 3 || got[0] != 100 || got[1] != 10000 || got[2] != 100000 {
+		t.Errorf("parseProcs = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "0", "-5", "x", "100,,"} {
+		if _, err := parseProcs(bad); (bad == "100,,") != (err == nil) {
+			// "100,," parses (empty fields skipped); the rest must fail.
+			t.Errorf("parseProcs(%q) err = %v", bad, err)
+		}
+	}
+}

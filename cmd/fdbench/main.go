@@ -15,12 +15,15 @@
 // Usage:
 //
 //	fdbench -sweep threshold [-seed 42]
-//	fdbench -bench ingest|query|scrape|all [-bench-out DIR]
+//	fdbench -bench ingest|query|scrape|all [-bench-out DIR] [-procs 100,10000]
 //
 // With -bench, fdbench runs a hot-path micro-benchmark through
 // testing.Benchmark and writes a machine-readable BENCH_<name>.json
 // (ops/sec, ns/op, allocs/op; format in README.md) into -bench-out —
-// the artifact CI archives on every run.
+// the artifact CI archives on every run. The scrape benchmark sweeps
+// the -procs registry sizes (comma-separated), writing one artifact per
+// size: BENCH_scrape.json for the canonical 100-process point,
+// BENCH_scrape_<n>.json for the others.
 package main
 
 import (
@@ -28,6 +31,8 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"accrual/internal/chen"
@@ -53,12 +58,18 @@ func run(args []string) int {
 		seed     = fs.Uint64("seed", 42, "base random seed")
 		bench    = fs.String("bench", "", "run a micro-benchmark instead of a sweep: ingest, query, scrape, batch or all")
 		benchOut = fs.String("bench-out", ".", "directory for BENCH_<name>.json results")
+		procs    = fs.String("procs", "100", "comma-separated registry sizes for the scrape benchmark")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *bench != "" {
-		if err := runBenchmarks(*bench, *benchOut); err != nil {
+		sizes, err := parseProcs(*procs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fdbench: %v\n", err)
+			return 2
+		}
+		if err := runBenchmarks(*bench, *benchOut, sizes); err != nil {
 			fmt.Fprintf(os.Stderr, "fdbench: %v\n", err)
 			return 2
 		}
@@ -82,6 +93,26 @@ func run(args []string) int {
 		return 2
 	}
 	return 0
+}
+
+// parseProcs parses the -procs comma list into positive registry sizes.
+func parseProcs(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("invalid -procs entry %q", f)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-procs is empty")
+	}
+	return out, nil
 }
 
 const hbInterval = 100 * time.Millisecond

@@ -34,7 +34,9 @@ package service
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -305,6 +307,30 @@ func (m *Monitor) appendIDs(buf []string) []string {
 		sh.mu.RUnlock()
 	}
 	return buf
+}
+
+// ShardCount returns the number of registry shards. Together with
+// AppendShardIDs it is the basis of cursor-style incremental reads: a
+// consumer that cannot afford one O(n) pass (the /v1/metrics scrape at
+// very large memberships) walks shards [cursor, cursor+k) per page.
+func (m *Monitor) ShardCount() int { return len(m.shards) }
+
+// AppendShardIDs appends the ids currently registered in shard s
+// (0 <= s < ShardCount) to dst and returns the extended slice, unsorted.
+// Out-of-range shards append nothing. Only shard s's read lock is
+// taken, so paging through shards never pauses the rest of the
+// registry; callers reuse dst across pages to avoid re-allocating.
+func (m *Monitor) AppendShardIDs(s int, dst []string) []string {
+	if s < 0 || s >= len(m.shards) {
+		return dst
+	}
+	sh := &m.shards[s]
+	sh.mu.RLock()
+	for id := range sh.procs {
+		dst = append(dst, id)
+	}
+	sh.mu.RUnlock()
+	return dst
 }
 
 // Heartbeat routes a heartbeat to the detector of its sender,
@@ -586,17 +612,108 @@ func (a *App) noteTransition(id string, v *appView, s core.Status, now time.Time
 // suspected (ties broken by id) — the worker-ranking usage pattern of the
 // paper's Bag-of-Tasks example (§1.3).
 func (m *Monitor) Ranked() []RankedProcess {
-	out := make([]RankedProcess, 0, m.Len())
+	return m.RankedAppend(nil)
+}
+
+// RankedAppend appends every monitored process to dst ordered from
+// least to most suspected (ties broken by id) and returns the extended
+// slice. Periodic consumers (the slowness oracle, rank-driven
+// schedulers) pass their previous buffer back as dst[:0] so a
+// steady-state refresh allocates nothing.
+func (m *Monitor) RankedAppend(dst []RankedProcess) []RankedProcess {
+	base := len(dst)
 	m.EachLevel(func(id string, lvl core.Level) {
-		out = append(out, RankedProcess{ID: id, Level: lvl})
+		dst = append(dst, RankedProcess{ID: id, Level: lvl})
 	})
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Level != out[j].Level {
-			return out[i].Level < out[j].Level
+	slices.SortFunc(dst[base:], func(a, b RankedProcess) int {
+		if a.Level != b.Level {
+			if a.Level < b.Level {
+				return -1
+			}
+			return 1
 		}
-		return out[i].ID < out[j].ID
+		return strings.Compare(a.ID, b.ID)
 	})
-	return out
+	return dst
+}
+
+// TopK appends the k most suspected processes to dst — most suspected
+// first, equal levels broken by ascending id — and returns the extended
+// slice. It walks the registry once via EachLevel keeping a bounded
+// min-heap of k candidates, so the cost is O(n log k) time and O(k)
+// space: a "worst offenders" view over a million processes never
+// materialises the million-entry sorted slice Ranked would build.
+// Callers reuse dst across refreshes like with RankedAppend.
+func (m *Monitor) TopK(k int, dst []RankedProcess) []RankedProcess {
+	if k <= 0 {
+		return dst
+	}
+	base := len(dst)
+	m.EachLevel(func(id string, lvl core.Level) {
+		h := dst[base:]
+		if len(h) < k {
+			dst = append(dst, RankedProcess{ID: id, Level: lvl})
+			siftUpRank(dst[base:], len(h))
+			return
+		}
+		// h[0] is the last-placed candidate kept (least suspected);
+		// replace it only when the newcomer outranks it.
+		if cmpTopK(RankedProcess{ID: id, Level: lvl}, h[0]) >= 0 {
+			return
+		}
+		h[0] = RankedProcess{ID: id, Level: lvl}
+		siftDownRank(h)
+	})
+	slices.SortFunc(dst[base:], cmpTopK)
+	return dst
+}
+
+// cmpTopK is the TopK output order: higher level first, equal levels by
+// ascending id. A negative result means a outranks (precedes) b.
+func cmpTopK(a, b RankedProcess) int {
+	if a.Level != b.Level {
+		if a.Level > b.Level {
+			return -1
+		}
+		return 1
+	}
+	return strings.Compare(a.ID, b.ID)
+}
+
+// The bounded heap keeps the k highest-ranked candidates with the
+// *lowest*-ranked of them at the root, so one comparison decides
+// whether a newcomer displaces anything: a max-heap under cmpTopK.
+
+// siftUpRank restores the heap property after appending at index i.
+func siftUpRank(h []RankedProcess, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if cmpTopK(h[i], h[p]) <= 0 {
+			return
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+// siftDownRank restores the heap property after replacing the root.
+func siftDownRank(h []RankedProcess) {
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		s := l
+		if r := l + 1; r < len(h) && cmpTopK(h[r], h[l]) > 0 {
+			s = r
+		}
+		if cmpTopK(h[i], h[s]) >= 0 {
+			return
+		}
+		h[i], h[s] = h[s], h[i]
+		i = s
+	}
 }
 
 // RankedProcess pairs a process id with its suspicion level.

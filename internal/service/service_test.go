@@ -3,6 +3,7 @@ package service
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -454,5 +455,120 @@ func TestAppPollPrunesDeregisteredViews(t *testing.T) {
 	}
 	if _, ok := app.views["b"]; !ok {
 		t.Error("surviving view pruned")
+	}
+}
+
+func TestRankedAppendReusesBuffer(t *testing.T) {
+	m, clk := newTestMonitor()
+	for i := 0; i < 20; i++ {
+		_ = m.Heartbeat(hb(fmt.Sprintf("w%02d", i), 1, clk.Now()))
+		clk.Advance(100 * time.Millisecond)
+	}
+	want := m.Ranked()
+	buf := m.RankedAppend(nil)
+	if len(buf) != len(want) {
+		t.Fatalf("RankedAppend len = %d, want %d", len(buf), len(want))
+	}
+	for i := range want {
+		if buf[i] != want[i] {
+			t.Fatalf("RankedAppend[%d] = %+v, want %+v", i, buf[i], want[i])
+		}
+	}
+	// A steady-state refresh through the same buffer allocates nothing.
+	if allocs := testing.AllocsPerRun(50, func() {
+		buf = m.RankedAppend(buf[:0])
+	}); allocs > 0 {
+		t.Errorf("RankedAppend refresh: %v allocs/op, want 0", allocs)
+	}
+	// Appending after existing content leaves the prefix alone.
+	pre := []RankedProcess{{ID: "sentinel", Level: -1}}
+	out := m.RankedAppend(pre)
+	if out[0].ID != "sentinel" || len(out) != len(want)+1 {
+		t.Errorf("RankedAppend with prefix: %+v", out[:1])
+	}
+}
+
+func TestTopKMatchesSortedSuffix(t *testing.T) {
+	m, clk := newTestMonitor()
+	// Mixed levels, with a deliberate tie group at the most-suspected end.
+	for i := 0; i < 17; i++ {
+		_ = m.Heartbeat(hb(fmt.Sprintf("w%02d", i), 1, clk.Now()))
+		if i%3 != 0 {
+			clk.Advance(time.Second)
+		}
+	}
+	ranked := m.Ranked() // least → most suspected
+	n := len(ranked)
+	for _, k := range []int{1, 3, n - 1, n, n + 5} {
+		got := m.TopK(k, nil)
+		wantLen := k
+		if wantLen > n {
+			wantLen = n
+		}
+		if len(got) != wantLen {
+			t.Fatalf("TopK(%d) len = %d, want %d", k, len(got), wantLen)
+		}
+		// Expected: the most-suspected wantLen entries, highest level
+		// first, ties by ascending id — i.e. the reverse-level order of
+		// Ranked's tail, with tie groups re-sorted by id.
+		for i, g := range got {
+			if want := topKWant(ranked, i); g != want {
+				t.Errorf("TopK(%d)[%d] = %+v, want %+v", k, i, g, want)
+			}
+		}
+	}
+	if got := m.TopK(0, nil); got != nil {
+		t.Errorf("TopK(0) = %+v, want nil", got)
+	}
+	// Buffer reuse across refreshes is allocation-free.
+	buf := m.TopK(5, nil)
+	if allocs := testing.AllocsPerRun(50, func() {
+		buf = m.TopK(5, buf[:0])
+	}); allocs > 0 {
+		t.Errorf("TopK refresh: %v allocs/op, want 0", allocs)
+	}
+}
+
+// topKWant derives the expected i-th TopK entry from a Ranked snapshot:
+// sort descending by level, ties ascending by id.
+func topKWant(ranked []RankedProcess, i int) RankedProcess {
+	desc := make([]RankedProcess, len(ranked))
+	copy(desc, ranked)
+	sort.Slice(desc, func(a, b int) bool {
+		if desc[a].Level != desc[b].Level {
+			return desc[a].Level > desc[b].Level
+		}
+		return desc[a].ID < desc[b].ID
+	})
+	return desc[i]
+}
+
+func TestAppendShardIDsCoversRegistry(t *testing.T) {
+	m, clk := newTestMonitor()
+	want := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := fmt.Sprintf("proc-%03d", i)
+		_ = m.Heartbeat(hb(id, 1, clk.Now()))
+		want[id] = true
+	}
+	var ids []string
+	for s := 0; s < m.ShardCount(); s++ {
+		ids = m.AppendShardIDs(s, ids)
+	}
+	if len(ids) != len(want) {
+		t.Fatalf("shard walk saw %d ids, want %d", len(ids), len(want))
+	}
+	for _, id := range ids {
+		if !want[id] {
+			t.Errorf("unexpected id %q", id)
+		}
+		delete(want, id)
+	}
+	// Out-of-range shards are a no-op, not a panic.
+	if got := m.AppendShardIDs(-1, nil); got != nil {
+		t.Errorf("AppendShardIDs(-1) = %v", got)
+	}
+	if got := m.AppendShardIDs(m.ShardCount(), nil); got != nil {
+		t.Errorf("AppendShardIDs(ShardCount) = %v", got)
 	}
 }

@@ -15,7 +15,8 @@
 package slowness
 
 import (
-	"sort"
+	"slices"
+	"strings"
 
 	"accrual/internal/core"
 	"accrual/internal/service"
@@ -23,13 +24,23 @@ import (
 
 // Oracle maintains a stable responsiveness order over smoothed suspicion
 // levels. It is a plain state machine: feed it rank snapshots with
-// Update and read the current order with Order. Not safe for concurrent
-// use.
+// Update (or level walks with UpdateFrom) and read the current order
+// with Order. Not safe for concurrent use.
+//
+// All per-update working storage — the seen-set, the previous-position
+// index and the two order slices — is retained and reused across
+// updates, so a steady-state refresh over a stable membership performs
+// no allocations.
 type Oracle struct {
 	alpha    float64
 	deadband float64
 	smoothed map[string]float64
 	order    []string
+
+	// Scratch reused across updates.
+	seen    map[string]bool
+	prevPos map[string]int
+	spare   []string // recycled backing for the next order slice
 }
 
 // New returns an oracle. alpha is the EWMA smoothing factor in (0, 1]
@@ -47,25 +58,50 @@ func New(alpha, deadband float64) *Oracle {
 		alpha:    alpha,
 		deadband: deadband,
 		smoothed: make(map[string]float64),
+		seen:     make(map[string]bool),
+		prevPos:  make(map[string]int),
 	}
 }
 
 // Update folds a new snapshot of suspicion levels into the smoothed state
 // and recomputes the order. Processes absent from the snapshot are
-// forgotten; new ones start at their observed level.
+// forgotten; new ones start at their observed level. A steady-state
+// update over a stable membership performs no allocations.
 func (o *Oracle) Update(snapshot []service.RankedProcess) {
-	seen := make(map[string]bool, len(snapshot))
+	clear(o.seen)
 	for _, rp := range snapshot {
-		seen[rp.ID] = true
-		lvl := float64(rp.Level)
-		if prev, ok := o.smoothed[rp.ID]; ok {
-			o.smoothed[rp.ID] = prev + o.alpha*(lvl-prev)
-		} else {
-			o.smoothed[rp.ID] = lvl
-		}
+		o.observe(rp.ID, rp.Level)
 	}
+	o.finishUpdate()
+}
+
+// UpdateFrom is Update fed by a walk instead of a materialised slice:
+// each is called once and must invoke fn once per process. It matches
+// service.Monitor.EachLevel, so a caller refreshes straight off the
+// registry with no intermediate snapshot:
+//
+//	oracle.UpdateFrom(mon.EachLevel)
+func (o *Oracle) UpdateFrom(each func(fn func(id string, lvl core.Level))) {
+	clear(o.seen)
+	each(o.observe)
+	o.finishUpdate()
+}
+
+// observe folds one (id, level) observation into the smoothed state.
+func (o *Oracle) observe(id string, lvl core.Level) {
+	o.seen[id] = true
+	l := float64(lvl)
+	if prev, ok := o.smoothed[id]; ok {
+		o.smoothed[id] = prev + o.alpha*(l-prev)
+	} else {
+		o.smoothed[id] = l
+	}
+}
+
+// finishUpdate drops departed processes and recomputes the order.
+func (o *Oracle) finishUpdate() {
 	for id := range o.smoothed {
-		if !seen[id] {
+		if !o.seen[id] {
 			delete(o.smoothed, id)
 		}
 	}
@@ -75,41 +111,48 @@ func (o *Oracle) Update(snapshot []service.RankedProcess) {
 // reorder sorts by smoothed level with a dead band that preserves the
 // previous relative order for near-ties.
 func (o *Oracle) reorder() {
-	prevPos := make(map[string]int, len(o.order))
+	clear(o.prevPos)
 	for i, id := range o.order {
-		prevPos[id] = i
+		o.prevPos[id] = i
 	}
-	next := make([]string, 0, len(o.smoothed))
+	next := o.spare[:0]
 	for id := range o.smoothed {
 		next = append(next, id)
 	}
-	sort.Slice(next, func(i, j int) bool {
-		a, b := next[i], next[j]
+	slices.SortFunc(next, func(a, b string) int {
 		la, lb := o.smoothed[a], o.smoothed[b]
-		if diff := la - lb; diff > o.deadband || diff < -o.deadband {
-			return la < lb
+		if diff := la - lb; diff > o.deadband {
+			return 1
+		} else if diff < -o.deadband {
+			return -1
 		}
-		pa, oka := prevPos[a]
-		pb, okb := prevPos[b]
+		pa, oka := o.prevPos[a]
+		pb, okb := o.prevPos[b]
 		switch {
 		case oka && okb:
-			return pa < pb
+			return pa - pb
 		case oka:
-			return true // known processes rank before newcomers on ties
+			return -1 // known processes rank before newcomers on ties
 		case okb:
-			return false
+			return 1
 		default:
-			return a < b
+			return strings.Compare(a, b)
 		}
 	})
+	// The outgoing order's backing array becomes the next update's
+	// scratch; Order()'s contract makes this sound.
+	o.spare = o.order[:0]
 	o.order = next
 }
 
 // Order returns the current responsiveness order, most responsive (least
-// suspected) first. The caller must not modify the returned slice.
+// suspected) first. The caller must not modify the returned slice; it is
+// valid until the second Update/UpdateFrom call after it was returned
+// (the oracle double-buffers the order storage).
 func (o *Oracle) Order() []string { return o.order }
 
-// Fastest returns up to n most responsive processes.
+// Fastest returns up to n most responsive processes. The returned slice
+// aliases Order's storage and carries the same validity rule.
 func (o *Oracle) Fastest(n int) []string {
 	if n > len(o.order) {
 		n = len(o.order)

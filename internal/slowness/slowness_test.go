@@ -122,3 +122,54 @@ func TestNewcomersRankAfterKnownOnTies(t *testing.T) {
 		t.Errorf("order = %v", o.Order())
 	}
 }
+
+func TestUpdateFromMatchesUpdate(t *testing.T) {
+	pairs := snap("a", 2.0, "b", 0.5, "c", 1.0, "d", 0.5)
+	viaSlice := New(0.3, 0.1)
+	viaWalk := New(0.3, 0.1)
+	for round := 0; round < 5; round++ {
+		viaSlice.Update(pairs)
+		viaWalk.UpdateFrom(func(fn func(id string, lvl core.Level)) {
+			for _, rp := range pairs {
+				fn(rp.ID, rp.Level)
+			}
+		})
+		a, b := viaSlice.Order(), viaWalk.Order()
+		if len(a) != len(b) {
+			t.Fatalf("round %d: order lengths %d vs %d", round, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("round %d: order %v vs %v", round, a, b)
+			}
+		}
+	}
+}
+
+func TestUpdateSteadyStateZeroAlloc(t *testing.T) {
+	o := New(0.2, 0.05)
+	pairs := snap("a", 2.0, "b", 0.5, "c", 1.0, "d", 0.7, "e", 1.4)
+	o.Update(pairs) // warm the scratch
+	o.Update(pairs)
+	if allocs := testing.AllocsPerRun(100, func() {
+		o.Update(pairs)
+	}); allocs > 0 {
+		t.Errorf("steady-state Update: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestOrderValidAcrossOneUpdate(t *testing.T) {
+	// Order()'s contract: the returned slice is stable across the next
+	// update (double-buffered), so a consumer may hold it while folding
+	// in one refresh.
+	o := New(1, 0)
+	o.Update(snap("a", 1.0, "b", 2.0))
+	held := o.Order()
+	want := append([]string(nil), held...)
+	o.Update(snap("b", 0.1, "a", 5.0)) // order flips
+	for i := range want {
+		if held[i] != want[i] {
+			t.Fatalf("held order mutated by next update: %v, want %v", held, want)
+		}
+	}
+}

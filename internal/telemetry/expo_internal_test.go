@@ -1,0 +1,70 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The escape helpers carry a fast path that returns the input unchanged
+// (zero allocations) when no escapable byte is present; these tests pin
+// both paths against each other and against the expected renderings.
+
+func TestEscapeFastPathNoAlloc(t *testing.T) {
+	const clean = "worker-17.rack-b.example.com"
+	if got := escapeLabelValue(clean); got != clean {
+		t.Errorf("escapeLabelValue(%q) = %q", clean, got)
+	}
+	if got := escapeHelp(clean); got != clean {
+		t.Errorf("escapeHelp(%q) = %q", clean, got)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		_ = escapeLabelValue(clean)
+		_ = escapeHelp(clean)
+	}); allocs > 0 {
+		t.Errorf("clean escape path: %v allocs/op, want 0", allocs)
+	}
+	dst := make([]byte, 0, 128)
+	if allocs := testing.AllocsPerRun(100, func() {
+		dst = appendEscapedLabelValue(dst[:0], clean)
+		dst = appendEscapedHelp(dst, clean)
+	}); allocs > 0 {
+		t.Errorf("clean append-escape path: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestEscapeSlowPath(t *testing.T) {
+	cases := []struct {
+		in, wantLabel, wantHelp string
+	}{
+		{`plain`, `plain`, `plain`},
+		{"line\nbreak", `line\nbreak`, `line\nbreak`},
+		{`back\slash`, `back\\slash`, `back\\slash`},
+		// Double quotes are escaped in label values but legal verbatim
+		// in HELP text.
+		{`quo"te`, `quo\"te`, `quo"te`},
+		{"all\\three\"\n", `all\\three\"\n`, "all\\\\three\"\\n"},
+	}
+	for _, c := range cases {
+		if got := escapeLabelValue(c.in); got != c.wantLabel {
+			t.Errorf("escapeLabelValue(%q) = %q, want %q", c.in, got, c.wantLabel)
+		}
+		if got := escapeHelp(c.in); got != c.wantHelp {
+			t.Errorf("escapeHelp(%q) = %q, want %q", c.in, got, c.wantHelp)
+		}
+		// The append variants must agree with the string variants.
+		if got := appendEscapedLabelValue(nil, c.in); string(got) != c.wantLabel {
+			t.Errorf("appendEscapedLabelValue(%q) = %q, want %q", c.in, got, c.wantLabel)
+		}
+		if got := appendEscapedHelp(nil, c.in); string(got) != c.wantHelp {
+			t.Errorf("appendEscapedHelp(%q) = %q, want %q", c.in, got, c.wantHelp)
+		}
+	}
+}
+
+func TestAppendEscapePreservesPrefix(t *testing.T) {
+	dst := []byte("prefix ")
+	dst = appendEscapedLabelValue(dst, "a\"b")
+	if want := []byte(`prefix a\"b`); !bytes.Equal(dst, want) {
+		t.Errorf("append with prefix = %q, want %q", dst, want)
+	}
+}

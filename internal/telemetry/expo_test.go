@@ -40,6 +40,7 @@ func TestMetricWriterGolden(t *testing.T) {
 	var buf bytes.Buffer
 	mw := telemetry.NewMetricWriter(&buf)
 	writeGoldenExposition(mw)
+	mw.Flush()
 	if err := mw.Err(); err != nil {
 		t.Fatal(err)
 	}
@@ -59,6 +60,7 @@ func TestExpositionRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	mw := telemetry.NewMetricWriter(&buf)
 	writeGoldenExposition(mw)
+	mw.Flush()
 	samples, err := telemetry.ParseText(&buf)
 	if err != nil {
 		t.Fatal(err)
@@ -115,17 +117,100 @@ func (f *failWriter) Write(p []byte) (int, error) {
 }
 
 // TestMetricWriterStickyError: after the first failed write the writer
-// goes quiet instead of hammering the broken sink.
+// goes quiet instead of hammering the broken sink. The 1-byte chunk size
+// forces a flush attempt after every emitted line.
 func TestMetricWriterStickyError(t *testing.T) {
 	fw := &failWriter{}
-	mw := telemetry.NewMetricWriter(fw)
+	mw := telemetry.NewMetricWriterChunked(fw, 1)
 	mw.Header("m", "h", "gauge")
 	mw.Sample("m", 1)
 	mw.Sample("m", 2)
+	mw.Flush()
 	if mw.Err() == nil {
 		t.Fatal("no error from failing sink")
 	}
 	if fw.n != 1 {
 		t.Errorf("writes after first failure: %d calls, want 1", fw.n)
 	}
+	if mw.Buffered() != 0 {
+		t.Errorf("buffer retained after failure: %d bytes", mw.Buffered())
+	}
 }
+
+// TestMetricWriterChunking: with a small chunk size the exposition
+// reaches the sink in multiple writes whose concatenation is identical
+// to the unchunked render.
+func TestMetricWriterChunking(t *testing.T) {
+	var whole bytes.Buffer
+	mw := telemetry.NewMetricWriter(&whole)
+	writeGoldenExposition(mw)
+	mw.Flush()
+
+	cw := &countingWriter{}
+	mc := telemetry.NewMetricWriterChunked(cw, 64)
+	writeGoldenExposition(mc)
+	mc.Flush()
+	if mc.Err() != nil {
+		t.Fatal(mc.Err())
+	}
+	if cw.writes < 2 {
+		t.Errorf("chunked render used %d writes, want several", cw.writes)
+	}
+	if !bytes.Equal(cw.buf.Bytes(), whole.Bytes()) {
+		t.Errorf("chunked output differs from single-shot render")
+	}
+}
+
+type countingWriter struct {
+	buf    bytes.Buffer
+	writes int
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.writes++
+	return c.buf.Write(p)
+}
+
+// TestAcquireRelease: a pooled writer behaves like a fresh one and a
+// steady-state render through the pool performs no allocations.
+func TestAcquireRelease(t *testing.T) {
+	var buf bytes.Buffer
+	mw := telemetry.NewMetricWriter(&buf)
+	writeGoldenExposition(mw)
+	mw.Flush()
+
+	var got bytes.Buffer
+	pw := telemetry.AcquireMetricWriter(&got, telemetry.DefaultChunkSize)
+	writeGoldenExposition(pw)
+	pw.Flush()
+	if pw.Err() != nil {
+		t.Fatal(pw.Err())
+	}
+	pw.Release()
+	if !bytes.Equal(got.Bytes(), buf.Bytes()) {
+		t.Errorf("pooled writer output differs from fresh writer")
+	}
+
+	if raceEnabled {
+		return // race detector defeats sync.Pool reuse; skip the budget
+	}
+	// Warm the pool and the header cache, then measure.
+	sink := &discardWriter{}
+	allocs := testing.AllocsPerRun(100, func() {
+		w := telemetry.AcquireMetricWriter(sink, 0)
+		w.Header("accrual_heartbeats_ingested_total",
+			"Heartbeats accepted by the monitor hot path", "counter")
+		w.Sample("accrual_heartbeats_ingested_total", 42)
+		w.Sample(telemetry.MetricSuspicionLevel, 0.25,
+			telemetry.Label{Name: "proc", Value: "steady"})
+		w.Flush()
+		w.Release()
+	})
+	if allocs > 0 {
+		t.Errorf("pooled steady-state render: %v allocs/op, want 0", allocs)
+	}
+}
+
+type discardWriter struct{}
+
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }

@@ -22,14 +22,28 @@ func (s Sample) Label(name string) string { return s.Labels[name] }
 // ErrBadExposition is wrapped by every parse error from ParseText.
 var ErrBadExposition = errors.New("telemetry: bad exposition")
 
-// ParseText parses Prometheus text exposition (the subset MetricWriter
-// emits: comments, blank lines, and name{labels} value lines; trailing
-// timestamps are accepted and ignored). It is the consumer side used by
-// `accrualctl top` and the writer round-trip tests.
-func ParseText(r io.Reader) ([]Sample, error) {
-	var out []Sample
+// TextParser parses Prometheus text exposition and reuses its scan
+// buffer, sample slice and per-sample label maps across calls — a
+// repeat consumer (accrualctl top refreshing every few seconds) parses
+// steady-state scrapes without re-allocating per line. The zero value
+// is ready to use. Not safe for concurrent use.
+type TextParser struct {
+	scanBuf []byte
+	samples []Sample
+}
+
+// Parse parses one exposition from r (the subset MetricWriter emits:
+// comments, blank lines, and name{labels} value lines; trailing
+// timestamps are accepted and ignored). The returned slice and the
+// label maps inside it are owned by the parser and valid until the
+// next Parse call.
+func (p *TextParser) Parse(r io.Reader) ([]Sample, error) {
+	if p.scanBuf == nil {
+		p.scanBuf = make([]byte, 64*1024)
+	}
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	sc.Buffer(p.scanBuf, 1024*1024)
+	out := p.samples[:0]
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -37,23 +51,45 @@ func ParseText(r io.Reader) ([]Sample, error) {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		s, err := parseLine(line)
-		if err != nil {
+		if len(out) < cap(out) {
+			out = out[:len(out)+1]
+		} else {
+			out = append(out, Sample{})
+		}
+		s := &out[len(out)-1]
+		if err := parseLineInto(line, s); err != nil {
+			p.samples = out
 			return nil, fmt.Errorf("%w: line %d: %v", ErrBadExposition, lineNo, err)
 		}
-		out = append(out, s)
 	}
+	p.samples = out
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadExposition, err)
 	}
 	return out, nil
 }
 
-func parseLine(line string) (Sample, error) {
-	s := Sample{Labels: map[string]string{}}
+// ParseText parses Prometheus text exposition with a one-shot parser.
+// It is the consumer side used by the writer round-trip tests; repeat
+// consumers should hold a TextParser and reuse its buffers.
+func ParseText(r io.Reader) ([]Sample, error) {
+	var p TextParser
+	return p.Parse(r)
+}
+
+// parseLineInto fills s (reusing its label map when present) from one
+// sample line.
+func parseLineInto(line string, s *Sample) error {
+	s.Name = ""
+	s.Value = 0
+	if s.Labels == nil {
+		s.Labels = map[string]string{}
+	} else {
+		clear(s.Labels)
+	}
 	i := strings.IndexAny(line, "{ ")
 	if i <= 0 {
-		return s, errors.New("missing metric name")
+		return errors.New("missing metric name")
 	}
 	s.Name = line[:i]
 	rest := line[i:]
@@ -61,19 +97,19 @@ func parseLine(line string) (Sample, error) {
 		var err error
 		rest, err = parseLabels(rest[1:], s.Labels)
 		if err != nil {
-			return s, err
+			return err
 		}
 	}
 	fields := strings.Fields(rest)
 	if len(fields) < 1 || len(fields) > 2 {
-		return s, errors.New("want value and optional timestamp")
+		return errors.New("want value and optional timestamp")
 	}
 	v, err := strconv.ParseFloat(fields[0], 64)
 	if err != nil {
-		return s, fmt.Errorf("value %q: %v", fields[0], err)
+		return fmt.Errorf("value %q: %v", fields[0], err)
 	}
 	s.Value = v
-	return s, nil
+	return nil
 }
 
 // parseLabels consumes `name="value",...}` and returns the remainder of
@@ -109,7 +145,12 @@ func parseLabels(rest string, into map[string]string) (string, error) {
 }
 
 // parseQuoted consumes an escaped label value up to its closing quote.
+// Values without escapes — the overwhelmingly common case — are sliced
+// straight out of the line without copying.
 func parseQuoted(rest string) (val, rem string, err error) {
+	if i := strings.IndexAny(rest, "\"\\"); i >= 0 && rest[i] == '"' {
+		return rest[:i], rest[i+1:], nil
+	}
 	var sb strings.Builder
 	for i := 0; i < len(rest); i++ {
 		switch rest[i] {

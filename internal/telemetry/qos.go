@@ -97,6 +97,23 @@ type Estimate struct {
 	TMR, TM, TG float64
 }
 
+// NotEstimable returns the all-NaN estimate rendered for a process the
+// estimators have not observed yet (registered, never sampled). The
+// exposition layer uses it so every monitored process appears in the
+// scrape with a stable set of series from the moment it registers.
+func NotEstimable(id string) Estimate {
+	nan := math.NaN()
+	return Estimate{
+		ID:      id,
+		Level:   core.Level(nan),
+		LambdaM: nan,
+		PA:      nan,
+		TMR:     nan,
+		TM:      nan,
+		TG:      nan,
+	}
+}
+
 // LevelSource is the level stream the sampler polls — implemented by
 // service.Monitor (EachLevel walks the registry shard by shard at one
 // clock reading).

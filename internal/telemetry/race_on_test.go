@@ -1,0 +1,8 @@
+//go:build race
+
+package telemetry_test
+
+// raceEnabled reports whether the race detector is active; under race
+// sync.Pool randomly drops cached objects, so allocation budgets over
+// pooled paths are meaningless.
+const raceEnabled = true

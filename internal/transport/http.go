@@ -3,6 +3,7 @@ package transport
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"math"
 	"net/http"
@@ -24,12 +25,14 @@ import (
 // Routes:
 //
 //	GET /v1/processes            all processes, ranked least→most suspected
+//	GET /v1/processes?top=K      only the K most suspected, worst first
 //	GET /v1/suspicion?id=X       one process's current suspicion level
 //	GET /v1/status?id=X&threshold=T   D_T interpretation of the level
 //	GET /v1/state                binary snapshot of all detector state
 //	PUT /v1/state                restore detector state from a snapshot
 //	GET /v1/healthz              liveness probe
-//	GET /v1/metrics              Prometheus text exposition (WithAPITelemetry)
+//	GET /v1/metrics              Prometheus text exposition (WithAPITelemetry);
+//	                             ?cursor=&limit= pages shard-by-shard
 //
 // /v1/state carries the statecodec binary format (see
 // internal/transport/statecodec) and is the live state handoff path: a
@@ -117,8 +120,20 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-func (a *API) handleProcesses(w http.ResponseWriter, _ *http.Request) {
-	ranked := a.mon.Ranked()
+func (a *API) handleProcesses(w http.ResponseWriter, r *http.Request) {
+	var ranked []service.RankedProcess
+	if tq := r.URL.Query().Get("top"); tq != "" {
+		k, err := strconv.Atoi(tq)
+		if err != nil || k < 1 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("invalid top %q", tq)})
+			return
+		}
+		// Bounded selection: most suspected first, O(k) space instead of
+		// materialising the full sorted membership.
+		ranked = a.mon.TopK(k, nil)
+	} else {
+		ranked = a.mon.Ranked()
+	}
 	resp := ProcessesResponse{Processes: make([]ProcessLevel, len(ranked))}
 	for i, rp := range ranked {
 		resp.Processes[i] = ProcessLevel{ID: rp.ID, Level: jsonLevel(rp.Level)}

@@ -1,7 +1,13 @@
 package transport
 
 import (
+	"fmt"
+	"io"
 	"net/http"
+	"slices"
+	"strconv"
+	"strings"
+	"sync"
 	"time"
 
 	"accrual/internal/service"
@@ -11,19 +17,159 @@ import (
 // metricsContentType is the Prometheus text exposition media type.
 const metricsContentType = "text/plain; version=0.0.4; charset=utf-8"
 
+// MetricsCursorHeader is the continuation header of a paginated
+// /v1/metrics scrape: when present, its value is the shard cursor of the
+// next page (`GET /v1/metrics?cursor=<value>&limit=<n>`); when absent,
+// the scrape is complete. The body stays plain text exposition either
+// way, so any page — and the byte concatenation of all pages — parses as
+// a normal scrape.
+const MetricsCursorHeader = "Accrual-Metrics-Cursor"
+
+// metricsChunkSize is the flush threshold of a streaming (non-cursor)
+// scrape: the exposition drains to the client every ~16 KiB instead of
+// materialising the whole render, so scrape memory is O(chunk) no
+// matter how many processes are registered.
+const metricsChunkSize = telemetry.DefaultChunkSize
+
+// metricsScratch is the pooled per-scrape working set: the shard id
+// buffer reused across shards and scrapes so a steady-state scrape
+// allocates nothing.
+type metricsScratch struct {
+	ids []string
+}
+
+var metricsScratchPool = sync.Pool{New: func() any { return new(metricsScratch) }}
+
 // handleMetrics serves GET /v1/metrics: the hub's hot-path counters,
 // transport dispositions, online QoS estimates and the liveness
 // timestamps of the background loops, all in the text format every
 // Prometheus-compatible scraper understands. The exposition is written
-// with the hand-rolled telemetry.MetricWriter — no client library.
-func (a *API) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// with the hand-rolled telemetry.MetricWriter — no client library —
+// through a pooled chunk buffer, streamed shard by shard.
+//
+// Two modes:
+//
+//   - GET /v1/metrics — the whole exposition, streamed with O(chunk)
+//     memory.
+//   - GET /v1/metrics?cursor=<shard>&limit=<n> — one page: the global
+//     sections and per-process headers on the first page (cursor 0),
+//     then per-process series shard by shard until at least n processes
+//     have been emitted, stopping at a shard boundary. The
+//     Accrual-Metrics-Cursor response header carries the next cursor;
+//     its absence means the scrape is complete. Concatenating the pages
+//     of a quiesced monitor yields byte-identical output to the
+//     single-shot scrape.
+func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if a.hub == nil {
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: "telemetry not enabled"})
 		return
 	}
+	cursor, limit, err := parseMetricsQuery(r.URL.RawQuery)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
 	w.Header().Set("Content-Type", metricsContentType)
-	mw := telemetry.NewMetricWriter(w)
+	if limit <= 0 {
+		// Single-shot (possibly from a non-zero cursor): stream.
+		mw := telemetry.AcquireMetricWriter(w, metricsChunkSize)
+		a.writeMetricsBody(mw, cursor, 0)
+		mw.Flush()
+		mw.Release()
+		return
+	}
+	// Cursor mode: the continuation header must be decided before the
+	// first body byte reaches the wire, so the page — bounded by limit
+	// plus one shard — is buffered in the pooled writer and flushed
+	// after the header is set.
+	mw := telemetry.AcquireMetricWriter(w, 0)
+	next := a.writeMetricsBody(mw, cursor, limit)
+	if next >= 0 {
+		w.Header().Set(MetricsCursorHeader, strconv.Itoa(next))
+	}
+	mw.Flush()
+	mw.Release()
+}
 
+// WriteMetrics renders the full exposition to w through a pooled chunk
+// buffer — the programmatic face of GET /v1/metrics, used by fdbench and
+// the zero-alloc gate. The steady-state render performs no allocations.
+func (a *API) WriteMetrics(w io.Writer) error {
+	if a.hub == nil {
+		return fmt.Errorf("transport: telemetry not enabled")
+	}
+	mw := telemetry.AcquireMetricWriter(w, metricsChunkSize)
+	a.writeMetricsBody(mw, 0, 0)
+	mw.Flush()
+	err := mw.Err()
+	mw.Release()
+	return err
+}
+
+// WriteMetricsPage renders one cursor page to w and returns the next
+// cursor (-1 when the scrape is complete). Page semantics match
+// GET /v1/metrics?cursor=&limit= exactly.
+func (a *API) WriteMetricsPage(w io.Writer, cursor, limit int) (next int, err error) {
+	if a.hub == nil {
+		return -1, fmt.Errorf("transport: telemetry not enabled")
+	}
+	mw := telemetry.AcquireMetricWriter(w, 0)
+	next = a.writeMetricsBody(mw, cursor, limit)
+	mw.Flush()
+	err = mw.Err()
+	mw.Release()
+	return next, err
+}
+
+// parseMetricsQuery extracts cursor and limit from a raw query string
+// without allocating (r.URL.Query would build a map per scrape). Absent
+// parameters default to 0; limit 0 means "no pagination".
+func parseMetricsQuery(raw string) (cursor, limit int, err error) {
+	for raw != "" {
+		var kv string
+		if i := strings.IndexByte(raw, '&'); i >= 0 {
+			kv, raw = raw[:i], raw[i+1:]
+		} else {
+			kv, raw = raw, ""
+		}
+		k, v := kv, ""
+		if i := strings.IndexByte(kv, '='); i >= 0 {
+			k, v = kv[:i], kv[i+1:]
+		}
+		switch k {
+		case "cursor":
+			cursor, err = strconv.Atoi(v)
+			if err != nil || cursor < 0 {
+				return 0, 0, fmt.Errorf("invalid cursor %q", v)
+			}
+		case "limit":
+			limit, err = strconv.Atoi(v)
+			if err != nil || limit < 1 {
+				return 0, 0, fmt.Errorf("invalid limit %q", v)
+			}
+		}
+	}
+	return cursor, limit, nil
+}
+
+// writeMetricsBody renders one page: global sections and per-process
+// headers when cursor is 0, then per-process series from shard cursor
+// on. limit (>0) bounds the page to at least that many processes,
+// stopping at the next shard boundary; the return value is the next
+// cursor, or -1 when the last shard has been rendered.
+func (a *API) writeMetricsBody(mw *telemetry.MetricWriter, cursor, limit int) (next int) {
+	if cursor <= 0 {
+		cursor = 0
+		a.writeGlobalMetrics(mw)
+		writePerProcessHeaders(mw)
+	}
+	return a.writePerProcessSamples(mw, cursor, limit)
+}
+
+// writeGlobalMetrics emits every section whose cardinality does not grow
+// with the membership: monitor gauges, hot-path counters, transport
+// dispositions, aggregate QoS, and background-loop liveness.
+func (a *API) writeGlobalMetrics(mw *telemetry.MetricWriter) {
 	mw.Header("accrual_monitor_processes", "Processes currently monitored", "gauge")
 	mw.Sample("accrual_monitor_processes", float64(a.mon.Len()))
 
@@ -50,7 +196,7 @@ func (a *API) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		"Decoded heartbeats accepted by the monitor", ts.Delivered)
 	mw.Header("accrual_udp_packets_dropped_total",
 		"Datagrams that never reached a detector, by disposition", "counter")
-	for _, d := range []struct {
+	for _, d := range [...]struct {
 		reason string
 		v      uint64
 	}{
@@ -84,51 +230,6 @@ func (a *API) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("accrual_sender_redials_total",
 		"Local sender reconnection attempts after a torn-down socket", ts.Redials)
 
-	a.writeQoSMetrics(mw)
-
-	mw.Header("accrual_watcher_last_poll_timestamp_seconds",
-		"Monitor-clock time of the watcher's latest poll round (0 when never or not wired)", "gauge")
-	mw.Sample("accrual_watcher_last_poll_timestamp_seconds", timestampSeconds(lastPoll(a.watcher)))
-	mw.Header("accrual_recorder_last_tick_timestamp_seconds",
-		"Monitor-clock time of the recorder's latest sampling round (0 when never or not wired)", "gauge")
-	mw.Sample("accrual_recorder_last_tick_timestamp_seconds", timestampSeconds(lastTick(a.rec)))
-	mw.Header("accrual_sampler_last_sample_timestamp_seconds",
-		"Monitor-clock time of the QoS sampler's latest round (0 when never or not wired)", "gauge")
-	mw.Sample("accrual_sampler_last_sample_timestamp_seconds", timestampSeconds(lastSample(a.sampler)))
-	_ = mw.Err()
-}
-
-// writeQoSMetrics emits the per-process online estimates plus the
-// aggregate detection-time summary. NaN values (not yet estimable) are
-// rendered verbatim — the format allows it and dashboards treat them as
-// gaps.
-func (a *API) writeQoSMetrics(mw *telemetry.MetricWriter) {
-	ests := a.hub.QoS().Estimates()
-	perProc := func(name, help, typ string, value func(telemetry.Estimate) float64) {
-		mw.Header(name, help, typ)
-		for _, est := range ests {
-			mw.Sample(name, value(est), telemetry.Label{Name: "proc", Value: est.ID})
-		}
-	}
-	perProc(telemetry.MetricSuspicionLevel,
-		"Latest sampled suspicion level", "gauge",
-		func(e telemetry.Estimate) float64 { return float64(e.Level) })
-	perProc(telemetry.MetricQoSLambdaM,
-		"Online estimate of the mistake rate lambda_M, S-transitions per second", "gauge",
-		func(e telemetry.Estimate) float64 { return e.LambdaM })
-	perProc(telemetry.MetricQoSPA,
-		"Online estimate of the query accuracy probability P_A", "gauge",
-		func(e telemetry.Estimate) float64 { return e.PA })
-	perProc(telemetry.MetricQoSTMR,
-		"Online estimate of the mean mistake recurrence time T_MR", "gauge",
-		func(e telemetry.Estimate) float64 { return e.TMR })
-	perProc(telemetry.MetricQoSTM,
-		"Online estimate of the mean mistake duration T_M", "gauge",
-		func(e telemetry.Estimate) float64 { return e.TM })
-	perProc(telemetry.MetricQoSTG,
-		"Online estimate of the mean good period T_G", "gauge",
-		func(e telemetry.Estimate) float64 { return e.TG })
-
 	count, mean, max := a.hub.QoS().DetectionStats()
 	mw.Header("accrual_qos_detections_total",
 		"Crashes detected (crash-marked processes deregistered while suspected)", "counter")
@@ -139,6 +240,82 @@ func (a *API) writeQoSMetrics(mw *telemetry.MetricWriter) {
 		telemetry.Label{Name: "stat", Value: "mean"})
 	mw.Sample("accrual_qos_detection_time_seconds", max.Seconds(),
 		telemetry.Label{Name: "stat", Value: "max"})
+
+	mw.Header("accrual_watcher_last_poll_timestamp_seconds",
+		"Monitor-clock time of the watcher's latest poll round (0 when never or not wired)", "gauge")
+	mw.Sample("accrual_watcher_last_poll_timestamp_seconds", timestampSeconds(lastPoll(a.watcher)))
+	mw.Header("accrual_recorder_last_tick_timestamp_seconds",
+		"Monitor-clock time of the recorder's latest sampling round (0 when never or not wired)", "gauge")
+	mw.Sample("accrual_recorder_last_tick_timestamp_seconds", timestampSeconds(lastTick(a.rec)))
+	mw.Header("accrual_sampler_last_sample_timestamp_seconds",
+		"Monitor-clock time of the QoS sampler's latest round (0 when never or not wired)", "gauge")
+	mw.Sample("accrual_sampler_last_sample_timestamp_seconds", timestampSeconds(lastSample(a.sampler)))
+}
+
+// writePerProcessHeaders emits the HELP/TYPE block of the six
+// per-process families once, before the first process. The per-process
+// section interleaves families per process (grouped by shard, then id)
+// rather than per family, so it can be cut at shard boundaries; the
+// package's parser and Prometheus' text parser both accept the
+// interleaving, and the ordering contract is documented in
+// docs/OBSERVABILITY.md §2.
+func writePerProcessHeaders(mw *telemetry.MetricWriter) {
+	mw.Header(telemetry.MetricSuspicionLevel,
+		"Latest sampled suspicion level", "gauge")
+	mw.Header(telemetry.MetricQoSLambdaM,
+		"Online estimate of the mistake rate lambda_M, S-transitions per second", "gauge")
+	mw.Header(telemetry.MetricQoSPA,
+		"Online estimate of the query accuracy probability P_A", "gauge")
+	mw.Header(telemetry.MetricQoSTMR,
+		"Online estimate of the mean mistake recurrence time T_MR", "gauge")
+	mw.Header(telemetry.MetricQoSTM,
+		"Online estimate of the mean mistake duration T_M", "gauge")
+	mw.Header(telemetry.MetricQoSTG,
+		"Online estimate of the mean good period T_G", "gauge")
+}
+
+// writePerProcessSamples walks registry shards from fromShard on,
+// emitting the six per-process series for every monitored process (ids
+// sorted within each shard; NaN for processes the estimators have not
+// observed yet). With limit > 0 it stops at the first shard boundary at
+// or past limit emitted processes and returns the next shard index;
+// otherwise (and on the final shard) it returns -1.
+func (a *API) writePerProcessSamples(mw *telemetry.MetricWriter, fromShard, limit int) (next int) {
+	q := a.hub.QoS()
+	sc := metricsScratchPool.Get().(*metricsScratch)
+	next = -1
+	emitted := 0
+	shards := a.mon.ShardCount()
+	for s := fromShard; s < shards; s++ {
+		sc.ids = a.mon.AppendShardIDs(s, sc.ids[:0])
+		slices.Sort(sc.ids)
+		for _, id := range sc.ids {
+			est, ok := q.Estimate(id)
+			if !ok {
+				est = telemetry.NotEstimable(id)
+			}
+			writeProcessSamples(mw, est)
+		}
+		emitted += len(sc.ids)
+		if limit > 0 && emitted >= limit && s+1 < shards {
+			next = s + 1
+			break
+		}
+	}
+	sc.ids = sc.ids[:0]
+	metricsScratchPool.Put(sc)
+	return next
+}
+
+// writeProcessSamples emits one process's six series.
+func writeProcessSamples(mw *telemetry.MetricWriter, est telemetry.Estimate) {
+	proc := telemetry.Label{Name: "proc", Value: est.ID}
+	mw.Sample(telemetry.MetricSuspicionLevel, float64(est.Level), proc)
+	mw.Sample(telemetry.MetricQoSLambdaM, est.LambdaM, proc)
+	mw.Sample(telemetry.MetricQoSPA, est.PA, proc)
+	mw.Sample(telemetry.MetricQoSTMR, est.TMR, proc)
+	mw.Sample(telemetry.MetricQoSTM, est.TM, proc)
+	mw.Sample(telemetry.MetricQoSTG, est.TG, proc)
 }
 
 // lastPoll, lastTick and lastSample tolerate nil sources so the scrape

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -126,6 +127,103 @@ func TestMetricsGolden(t *testing.T) {
 	}
 }
 
+// TestMetricsCursorReassembly: the byte concatenation of all cursor
+// pages of a quiesced monitor must be identical to the single-shot
+// scrape, for a spread of page limits, and every intermediate page must
+// be well-formed exposition on its own.
+func TestMetricsCursorReassembly(t *testing.T) {
+	epoch := time.Date(2005, 3, 22, 0, 0, 0, 0, time.UTC)
+	clk := clock.NewManual(epoch)
+	hub := telemetry.NewHub()
+	mon := service.NewMonitor(clk, func(_ string, start time.Time) core.Detector {
+		return simple.New(start)
+	}, service.WithTelemetry(hub))
+	const procs = 50
+	for p := 0; p < procs; p++ {
+		id := fmt.Sprintf("proc-%03d", p)
+		for s := 1; s <= 3; s++ {
+			if err := mon.Heartbeat(core.Heartbeat{
+				From: id, Seq: uint64(s), Arrived: epoch.Add(time.Duration(s) * time.Second),
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	clk.Advance(4 * time.Second)
+	hub.QoS().Sample(mon)
+
+	api := NewAPI(mon, WithAPITelemetry(hub))
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	get := func(url string) (string, http.Header) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header
+	}
+
+	whole, hdr := get(srv.URL + "/v1/metrics")
+	if hdr.Get(MetricsCursorHeader) != "" {
+		t.Errorf("single-shot scrape carries a continuation header")
+	}
+
+	for _, limit := range []int{1, 7, procs, 10 * procs} {
+		var sb strings.Builder
+		cursor, pages := 0, 0
+		for {
+			page, hdr := get(fmt.Sprintf("%s/v1/metrics?cursor=%d&limit=%d", srv.URL, cursor, limit))
+			pages++
+			if pages > procs+2 {
+				t.Fatalf("limit %d: pagination did not terminate", limit)
+			}
+			// Every page must parse on its own (page 0 carries the
+			// headers; later pages are bare sample lines, which the text
+			// format also allows).
+			if _, err := telemetry.ParseText(strings.NewReader(page)); err != nil {
+				t.Fatalf("limit %d page %d does not parse: %v", limit, pages, err)
+			}
+			sb.WriteString(page)
+			next := hdr.Get(MetricsCursorHeader)
+			if next == "" {
+				break
+			}
+			var err error
+			if cursor, err = strconv.Atoi(next); err != nil {
+				t.Fatalf("limit %d: bad continuation header %q", limit, next)
+			}
+		}
+		if sb.String() != whole {
+			t.Errorf("limit %d: %d reassembled pages differ from single-shot scrape", limit, pages)
+		}
+		if limit >= procs && pages != 1 {
+			t.Errorf("limit %d covers all %d procs but took %d pages", limit, procs, pages)
+		}
+	}
+
+	// Bad parameters are rejected, not misinterpreted.
+	for _, q := range []string{"?cursor=-1", "?limit=0", "?limit=x", "?cursor=1.5&limit=3"} {
+		resp, err := http.Get(srv.URL + "/v1/metrics" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
 // TestMetricsNotEnabled: without a hub the endpoint 404s instead of
 // serving an empty exposition.
 func TestMetricsNotEnabled(t *testing.T) {
@@ -188,8 +286,15 @@ func TestMetricsScrapeUnderChurn(t *testing.T) {
 			mon.Deregister("churn")
 		}
 	}()
-	// Concurrent scrapers.
+	// Concurrent scrapers: single-shot and paginated, both must parse
+	// while the membership churns underneath them.
 	scrapeErr := make(chan error, 1)
+	reportErr := func(err error) {
+		select {
+		case scrapeErr <- err:
+		default:
+		}
+	}
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
@@ -200,11 +305,36 @@ func TestMetricsScrapeUnderChurn(t *testing.T) {
 				resp.Body.Close()
 			}
 			if err != nil {
-				select {
-				case scrapeErr <- err:
-				default:
-				}
+				reportErr(err)
 				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			cursor, pages := 0, 0
+			for {
+				resp, err := http.Get(fmt.Sprintf("%s/v1/metrics?cursor=%d&limit=2", srv.URL, cursor))
+				if err != nil {
+					reportErr(err)
+					return
+				}
+				_, err = telemetry.ParseText(resp.Body)
+				next := resp.Header.Get(MetricsCursorHeader)
+				resp.Body.Close()
+				if err != nil {
+					reportErr(err)
+					return
+				}
+				if pages++; pages > 256 || next == "" {
+					break
+				}
+				if cursor, err = strconv.Atoi(next); err != nil {
+					reportErr(fmt.Errorf("bad continuation header %q", next))
+					return
+				}
 			}
 		}
 	}()
@@ -238,6 +368,39 @@ func TestMetricsScrapeUnderChurn(t *testing.T) {
 			s.Value != float64(ingesters*perG+50) {
 			t.Errorf("scraped ingested = %v, want %d", s.Value, ingesters*perG+50)
 		}
+	}
+
+	// Quiesce: with the sampler stopped and no more ingest the state is
+	// frozen, so a paginated scrape must reassemble byte-identically to
+	// the single-shot one even though the data came through churn.
+	sampler.Stop()
+	fetch := func(url string) (string, string) {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get(MetricsCursorHeader)
+	}
+	whole, _ := fetch(srv.URL + "/v1/metrics")
+	var sb strings.Builder
+	cursor := 0
+	for {
+		page, next := fetch(fmt.Sprintf("%s/v1/metrics?cursor=%d&limit=1", srv.URL, cursor))
+		sb.WriteString(page)
+		if next == "" {
+			break
+		}
+		if cursor, err = strconv.Atoi(next); err != nil {
+			t.Fatalf("bad continuation header %q", next)
+		}
+	}
+	if sb.String() != whole {
+		t.Errorf("post-churn paginated scrape differs from single-shot scrape")
 	}
 }
 

@@ -209,6 +209,20 @@ func TestAPIProcessesAndSuspicion(t *testing.T) {
 		t.Errorf("levels = %+v", resp.Processes)
 	}
 
+	// ?top=k returns the k most suspected, worst first.
+	var top ProcessesResponse
+	getJSON(t, srv.URL+"/v1/processes?top=1", http.StatusOK, &top)
+	if len(top.Processes) != 1 || top.Processes[0].ID != "b" || top.Processes[0].Level != 3 {
+		t.Errorf("top=1 = %+v", top.Processes)
+	}
+	getJSON(t, srv.URL+"/v1/processes?top=10", http.StatusOK, &top)
+	if len(top.Processes) != 2 || top.Processes[0].ID != "b" || top.Processes[1].ID != "a" {
+		t.Errorf("top=10 = %+v", top.Processes)
+	}
+	var badTop map[string]string
+	getJSON(t, srv.URL+"/v1/processes?top=0", http.StatusBadRequest, &badTop)
+	getJSON(t, srv.URL+"/v1/processes?top=x", http.StatusBadRequest, &badTop)
+
 	var one ProcessLevel
 	getJSON(t, srv.URL+"/v1/suspicion?id=b", http.StatusOK, &one)
 	if one.ID != "b" || one.Level != 3 {

@@ -1,0 +1,5 @@
+//go:build !race
+
+package accrual_test
+
+const raceEnabled = false
