@@ -7,8 +7,18 @@
 //
 //	accruald [-udp :7946] [-http :8080] [-detector phi] [-interval 1s]
 //	         [-ingest-workers N] [-ingest-queue 256] [-read-batch 16]
+//	         [-listeners 1] [-profile default] [-intern-max 1048576]
 //	         [-state-file accrual.state] [-state-interval 30s]
 //	         [-qos-high 2] [-qos-low 1] [-pprof-addr localhost:6060]
+//
+// At large memberships, -listeners N binds N UDP sockets to the same
+// address with SO_REUSEPORT (Linux) so the kernel spreads heartbeat
+// flows across N independent read loops, and -profile compact trades
+// estimator-window depth for a smaller per-process footprint (see
+// docs/TUNING.md). The id intern table shared by the decode path and the
+// registry is capped at -intern-max distinct ids; past the cap, ids
+// still work but each decode allocates (counted by
+// accrual_intern_overflow_total).
 //
 // Ingest never blocks on a slow shard: each ingest worker owns a bounded
 // queue (-ingest-queue) and a full queue sheds its newest packets with a
@@ -63,6 +73,7 @@ import (
 	"accrual/internal/simple"
 	"accrual/internal/telemetry"
 	"accrual/internal/transport"
+	"accrual/internal/transport/intern"
 	"accrual/internal/transport/statecodec"
 )
 
@@ -90,6 +101,9 @@ func run(ctx context.Context, args []string, ready chan<- [2]string) error {
 		ingestWk  = fs.Int("ingest-workers", runtime.GOMAXPROCS(0), "parallel heartbeat ingest goroutines (0 = ingest from the read loop)")
 		ingestQ   = fs.Int("ingest-queue", 256, "per-worker ingest queue capacity; a full queue sheds newest packets (counted, never blocking the read loop)")
 		readBatch = fs.Int("read-batch", 16, "datagrams drained per read syscall via recvmmsg where available (1 = plain reads)")
+		listeners = fs.Int("listeners", 1, "UDP sockets sharing the heartbeat address via SO_REUSEPORT, each with its own read loop (degrades to 1 where unsupported)")
+		profName  = fs.String("profile", "default", "memory profile: default, or compact (more shards, shallower estimator windows) for very large memberships")
+		internMax = fs.Int("intern-max", 0, "max distinct process ids interned by the shared id table (0 = default 1048576)")
 		stateFile = fs.String("state-file", "", "persist detector state here for warm restarts (empty disables)")
 		stateIntv = fs.Duration("state-interval", 30*time.Second, "period between state-file saves")
 		qosHigh   = fs.Float64("qos-high", float64(telemetry.DefaultQoSHigh), "online QoS reference threshold: suspect above this level")
@@ -99,12 +113,27 @@ func run(ctx context.Context, args []string, ready chan<- [2]string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	factory, err := detectorFactory(*detName, *interval)
+	profile, err := service.ParseProfile(*profName)
+	if err != nil {
+		return err
+	}
+	factory, err := detectorFactory(*detName, *interval, profile)
 	if err != nil {
 		return err
 	}
 	hub := telemetry.NewHub(telemetry.WithQoSThresholds(core.Level(*qosHigh), core.Level(*qosLow)))
-	monOpts := []service.MonitorOption{service.WithTelemetry(hub)}
+	// One id intern table serves both the UDP decode path and the
+	// registry keys, so a million processes store each id string once.
+	internOpts := []intern.Option{intern.WithOverflowCounter(&hub.Transport.InternOverflow)}
+	if *internMax > 0 {
+		internOpts = append(internOpts, intern.WithCapacity(*internMax))
+	}
+	ids := intern.New(internOpts...)
+	monOpts := []service.MonitorOption{
+		service.WithTelemetry(hub),
+		service.WithProfile(profile),
+		service.WithInterner(ids),
+	}
 	if *shards > 0 {
 		monOpts = append(monOpts, service.WithShardCount(*shards))
 	}
@@ -131,7 +160,13 @@ func run(ctx context.Context, args []string, ready chan<- [2]string) error {
 		}
 	}
 
-	lnOpts := []transport.ListenerOption{transport.WithTelemetry(hub)}
+	lnOpts := []transport.ListenerOption{
+		transport.WithTelemetry(hub),
+		transport.WithInternTable(ids),
+	}
+	if *listeners > 1 {
+		lnOpts = append(lnOpts, transport.WithListenerSockets(*listeners))
+	}
 	if *ingestWk > 0 {
 		lnOpts = append(lnOpts, transport.WithIngestWorkers(*ingestWk))
 	}
@@ -146,7 +181,8 @@ func run(ctx context.Context, args []string, ready chan<- [2]string) error {
 		return err
 	}
 	defer listener.Close()
-	log.Printf("heartbeat listener on %s (detector=%s interval=%v ingest-workers=%d)", listener.Addr(), *detName, *interval, *ingestWk)
+	log.Printf("heartbeat listener on %s (detector=%s interval=%v ingest-workers=%d sockets=%d profile=%s)",
+		listener.Addr(), *detName, *interval, *ingestWk, listener.Sockets(), profile)
 
 	apiOpts := []transport.APIOption{
 		transport.WithAPITelemetry(hub),
@@ -281,15 +317,17 @@ func loadState(mon *service.Monitor, path string) (int, error) {
 	return mon.ImportState(st)
 }
 
-func detectorFactory(name string, interval time.Duration) (service.Factory, error) {
+func detectorFactory(name string, interval time.Duration, profile service.Profile) (service.Factory, error) {
 	switch name {
 	case "phi":
+		window := profile.EstimatorWindow(200)
 		return func(_ string, start time.Time) core.Detector {
-			return phi.New(start, phi.WithBootstrap(interval, interval/4))
+			return phi.New(start, phi.WithBootstrap(interval, interval/4), phi.WithWindowSize(window))
 		}, nil
 	case "chen":
+		window := profile.EstimatorWindow(100)
 		return func(_ string, start time.Time) core.Detector {
-			return chen.New(start, interval)
+			return chen.New(start, interval, chen.WithWindowSize(window))
 		}, nil
 	case "kappa":
 		return func(_ string, start time.Time) core.Detector {

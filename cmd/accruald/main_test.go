@@ -20,7 +20,7 @@ import (
 
 func TestDetectorFactory(t *testing.T) {
 	for _, name := range []string{"phi", "chen", "kappa", "simple"} {
-		f, err := detectorFactory(name, time.Second)
+		f, err := detectorFactory(name, time.Second, service.ProfileDefault)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -29,7 +29,7 @@ func TestDetectorFactory(t *testing.T) {
 			t.Fatalf("%s: nil detector", name)
 		}
 	}
-	if _, err := detectorFactory("bogus", time.Second); err == nil {
+	if _, err := detectorFactory("bogus", time.Second, service.ProfileDefault); err == nil {
 		t.Error("unknown detector name should fail")
 	}
 }
@@ -230,7 +230,7 @@ func TestDaemonWarmRestart(t *testing.T) {
 // directly, including the corrupt-file path.
 func TestSaveLoadStateRoundTrip(t *testing.T) {
 	clk := clock.NewManual(time.Date(2005, 3, 22, 0, 0, 0, 0, time.UTC))
-	factory, err := detectorFactory("phi", 100*time.Millisecond)
+	factory, err := detectorFactory("phi", 100*time.Millisecond, service.ProfileDefault)
 	if err != nil {
 		t.Fatal(err)
 	}

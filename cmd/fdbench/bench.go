@@ -216,21 +216,26 @@ func writeBenchResult(artifact string, r testing.BenchmarkResult, outDir string)
 	return nil
 }
 
-// runBenchmarks executes the named benchmark ("all" for every one) and
-// writes BENCH_<name>.json files into outDir, printing a one-line
+// runBenchmarks executes the named benchmark ("all" for every one
+// except manyprocs, which is heavy enough to require an explicit ask)
+// and writes BENCH_<name>.json files into outDir, printing a one-line
 // summary per benchmark to stdout. The scrape benchmark runs once per
 // entry of scrapeProcs; the canonical 100-process point lands in
-// BENCH_scrape.json, other sizes in BENCH_scrape_<procs>.json.
-func runBenchmarks(name, outDir string, scrapeProcs []int) error {
+// BENCH_scrape.json, other sizes in BENCH_scrape_<procs>.json. The
+// manyprocs benchmark sweeps manySizes × {default, compact} into a
+// single BENCH_manyprocs.json.
+func runBenchmarks(name, outDir string, scrapeProcs, manySizes []int) error {
 	var names []string
 	switch {
 	case name == "all":
 		names = []string{"ingest", "query", "batch", "scrape"}
 	case name == "scrape":
 		names = []string{"scrape"}
+	case name == "manyprocs":
+		names = []string{"manyprocs"}
 	default:
 		if _, ok := benchmarks[name]; !ok {
-			return fmt.Errorf("unknown benchmark %q (want ingest, query, scrape, batch or all)", name)
+			return fmt.Errorf("unknown benchmark %q (want ingest, query, scrape, batch, manyprocs or all)", name)
 		}
 		names = []string{name}
 	}
@@ -238,6 +243,15 @@ func runBenchmarks(name, outDir string, scrapeProcs []int) error {
 		return err
 	}
 	for _, n := range names {
+		if n == "manyprocs" {
+			if len(manySizes) == 0 {
+				manySizes = []int{10000, 100000, 1000000}
+			}
+			if err := runManyprocs(manySizes, outDir); err != nil {
+				return err
+			}
+			continue
+		}
 		if n == "scrape" {
 			if len(scrapeProcs) == 0 {
 				scrapeProcs = []int{100}

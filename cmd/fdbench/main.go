@@ -24,6 +24,13 @@
 // the -procs registry sizes (comma-separated), writing one artifact per
 // size: BENCH_scrape.json for the canonical 100-process point,
 // BENCH_scrape_<n>.json for the others.
+//
+// The manyprocs benchmark is the membership-scale sweep: for each
+// -manyprocs-sizes registry size crossed with the Default and Compact
+// memory profiles it registers that many processes on the real service
+// stack, then records ns/beat under a parallel hammer and resident
+// bytes per process into a single BENCH_manyprocs.json. It is not part
+// of "all" — a 1M-process point deliberately needs an explicit ask.
 package main
 
 import (
@@ -56,9 +63,10 @@ func run(args []string) int {
 	var (
 		sweep    = fs.String("sweep", "threshold", "sweep to run: threshold, window, loss, interval, gst, batch")
 		seed     = fs.Uint64("seed", 42, "base random seed")
-		bench    = fs.String("bench", "", "run a micro-benchmark instead of a sweep: ingest, query, scrape, batch or all")
+		bench    = fs.String("bench", "", "run a micro-benchmark instead of a sweep: ingest, query, scrape, batch, manyprocs or all")
 		benchOut = fs.String("bench-out", ".", "directory for BENCH_<name>.json results")
 		procs    = fs.String("procs", "100", "comma-separated registry sizes for the scrape benchmark")
+		manySz   = fs.String("manyprocs-sizes", "10000,100000,1000000", "comma-separated registry sizes for the manyprocs benchmark")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -69,7 +77,12 @@ func run(args []string) int {
 			fmt.Fprintf(os.Stderr, "fdbench: %v\n", err)
 			return 2
 		}
-		if err := runBenchmarks(*bench, *benchOut, sizes); err != nil {
+		manySizes, err := parseProcs(*manySz)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fdbench: %v\n", err)
+			return 2
+		}
+		if err := runBenchmarks(*bench, *benchOut, sizes, manySizes); err != nil {
 			fmt.Fprintf(os.Stderr, "fdbench: %v\n", err)
 			return 2
 		}

@@ -8,14 +8,15 @@ import (
 )
 
 // batchRef is one heartbeat of a batch with its precomputed id hash and,
-// once resolved, its registry entry. Hashing up front means the sort
-// comparator and the shard grouping never re-hash, and the entry slot
-// lets one registry probe serve both the staleness report and the
-// telemetry stripe.
+// once resolved, its registry slot handle (entry + binding generation).
+// Hashing up front means the sort comparator and the shard grouping
+// never re-hash, and the resolved handle lets one registry probe serve
+// both the staleness report and the telemetry stripe.
 type batchRef struct {
-	h  uint32
-	e  *entry
-	hb core.Heartbeat
+	h   uint32
+	gen uint64
+	e   *entry
+	hb  core.Heartbeat
 }
 
 var batchRefPool = sync.Pool{
@@ -84,7 +85,7 @@ func (m *Monitor) ingestShardRun(si uint32, refs []batchRef) (accepted, rejected
 	sh.mu.RLock()
 	missing := 0
 	for i := range refs {
-		if refs[i].e = sh.procs[refs[i].hb.From]; refs[i].e == nil {
+		if refs[i].e, refs[i].gen = sh.get(refs[i].hb.From); refs[i].e == nil {
 			missing++
 		}
 	}
@@ -96,24 +97,24 @@ func (m *Monitor) ingestShardRun(si uint32, refs []batchRef) (accepted, rejected
 			if refs[i].e != nil {
 				continue
 			}
-			id := refs[i].hb.From
-			e := sh.procs[id]
+			e, gen := sh.get(refs[i].hb.From)
 			if e == nil {
 				start := refs[i].hb.Arrived
 				if start.IsZero() {
 					start = m.clk.Now()
 				}
-				e = &entry{det: m.factory(id, start)}
-				sh.procs[id] = e
+				id := m.ids.InternString(refs[i].hb.From)
+				e, gen = sh.bind(id, m.factory(id, start))
 				if m.tel != nil {
 					m.tel.Counters.Registered(refs[i].h)
 				}
 			}
 			// Resolve every later beat of the same (newly present) id so
 			// the loop registers each unseen sender once.
+			id := refs[i].hb.From
 			for j := i; j < len(refs); j++ {
 				if refs[j].e == nil && refs[j].hb.From == id {
-					refs[j].e = e
+					refs[j].e, refs[j].gen = e, gen
 				}
 			}
 		}
@@ -124,8 +125,12 @@ func (m *Monitor) ingestShardRun(si uint32, refs []batchRef) (accepted, rejected
 			rejected++
 			continue
 		}
-		stale := refs[i].e.report(refs[i].hb)
-		if m.tel != nil {
+		// A generation mismatch (process deregistered after resolution)
+		// drops the beat but still counts it accepted: the registry took
+		// it, its target vanished — the same outcome the pre-slab
+		// registry gave a racing orphaned entry.
+		stale, ok := refs[i].e.report(refs[i].gen, refs[i].hb)
+		if ok && m.tel != nil {
 			m.tel.Counters.Heartbeat(refs[i].h, stale)
 		}
 		accepted++

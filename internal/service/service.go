@@ -18,7 +18,7 @@
 // every monitored process and every suspicion query from every
 // application lands on it. Its registry is therefore sharded — process
 // ids are FNV-1a-hashed onto a fixed power-of-two number of shards, each
-// with its own RWMutex-protected map — and each registered process
+// with its own RWMutex-protected index — and each registered process
 // carries its own small mutex around its detector. Heartbeats and
 // queries for different processes never contend: they take a read lock
 // on (usually different) shards plus the per-process lock. Registration
@@ -29,6 +29,21 @@
 // Lock ordering is shard lock → entry lock; no code path acquires a
 // shard lock while holding an entry lock, and no code path holds two
 // entry locks at once.
+//
+// # Memory layout
+//
+// Entries live in per-shard slabs: chunked arrays addressed by a small
+// integer index, with a free list so deregistration returns the slot for
+// reuse instead of leaving a dead heap object behind. The shard map only
+// carries id → slot index; at a million processes that replaces a
+// million individually heap-allocated entries (each its own GC object,
+// scattered across the heap) with a few thousand contiguous chunks the
+// collector scans in bulk. Slots are guarded by a generation counter —
+// odd while bound, even while free, bumped on every transition — so a
+// handle resolved before a deregistration can never read or write the
+// *next* process bound into the same slot: every detector access
+// revalidates the generation under the entry lock and drops the
+// operation on mismatch.
 package service
 
 import (
@@ -45,6 +60,7 @@ import (
 	"accrual/internal/core"
 	"accrual/internal/telemetry"
 	"accrual/internal/transform"
+	"accrual/internal/transport/intern"
 )
 
 // Factory builds a fresh accrual detector for a newly registered process.
@@ -68,29 +84,96 @@ var (
 // Monitor.
 const defaultShardCount = 64
 
+// compactShardCount is the shard count ProfileCompact defaults to:
+// at the million-process scale the profile targets, 512 shards keep the
+// per-shard index maps below ~2k entries and spread write-lock traffic.
+const compactShardCount = 512
+
+// Profile selects the registry's memory/throughput trade-off.
+type Profile int
+
+const (
+	// ProfileDefault is the general-purpose configuration: 64 shards and
+	// detector-native estimator window sizes.
+	ProfileDefault Profile = iota
+	// ProfileCompact targets very large memberships (100k–1M+ processes
+	// on one monitor): more shards (512 by default) and capped estimator
+	// windows so per-process state stays small.
+	ProfileCompact
+)
+
+// ParseProfile parses "default" or "compact" (the accruald -profile
+// flag values).
+func ParseProfile(s string) (Profile, error) {
+	switch s {
+	case "default", "":
+		return ProfileDefault, nil
+	case "compact":
+		return ProfileCompact, nil
+	}
+	return ProfileDefault, fmt.Errorf("service: unknown profile %q (want default or compact)", s)
+}
+
+func (p Profile) String() string {
+	if p == ProfileCompact {
+		return "compact"
+	}
+	return "default"
+}
+
+// compactWindowCap bounds sampling-window estimators under
+// ProfileCompact. 64 inter-arrival samples are enough for the window
+// mean/variance estimates the detectors run on (the paper's experiments
+// use windows of this order), and at 8 bytes a sample the cap keeps
+// window state under ~1 KiB per process.
+const compactWindowCap = 64
+
+// EstimatorWindow sizes a detector's sampling window under this
+// profile: the detector's native default def for ProfileDefault, capped
+// at 64 samples for ProfileCompact. Detector factories consult it so
+// one -profile flag sizes both the registry and the estimators.
+func (p Profile) EstimatorWindow(def int) int {
+	if p == ProfileCompact && def > compactWindowCap {
+		return compactWindowCap
+	}
+	return def
+}
+
 // entry is one monitored process: its detector plus the small mutex that
 // serialises access to it. Detectors are not required to be safe for
 // concurrent use (see core.Detector), so every Report/Suspicion goes
 // through e.mu — but only heartbeats and queries for the *same* process
 // ever meet on it.
+//
+// Entries are slab slots, not individually allocated objects: they must
+// never be copied (the mutex) and are reused across register/deregister
+// cycles. gen distinguishes bindings: odd while a process is bound to
+// the slot, even while free, bumped under e.mu on every bind and unbind.
+// A caller that resolved (entry, gen) under a shard lock passes the gen
+// back into report/level, which verify it under e.mu and refuse the
+// operation if the slot was rebound in between.
 type entry struct {
-	mu  sync.Mutex
-	det core.Detector
+	mu sync.Mutex
 	// lastSeq is the highest heartbeat sequence number seen (0 until a
 	// numbered heartbeat arrives), guarded by mu like the detector.
 	lastSeq uint64
-	// removed is set on deregistration so that cached handles (see
-	// levelFunc) know to re-resolve instead of reading an orphan.
-	removed atomic.Bool
+	gen     atomic.Uint64
+	det     core.Detector
 }
 
 // report feeds one heartbeat to the detector and reports whether it was
 // stale — numbered at or below a sequence already seen (duplicate or
 // out-of-order delivery). Stale heartbeats still reach the detector:
 // they are real arrivals and the sampling-window estimators want them;
-// staleness is a telemetry signal, not a filter.
-func (e *entry) report(hb core.Heartbeat) (stale bool) {
+// staleness is a telemetry signal, not a filter. ok is false when the
+// slot's generation no longer matches gen (the process was deregistered
+// after the caller resolved the handle); the heartbeat is then dropped.
+func (e *entry) report(gen uint64, hb core.Heartbeat) (stale, ok bool) {
 	e.mu.Lock()
+	if e.gen.Load() != gen {
+		e.mu.Unlock()
+		return false, false
+	}
 	if hb.Seq != 0 {
 		if hb.Seq <= e.lastSeq {
 			stale = true
@@ -100,20 +183,116 @@ func (e *entry) report(hb core.Heartbeat) (stale bool) {
 	}
 	e.det.Report(hb)
 	e.mu.Unlock()
-	return stale
+	return stale, true
 }
 
-func (e *entry) level(now time.Time) core.Level {
+// level evaluates the detector at now; ok is false when the slot was
+// rebound since the caller resolved gen.
+func (e *entry) level(gen uint64, now time.Time) (core.Level, bool) {
 	e.mu.Lock()
+	if e.gen.Load() != gen {
+		e.mu.Unlock()
+		return 0, false
+	}
 	l := e.det.Suspicion(now)
 	e.mu.Unlock()
-	return l
+	return l, true
 }
 
-// shard is one slice of the registry with its own lock.
+const (
+	// slabChunkBits sizes slab chunks at 512 entries (~20 KiB): large
+	// enough that a million-process shard is a few dozen GC objects,
+	// small enough that a mostly-empty shard wastes little.
+	slabChunkBits = 9
+	slabChunkSize = 1 << slabChunkBits
+	slabChunkMask = slabChunkSize - 1
+)
+
+// slab is a chunked entry arena. Chunks are never moved or freed once
+// allocated (entries contain a mutex and are referenced by raw pointer
+// while shard locks are *not* held), so &chunks[c][i] is stable for the
+// monitor's lifetime. Freed slots go on the free list and are handed
+// back out before the arena grows — a register/deregister storm cycles
+// through the same slots instead of growing the heap.
+type slab struct {
+	chunks [][]entry
+	free   []uint32
+	next   uint32
+}
+
+func (s *slab) at(idx uint32) *entry {
+	return &s.chunks[idx>>slabChunkBits][idx&slabChunkMask]
+}
+
+// alloc returns a free slot, reusing the free list before extending the
+// arena by one chunk. Caller holds the shard write lock.
+func (s *slab) alloc() (uint32, *entry) {
+	if n := len(s.free); n > 0 {
+		idx := s.free[n-1]
+		s.free = s.free[:n-1]
+		return idx, s.at(idx)
+	}
+	if int(s.next)>>slabChunkBits == len(s.chunks) {
+		s.chunks = append(s.chunks, make([]entry, slabChunkSize))
+	}
+	idx := s.next
+	s.next++
+	return idx, s.at(idx)
+}
+
+// shard is one slice of the registry with its own lock: an id → slot
+// index plus the entry slab the indices address.
 type shard struct {
 	mu    sync.RWMutex
-	procs map[string]*entry
+	procs map[string]uint32
+	slab  slab
+}
+
+// get resolves id to its entry and current generation. Caller holds
+// sh.mu (read or write); the returned gen is the binding observed under
+// that lock, and stays verifiable after the lock is released.
+func (sh *shard) get(id string) (*entry, uint64) {
+	idx, ok := sh.procs[id]
+	if !ok {
+		return nil, 0
+	}
+	e := sh.slab.at(idx)
+	return e, e.gen.Load()
+}
+
+// bind allocates a slot for id and installs det. Caller holds the shard
+// write lock; id must not be present.
+func (sh *shard) bind(id string, det core.Detector) (*entry, uint64) {
+	idx, e := sh.slab.alloc()
+	e.mu.Lock()
+	e.det = det
+	e.lastSeq = 0
+	e.gen.Add(1) // even → odd: bound
+	gen := e.gen.Load()
+	e.mu.Unlock()
+	sh.procs[id] = idx
+	return e, gen
+}
+
+// unbind removes id, invalidates outstanding handles to its slot and
+// returns the slot to the free list. The detector reference is cleared
+// immediately — deregistration releases the per-process state to the
+// collector right away rather than when the slot is next reused, so
+// churn cannot pin memory. Caller holds the shard write lock.
+func (sh *shard) unbind(id string) bool {
+	idx, ok := sh.procs[id]
+	if !ok {
+		return false
+	}
+	delete(sh.procs, id)
+	e := sh.slab.at(idx)
+	e.mu.Lock()
+	e.gen.Add(1) // odd → even: free
+	e.det = nil
+	e.lastSeq = 0
+	e.mu.Unlock()
+	sh.slab.free = append(sh.slab.free, idx)
+	return true
 }
 
 // Monitor is the per-host monitoring component: it owns one accrual
@@ -123,8 +302,17 @@ type Monitor struct {
 	clk          clock.Clock
 	factory      Factory
 	autoRegister bool
+	profile      Profile
+
+	// ids is the optional shared intern table: registration canonicalises
+	// ids through it so the registry key shares storage with the
+	// transport decode path's strings (one heap string per id, however
+	// many layers touch it). Nil means plain strings; intern.Table is
+	// nil-receiver-safe so the call sites carry no branch.
+	ids *intern.Table
 
 	shardMask uint32
+	shardReq  int // WithShardCount request; 0 = profile default
 	shards    []shard
 
 	// tel is the optional telemetry hub. The hot paths reuse the shard
@@ -155,20 +343,24 @@ func WithoutAutoRegister() MonitorOption {
 // below one fall back to that default rather than degenerating to a
 // single shard.
 func WithShardCount(n int) MonitorOption {
-	return func(m *Monitor) {
-		if n < 1 {
-			n = defaultShardCount
-		}
-		if n > 1<<16 {
-			n = 1 << 16
-		}
-		p := 1
-		for p < n {
-			p <<= 1
-		}
-		m.shards = make([]shard, p)
-		m.shardMask = uint32(p - 1)
-	}
+	return func(m *Monitor) { m.shardReq = n }
+}
+
+// WithProfile selects the registry profile. ProfileCompact raises the
+// default shard count to 512 (an explicit WithShardCount still wins)
+// and is consulted by detector factories via Profile.EstimatorWindow to
+// cap per-process estimator state; see docs/TUNING.md "Memory at 1M
+// processes".
+func WithProfile(p Profile) MonitorOption {
+	return func(m *Monitor) { m.profile = p }
+}
+
+// WithInterner canonicalises registry keys through tab — normally the
+// same shared table the UDP listener's decode path interns ids into, so
+// a monitored process costs one id string for the whole daemon. A nil
+// table is valid and means no interning.
+func WithInterner(tab *intern.Table) MonitorOption {
+	return func(m *Monitor) { m.ids = tab }
 }
 
 // WithTelemetry wires a telemetry hub into the monitor: heartbeats,
@@ -186,17 +378,37 @@ func NewMonitor(clk clock.Clock, factory Factory, opts ...MonitorOption) *Monito
 		clk:          clk,
 		factory:      factory,
 		autoRegister: true,
-		shards:       make([]shard, defaultShardCount),
-		shardMask:    defaultShardCount - 1,
 	}
 	for _, opt := range opts {
 		opt(m)
 	}
+	// Shards are sized after the options ran so WithProfile and
+	// WithShardCount compose in either order: an explicit count wins,
+	// otherwise the profile picks its default.
+	n := m.shardReq
+	if n < 1 {
+		n = defaultShardCount
+		if m.profile == ProfileCompact {
+			n = compactShardCount
+		}
+	}
+	if n > 1<<16 {
+		n = 1 << 16
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	m.shards = make([]shard, p)
+	m.shardMask = uint32(p - 1)
 	for i := range m.shards {
-		m.shards[i].procs = make(map[string]*entry)
+		m.shards[i].procs = make(map[string]uint32)
 	}
 	return m
 }
+
+// Profile returns the registry profile the monitor was built with.
+func (m *Monitor) Profile() Profile { return m.profile }
 
 // fnv1a is the 32-bit FNV-1a hash, inlined so shard selection costs a few
 // nanoseconds and zero allocations.
@@ -219,18 +431,20 @@ func (m *Monitor) shardFor(id string) *shard {
 	return m.shardAt(fnv1a(id))
 }
 
-// lookup returns the live entry for id, or nil.
-func (m *Monitor) lookup(id string) *entry {
+// lookup returns the live entry for id with its binding generation, or
+// (nil, 0).
+func (m *Monitor) lookup(id string) (*entry, uint64) {
 	sh := m.shardFor(id)
 	sh.mu.RLock()
-	e := sh.procs[id]
+	e, gen := sh.get(id)
 	sh.mu.RUnlock()
-	return e
+	return e, gen
 }
 
 // Register adds a monitored process. It returns ErrAlreadyRegistered if
 // the id is already present.
 func (m *Monitor) Register(id string) error {
+	id = m.ids.InternString(id)
 	h := fnv1a(id)
 	sh := m.shardAt(h)
 	sh.mu.Lock()
@@ -238,7 +452,7 @@ func (m *Monitor) Register(id string) error {
 		sh.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrAlreadyRegistered, id)
 	}
-	sh.procs[id] = &entry{det: m.factory(id, m.clk.Now())}
+	sh.bind(id, m.factory(id, m.clk.Now()))
 	sh.mu.Unlock()
 	if m.tel != nil {
 		m.tel.Counters.Registered(h)
@@ -247,16 +461,18 @@ func (m *Monitor) Register(id string) error {
 }
 
 // Deregister removes a monitored process and reports whether it was
-// present.
+// present. The slot and its detector are released immediately: the
+// detector reference is dropped under the entry lock (so the estimator
+// state is collectable at once) and the slab slot returns to the
+// shard's free list for the next registration — a register/deregister
+// storm cycles slots instead of growing the arena.
 func (m *Monitor) Deregister(id string) bool {
 	h := fnv1a(id)
 	sh := m.shardAt(h)
 	sh.mu.Lock()
-	e, ok := sh.procs[id]
-	delete(sh.procs, id)
+	ok := sh.unbind(id)
 	sh.mu.Unlock()
 	if ok {
-		e.removed.Store(true)
 		// Telemetry strictly after the shard unlock: the QoS sampler
 		// holds its own lock while it read-locks shards (Sample →
 		// EachLevel), so notifying under sh.mu would invert that order.
@@ -272,7 +488,8 @@ func (m *Monitor) Deregister(id string) bool {
 // its detector — the cheap existence probe App.Status uses so that one
 // application query costs exactly one detector evaluation.
 func (m *Monitor) Known(id string) bool {
-	return m.lookup(id) != nil
+	e, _ := m.lookup(id)
+	return e != nil
 }
 
 // Len returns the number of monitored processes.
@@ -342,7 +559,7 @@ func (m *Monitor) Heartbeat(hb core.Heartbeat) error {
 	h := fnv1a(hb.From)
 	sh := m.shardAt(h)
 	sh.mu.RLock()
-	e := sh.procs[hb.From]
+	e, gen := sh.get(hb.From)
 	sh.mu.RUnlock()
 	if e == nil {
 		if !m.autoRegister {
@@ -352,18 +569,22 @@ func (m *Monitor) Heartbeat(hb core.Heartbeat) error {
 		if start.IsZero() {
 			start = m.clk.Now()
 		}
+		id := m.ids.InternString(hb.From)
 		sh.mu.Lock()
-		if e = sh.procs[hb.From]; e == nil {
-			e = &entry{det: m.factory(hb.From, start)}
-			sh.procs[hb.From] = e
+		if e, gen = sh.get(id); e == nil {
+			e, gen = sh.bind(id, m.factory(id, start))
 			if m.tel != nil {
 				m.tel.Counters.Registered(h)
 			}
 		}
 		sh.mu.Unlock()
 	}
-	stale := e.report(hb)
-	if m.tel != nil {
+	// A generation mismatch means the process was deregistered between
+	// the lookup and the report; the beat is for a process that no
+	// longer exists, so it is dropped without error (the same observable
+	// outcome the pre-slab registry gave a racing orphaned entry).
+	stale, ok := e.report(gen, hb)
+	if ok && m.tel != nil {
 		m.tel.Counters.Heartbeat(h, stale)
 	}
 	return nil
@@ -374,7 +595,7 @@ func (m *Monitor) Suspicion(id string) (core.Level, error) {
 	h := fnv1a(id)
 	sh := m.shardAt(h)
 	sh.mu.RLock()
-	e := sh.procs[id]
+	e, gen := sh.get(id)
 	sh.mu.RUnlock()
 	if e == nil {
 		return 0, fmt.Errorf("%w: %q", ErrUnknownProcess, id)
@@ -382,15 +603,22 @@ func (m *Monitor) Suspicion(id string) (core.Level, error) {
 	if m.tel != nil {
 		m.tel.Counters.Query(h)
 	}
-	return e.level(m.clk.Now()), nil
+	lvl, ok := e.level(gen, m.clk.Now())
+	if !ok {
+		// Deregistered between lookup and evaluation.
+		return 0, fmt.Errorf("%w: %q", ErrUnknownProcess, id)
+	}
+	return lvl, nil
 }
 
-// procRef pairs an id with its entry during shard iteration; the slices
-// are pooled so steady-state EachLevel/Snapshot/Ranked traffic does not
-// re-allocate the scratch space on every call.
+// procRef pairs an id with its resolved slot handle during shard
+// iteration; the slices are pooled so steady-state
+// EachLevel/Snapshot/Ranked traffic does not re-allocate the scratch
+// space on every call.
 type procRef struct {
-	id string
-	e  *entry
+	id  string
+	e   *entry
+	gen uint64
 }
 
 var refPool = sync.Pool{
@@ -411,12 +639,18 @@ func (m *Monitor) EachLevel(fn func(id string, lvl core.Level)) {
 		sh := &m.shards[i]
 		sh.mu.RLock()
 		*refs = (*refs)[:0]
-		for id, e := range sh.procs {
-			*refs = append(*refs, procRef{id, e})
+		for id, idx := range sh.procs {
+			e := sh.slab.at(idx)
+			*refs = append(*refs, procRef{id, e, e.gen.Load()})
 		}
 		sh.mu.RUnlock()
 		for _, r := range *refs {
-			fn(r.id, r.e.level(now))
+			if lvl, ok := r.e.level(r.gen, now); ok {
+				fn(r.id, lvl)
+			}
+			// A generation mismatch means the process was deregistered
+			// since the shard scan — exactly the entries the pre-slab
+			// walk skipped via the removed flag.
 		}
 	}
 	*refs = (*refs)[:0]
@@ -441,20 +675,35 @@ func (m *Monitor) Now() time.Time { return m.clk.Now() }
 // find a re-registered successor, or nothing — then it reports zero).
 func (m *Monitor) levelFunc(id string) transform.LevelFunc {
 	h := fnv1a(id)
-	var cached *entry
+	var (
+		cached    *entry
+		cachedGen uint64
+	)
 	return func(now time.Time) core.Level {
-		e := cached
-		if e == nil || e.removed.Load() {
-			e = m.lookup(id)
-			cached = e
-			if e == nil {
-				return 0
+		if cached != nil {
+			if lvl, ok := cached.level(cachedGen, now); ok {
+				if m.tel != nil {
+					m.tel.Counters.Query(h)
+				}
+				return lvl
 			}
+			// Slot rebound since the handle was cached — the process was
+			// deregistered (and possibly re-registered); re-resolve.
+		}
+		e, gen := m.lookup(id)
+		cached, cachedGen = e, gen
+		if e == nil {
+			return 0
+		}
+		lvl, ok := e.level(gen, now)
+		if !ok {
+			cached = nil
+			return 0
 		}
 		if m.tel != nil {
 			m.tel.Counters.Query(h)
 		}
-		return e.level(now)
+		return lvl
 	}
 }
 

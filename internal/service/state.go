@@ -46,15 +46,17 @@ func (m *Monitor) ExportState() MonitorState {
 		sh := &m.shards[i]
 		sh.mu.RLock()
 		*refs = (*refs)[:0]
-		for id, e := range sh.procs {
-			*refs = append(*refs, procRef{id, e})
+		for id, idx := range sh.procs {
+			e := sh.slab.at(idx)
+			*refs = append(*refs, procRef{id, e, e.gen.Load()})
 		}
 		sh.mu.RUnlock()
 		for _, r := range *refs {
-			if r.e.removed.Load() {
+			r.e.mu.Lock()
+			if r.e.gen.Load() != r.gen {
+				r.e.mu.Unlock()
 				continue // deregistered since the shard scan
 			}
-			r.e.mu.Lock()
 			s, ok := r.e.det.(core.Snapshotter)
 			var st core.State
 			if ok {
@@ -90,17 +92,23 @@ func (m *Monitor) ExportState() MonitorState {
 func (m *Monitor) ImportState(st MonitorState) (restored int, err error) {
 	var errs []error
 	for _, ps := range st.Procs {
-		e := m.lookup(ps.ID)
+		e, gen := m.lookup(ps.ID)
 		if e == nil {
-			sh := m.shardFor(ps.ID)
+			id := m.ids.InternString(ps.ID)
+			sh := m.shardFor(id)
 			sh.mu.Lock()
-			if e = sh.procs[ps.ID]; e == nil {
-				e = &entry{det: m.factory(ps.ID, m.clk.Now())}
-				sh.procs[ps.ID] = e
+			if e, gen = sh.get(id); e == nil {
+				e, gen = sh.bind(id, m.factory(id, m.clk.Now()))
 			}
 			sh.mu.Unlock()
 		}
 		e.mu.Lock()
+		if e.gen.Load() != gen {
+			// Deregistered between resolution and restore; the process is
+			// gone, there is nothing to restore into.
+			e.mu.Unlock()
+			continue
+		}
 		s, ok := e.det.(core.Snapshotter)
 		var rerr error
 		if ok {

@@ -1,6 +1,9 @@
 package telemetry
 
-import "sync/atomic"
+import (
+	"strconv"
+	"sync/atomic"
+)
 
 // counterStripes is the number of independent counter cells the monitor
 // hot-path counters are spread over. Increments are routed by the same
@@ -125,9 +128,74 @@ type TransportCounters struct {
 	// Redials counts Sender reconnection attempts after a torn-down
 	// socket (each attempt re-resolves the target address).
 	Redials atomic.Uint64
+	// InternOverflow counts process ids the shared intern table could not
+	// remember because it was at capacity — each such id is re-allocated
+	// on every packet that carries it, so a non-zero rate here says the
+	// -intern-max budget is below the live id cardinality.
+	InternOverflow atomic.Uint64
+
+	// sockets holds the per-SO_REUSEPORT-socket counter cells, installed
+	// once by the listener via RegisterSockets and read lock-free by the
+	// scrape. An atomic pointer (not a plain slice) so a scrape racing
+	// listener startup is safe.
+	sockets atomic.Pointer[[]SocketCell]
 
 	queueHighWater atomic.Int64
 	batchHighWater atomic.Int64
+}
+
+// SocketCell is one SO_REUSEPORT socket's read-loop counters. The label
+// is precomputed at registration so the scrape can emit the per-socket
+// series without a per-scrape itoa allocation; cells are cache-line
+// padded because each read loop hammers its own cell from its own core.
+type SocketCell struct {
+	// Label is the socket index as a string ("0", "1", ...).
+	Label string
+	// Packets counts datagrams this socket's read loop pulled off the
+	// wire.
+	Packets atomic.Uint64
+	// Batches counts read syscalls (recvmmsg batches) this socket's loop
+	// completed; Packets/Batches is the realised syscall amortisation.
+	Batches atomic.Uint64
+	_       [88]byte
+}
+
+// RegisterSockets installs n per-socket counter cells and returns the
+// slice; the listener hands cell i to socket i's read loop. Calling it
+// again replaces the cells (a restarted listener starts fresh).
+func (t *TransportCounters) RegisterSockets(n int) []SocketCell {
+	if n < 1 {
+		n = 1
+	}
+	cells := make([]SocketCell, n)
+	for i := range cells {
+		cells[i].Label = strconv.Itoa(i)
+	}
+	t.sockets.Store(&cells)
+	return cells
+}
+
+// EachSocket calls fn once per registered socket cell, in socket order,
+// without allocating. It is how the metrics scrape walks the per-socket
+// series; before any listener registered, it calls fn zero times.
+func (t *TransportCounters) EachSocket(fn func(label string, packets, batches uint64)) {
+	cells := t.sockets.Load()
+	if cells == nil {
+		return
+	}
+	for i := range *cells {
+		c := &(*cells)[i]
+		fn(c.Label, c.Packets.Load(), c.Batches.Load())
+	}
+}
+
+// SocketCount returns the number of registered per-socket cells.
+func (t *TransportCounters) SocketCount() int {
+	cells := t.sockets.Load()
+	if cells == nil {
+		return 0
+	}
+	return len(*cells)
 }
 
 // ObserveBatch records one decoded AFB1 frame carrying beats heartbeats,
@@ -187,6 +255,7 @@ type TransportStats struct {
 	BatchBeatsShed    uint64
 	SendFailures      uint64
 	Redials           uint64
+	InternOverflow    uint64
 	QueueHighWater    int
 	BatchHighWater    int
 }
@@ -207,6 +276,7 @@ func (t *TransportCounters) Snapshot() TransportStats {
 		BatchBeatsShed:    t.BatchBeatsShed.Load(),
 		SendFailures:      t.SendFailures.Load(),
 		Redials:           t.Redials.Load(),
+		InternOverflow:    t.InternOverflow.Load(),
 		QueueHighWater:    t.QueueHighWater(),
 		BatchHighWater:    t.BatchHighWater(),
 	}

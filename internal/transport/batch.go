@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"accrual/internal/core"
+	"accrual/internal/transport/intern"
 )
 
 // Batch wire format (big endian). One AFB1 frame coalesces 1..N
@@ -177,7 +178,7 @@ func MarshalBatch(beats []core.Heartbeat) ([]byte, error) {
 // A non-nil interner canonicalises the id strings, which makes steady
 // state decoding (all ids seen before) allocation-free; with nil each id
 // is freshly allocated.
-func UnmarshalBatch(buf []byte, dst []core.Heartbeat, intern *IDInterner) ([]core.Heartbeat, error) {
+func UnmarshalBatch(buf []byte, dst []core.Heartbeat, ids *IDInterner) ([]core.Heartbeat, error) {
 	if len(buf) < batchHeaderLen {
 		return dst, fmt.Errorf("%w: %d bytes", ErrPacketShort, len(buf))
 	}
@@ -202,7 +203,7 @@ func UnmarshalBatch(buf []byte, dst []core.Heartbeat, intern *IDInterner) ([]cor
 			return dst[:orig], fmt.Errorf("%w: batch record %d/%d (id %d, %d bytes left)",
 				ErrLengthMismatch, i+1, count, n, len(buf)-off)
 		}
-		id := intern.Intern(buf[off+1 : off+1+n])
+		id := ids.Intern(buf[off+1 : off+1+n])
 		off += 1 + n
 		hb := core.Heartbeat{
 			From: id,
@@ -221,41 +222,13 @@ func UnmarshalBatch(buf []byte, dst []core.Heartbeat, intern *IDInterner) ([]cor
 	return dst, nil
 }
 
-// maxInternedIDs bounds the interner: beyond it, unknown ids are
-// converted without being remembered, so an attacker spraying random ids
-// costs allocations, never unbounded memory.
-const maxInternedIDs = 1 << 16
-
 // IDInterner canonicalises process-id byte strings so that repeated
-// decoding of the same ids reuses one string allocation. The map lookup
-// with a byte-slice key compiles to an allocation-free probe, which is
-// what lets a listener's steady-state decode path run at zero
-// allocations per beat. Not safe for concurrent use; the read loop owns
-// one.
-type IDInterner struct {
-	m map[string]string
-}
+// decoding of the same ids reuses one string allocation: the shared,
+// concurrency-safe intern.Table, capacity-bounded (configurable, default
+// intern.DefaultCapacity) with counted overflow instead of the old
+// silent hard 65536 cap. The name survives as an alias so codec
+// signatures and existing callers read unchanged.
+type IDInterner = intern.Table
 
-// NewIDInterner returns an empty interner.
-func NewIDInterner() *IDInterner {
-	return &IDInterner{m: make(map[string]string)}
-}
-
-// Intern returns the canonical string for b, remembering it for next
-// time. A nil interner degrades to a plain conversion.
-func (in *IDInterner) Intern(b []byte) string {
-	if in == nil {
-		return string(b)
-	}
-	if s, ok := in.m[string(b)]; ok { // compiler-optimised: no conversion alloc
-		return s
-	}
-	s := string(b)
-	if len(in.m) < maxInternedIDs {
-		in.m[s] = s
-	}
-	return s
-}
-
-// Len returns the number of remembered ids.
-func (in *IDInterner) Len() int { return len(in.m) }
+// NewIDInterner returns an empty interner with the default capacity.
+func NewIDInterner() *IDInterner { return intern.New() }

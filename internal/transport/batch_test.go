@@ -11,6 +11,7 @@ import (
 	"accrual/internal/core"
 	"accrual/internal/faultinject"
 	"accrual/internal/telemetry"
+	"accrual/internal/transport/intern"
 )
 
 func batchBeats(n, procs int, baseSeq uint64) []core.Heartbeat {
@@ -182,18 +183,70 @@ func TestBatchCodecZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestIDInternerCap pins the capacity contract of the shared table: a
+// bounded interner never exceeds its configured capacity, every distinct
+// id past the cap is counted as overflow instead of silently forgotten,
+// and conversions stay correct either way.
 func TestIDInternerCap(t *testing.T) {
-	in := NewIDInterner()
-	var buf [8]byte
-	for i := 0; i < maxInternedIDs+100; i++ {
+	const capacity = 1 << 10
+	in := intern.New(intern.WithCapacity(capacity))
+	var buf [12]byte
+	const distinct = capacity + 4096
+	for i := 0; i < distinct; i++ {
 		in.Intern(fmt.Appendf(buf[:0], "%d", i))
 	}
-	if in.Len() != maxInternedIDs {
-		t.Errorf("interner grew to %d entries, cap is %d", in.Len(), maxInternedIDs)
+	if in.Len() > capacity {
+		t.Errorf("interner grew to %d entries, cap is %d", in.Len(), capacity)
+	}
+	if in.Len()+int(in.Overflows()) != distinct {
+		t.Errorf("Len %d + Overflows %d != %d distinct inserts",
+			in.Len(), in.Overflows(), distinct)
+	}
+	if in.Overflows() == 0 {
+		t.Error("no overflows counted past capacity")
 	}
 	// Over the cap it still converts correctly, just without remembering.
 	if got := in.Intern([]byte("overflow")); got != "overflow" {
 		t.Errorf("Intern past cap = %q", got)
+	}
+}
+
+// TestListenerInternOverflowTelemetry proves a capacity-starved listener
+// surfaces the overflow in its transport counters (the
+// accrual_intern_overflow_total series) instead of allocating silently.
+func TestListenerInternOverflowTelemetry(t *testing.T) {
+	mon := newMonitor()
+	l, err := Listen("127.0.0.1:0", mon, WithInternCapacity(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	conn, err := net.Dial("udp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var buf []byte
+	const senders = 1024 // far beyond the 64-id table
+	for i := 0; i < senders; i++ {
+		hb := core.Heartbeat{From: fmt.Sprintf("spray-%04d", i), Seq: 1}
+		if buf, err = AppendHeartbeat(buf[:0], hb); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write(buf); err != nil {
+			t.Fatal(err)
+		}
+		if i%64 == 63 {
+			// Pace against the loopback socket buffer; enough sprays must
+			// actually arrive to exhaust the 64-id table.
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitUntil(t, 3*time.Second, func() bool {
+		return l.Stats().InternOverflow > 0
+	})
+	if got := l.Stats().InternOverflow; got == 0 {
+		t.Error("InternOverflow = 0 after spraying ids past the table capacity")
 	}
 }
 
@@ -389,11 +442,13 @@ func (discardConn) SetWriteDeadline(time.Time) error { return nil }
 func TestListenerBatchIngestZeroAlloc(t *testing.T) {
 	mon := newMonitor()
 	l := &Listener{
-		clk:    clock.Wall{},
-		mon:    mon,
-		tel:    new(telemetry.TransportCounters),
-		intern: NewIDInterner(),
+		clk: clock.Wall{},
+		mon: mon,
+		tel: new(telemetry.TransportCounters),
+		ids: NewIDInterner(),
 	}
+	cells := l.tel.RegisterSockets(1)
+	sl := &sockLoop{l: l, cell: &cells[0]}
 	beats := batchBeats(32, 8, 1)
 	enc := NewBatchEncoder(32)
 	seq := uint64(0)
@@ -406,7 +461,7 @@ func TestListenerBatchIngestZeroAlloc(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		l.handleDatagram(enc.Bytes(), beats[0].Sent)
+		sl.handleDatagram(enc.Bytes(), beats[0].Sent)
 	}
 	oneFrame() // warm: registers processes, grows scratch
 	if allocs := testing.AllocsPerRun(1000, oneFrame); allocs != 0 {
@@ -421,9 +476,9 @@ func TestListenerBatchIngestZeroAlloc(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	l.handleDatagram(single, beats[0].Sent)
+	sl.handleDatagram(single, beats[0].Sent)
 	if allocs := testing.AllocsPerRun(1000, func() {
-		l.handleDatagram(single, beats[0].Sent)
+		sl.handleDatagram(single, beats[0].Sent)
 	}); allocs != 0 {
 		t.Errorf("single frame ingest: %.1f allocs/op, want 0", allocs)
 	}

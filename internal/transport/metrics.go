@@ -225,6 +225,22 @@ func (a *API) writeGlobalMetrics(mw *telemetry.MetricWriter) {
 	mw.Header("accrual_udp_ingest_queue_high_water",
 		"Deepest ingest-queue depth observed since start", "gauge")
 	mw.Sample("accrual_udp_ingest_queue_high_water", float64(ts.QueueHighWater))
+	counter("accrual_intern_overflow_total",
+		"Heartbeat ids decoded without interning because the id table was at capacity", ts.InternOverflow)
+	if a.hub.Transport.SocketCount() > 0 {
+		mw.Header("accrual_udp_socket_packets_total",
+			"UDP datagrams read, by listener socket", "counter")
+		a.hub.Transport.EachSocket(func(label string, packets, _ uint64) {
+			mw.Sample("accrual_udp_socket_packets_total", float64(packets),
+				telemetry.Label{Name: "socket", Value: label})
+		})
+		mw.Header("accrual_udp_socket_batches_total",
+			"Socket read batches completed, by listener socket", "counter")
+		a.hub.Transport.EachSocket(func(label string, _, batches uint64) {
+			mw.Sample("accrual_udp_socket_batches_total", float64(batches),
+				telemetry.Label{Name: "socket", Value: label})
+		})
+	}
 	counter("accrual_sender_send_failures_total",
 		"Heartbeats a local sender failed to put on the wire (write errors and backoff skips)", ts.SendFailures)
 	counter("accrual_sender_redials_total",

@@ -94,7 +94,7 @@ func UnmarshalHeartbeat(buf []byte) (core.Heartbeat, error) {
 // unmarshalHeartbeat is UnmarshalHeartbeat with an optional id interner,
 // so the listener's steady-state decode of known senders does not
 // allocate a fresh id string per datagram.
-func unmarshalHeartbeat(buf []byte, intern *IDInterner) (core.Heartbeat, error) {
+func unmarshalHeartbeat(buf []byte, ids *IDInterner) (core.Heartbeat, error) {
 	if len(buf) < headerLen+1+trailerLen {
 		return core.Heartbeat{}, fmt.Errorf("%w: %d bytes", ErrPacketShort, len(buf))
 	}
@@ -108,7 +108,7 @@ func unmarshalHeartbeat(buf []byte, intern *IDInterner) (core.Heartbeat, error) 
 	if n == 0 || len(buf) != headerLen+n+trailerLen {
 		return core.Heartbeat{}, fmt.Errorf("%w: id %d, packet %d", ErrLengthMismatch, n, len(buf))
 	}
-	id := intern.Intern(buf[headerLen : headerLen+n])
+	id := ids.Intern(buf[headerLen : headerLen+n])
 	off := headerLen + n
 	seq := binary.BigEndian.Uint64(buf[off:])
 	sentNano := int64(binary.BigEndian.Uint64(buf[off+8:]))

@@ -1,0 +1,17 @@
+//go:build !linux
+
+package transport
+
+import (
+	"fmt"
+	"net"
+)
+
+// reusePortSupported reports whether this platform can bind several UDP
+// sockets to one address with SO_REUSEPORT. Here it cannot: a listener
+// asked for multiple sockets degrades to one.
+const reusePortSupported = false
+
+func listenReusePort(addr string) (*net.UDPConn, error) {
+	return nil, fmt.Errorf("transport: SO_REUSEPORT not supported on this platform")
+}

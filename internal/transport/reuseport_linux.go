@@ -1,0 +1,41 @@
+//go:build linux
+
+package transport
+
+import (
+	"context"
+	"net"
+	"syscall"
+)
+
+// reusePortSupported reports whether this platform can bind several UDP
+// sockets to one address with SO_REUSEPORT, letting the kernel
+// load-balance datagrams across their read loops.
+const reusePortSupported = true
+
+// soReusePort is SO_REUSEPORT on Linux; the syscall package does not
+// export it and the x/sys module is deliberately not a dependency.
+const soReusePort = 0xf
+
+// listenReusePort binds one UDP socket on addr with SO_REUSEPORT set
+// before bind, so any number of sockets can share the address and the
+// kernel hashes each datagram's flow onto one of them.
+func listenReusePort(addr string) (*net.UDPConn, error) {
+	lc := net.ListenConfig{
+		Control: func(_, _ string, c syscall.RawConn) error {
+			var serr error
+			err := c.Control(func(fd uintptr) {
+				serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+			})
+			if err != nil {
+				return err
+			}
+			return serr
+		},
+	}
+	pc, err := lc.ListenPacket(context.Background(), "udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return pc.(*net.UDPConn), nil
+}

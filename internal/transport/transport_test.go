@@ -111,6 +111,72 @@ func TestListenerIngestWorkers(t *testing.T) {
 	}
 }
 
+// TestListenerMultiSocket runs the SO_REUSEPORT fan-in: four sockets
+// share one address, each with its own read loop, and many senders
+// (distinct source ports, so the kernel spreads their flows) must all be
+// delivered with per-socket accounting that sums to the listener total.
+func TestListenerMultiSocket(t *testing.T) {
+	mon := newMonitor()
+	l, err := Listen("127.0.0.1:0", mon, WithListenerSockets(4), WithIngestWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if !reusePortSupported {
+		if got := l.Sockets(); got != 1 {
+			t.Fatalf("Sockets() = %d, want 1 on a platform without SO_REUSEPORT", got)
+		}
+		t.Skip("SO_REUSEPORT not supported on this platform")
+	}
+	if got := l.Sockets(); got != 4 {
+		t.Fatalf("Sockets() = %d, want 4", got)
+	}
+
+	const senders = 16
+	for i := 0; i < senders; i++ {
+		s, err := NewSender("m"+string(rune('a'+i)), l.Addr().String(), 10*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer s.Stop()
+	}
+
+	waitUntil(t, 5*time.Second, func() bool {
+		return l.Stats().Delivered >= uint64(senders*3) && mon.Len() == senders
+	})
+	for _, id := range mon.Processes() {
+		lvl, err := mon.Suspicion(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if lvl > 1 {
+			t.Errorf("%s: suspicion = %v, want small while heartbeats flow", id, lvl)
+		}
+	}
+
+	if got := l.tel.SocketCount(); got != 4 {
+		t.Fatalf("SocketCount() = %d, want 4", got)
+	}
+	var perSocket, busy uint64
+	l.tel.EachSocket(func(_ string, packets, _ uint64) {
+		perSocket += packets
+		if packets > 0 {
+			busy++
+		}
+	})
+	if total := l.Stats().PacketsReceived; perSocket != total {
+		t.Errorf("per-socket packet counters sum to %d, listener total %d", perSocket, total)
+	}
+	// The kernel hashes flows across the reuseport group; 16 distinct
+	// source ports should not all collapse onto one socket.
+	if busy < 2 {
+		t.Errorf("only %d of 4 sockets saw traffic from %d senders", busy, senders)
+	}
+}
+
 func TestSenderStopIdempotent(t *testing.T) {
 	mon := newMonitor()
 	l, err := Listen("127.0.0.1:0", mon)

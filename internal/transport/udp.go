@@ -13,6 +13,7 @@ import (
 	"accrual/internal/service"
 	"accrual/internal/stats"
 	"accrual/internal/telemetry"
+	"accrual/internal/transport/intern"
 )
 
 const (
@@ -25,6 +26,10 @@ const (
 	// maxReadBatch bounds WithReadBatch; each slot pins a full
 	// MaxBatchPacketSize buffer for the life of the listener.
 	maxReadBatch = 256
+	// maxListenerSockets bounds WithListenerSockets; each socket carries
+	// its own read loop and readSlots× full-size buffers, so the count is
+	// a per-core knob, not a per-process one.
+	maxListenerSockets = 64
 	// senderRedialAfter is how many consecutive write failures tear down
 	// the connected socket and switch the sender to backoff redialing. A
 	// connected UDP socket can fail transiently (ICMP unreachable races),
@@ -572,7 +577,7 @@ func (s *Sender) Stop() {
 // Listener receives heartbeats over UDP and feeds them into a
 // service.Monitor, stamping arrival times with the monitor host's clock —
 // the monitoring side of §5.1. Create one with Listen; Close stops and
-// joins the read loop.
+// joins the read loops.
 //
 // By default decoded heartbeats are ingested synchronously from the read
 // loop. With WithIngestWorkers the listener instead fans packets out to a
@@ -580,30 +585,50 @@ func (s *Sender) Stop() {
 // the same hash the Monitor shards on — so heartbeats from one process
 // are always ingested in arrival order while different processes proceed
 // on different cores.
+//
+// With WithListenerSockets(n > 1) the listener binds n SO_REUSEPORT
+// sockets to the same address, each with its own recvmmsg read loop, so
+// the kernel load-balances sender flows across n cores and the single
+// read loop stops being the ceiling. Worker routing stays id-hashed and
+// therefore shard-affine: whichever socket a beat arrives on, it lands
+// on the one worker owning its registry shards — per-process ordering
+// and cache locality are socket-count-independent.
 type Listener struct {
-	conn      *net.UDPConn
+	conns     []*net.UDPConn
 	clk       clock.Clock
 	mon       *service.Monitor
 	workers   int
 	queueCap  int
 	readSlots int
+	sockets   int
+	internCap int
 
-	queues  []chan ingestItem
-	wg      sync.WaitGroup
-	stopped chan struct{}
+	queues   []chan ingestItem
+	readerWG sync.WaitGroup
+	wg       sync.WaitGroup
+	stopped  chan struct{}
 
-	// Read-loop-only scratch state, reused packet after packet so the
-	// steady-state receive path does not allocate: the id interner backs
-	// decoded heartbeat ids, beatScratch holds one decoded batch, and
-	// groups partitions it per worker.
-	intern      *IDInterner
-	beatScratch []core.Heartbeat
-	groups      [][]core.Heartbeat
+	// ids is the interner backing decoded heartbeat id strings — the
+	// shared, concurrency-safe table every read loop (and, when wired
+	// with service.WithInterner, the Monitor) canonicalises through.
+	ids *IDInterner
 
 	// tel counts packet dispositions. It defaults to a listener-private
 	// instance and is redirected to a shared hub by WithTelemetry, so
 	// the counting code never branches on "telemetry enabled".
 	tel *telemetry.TransportCounters
+}
+
+// sockLoop is one socket's read loop with its private decode scratch:
+// the batch buffer and per-worker groups are touched only by this loop's
+// goroutine, so n sockets decode concurrently with no shared mutable
+// state beyond the interner (concurrency-safe) and the worker queues.
+type sockLoop struct {
+	l           *Listener
+	conn        *net.UDPConn
+	cell        *telemetry.SocketCell
+	beatScratch []core.Heartbeat
+	groups      [][]core.Heartbeat
 }
 
 // ListenerOption configures a Listener.
@@ -669,45 +694,163 @@ func WithIngestQueueCap(n int) ListenerOption {
 	}
 }
 
-// Listen binds a UDP socket on addr (host:port, port 0 for ephemeral) and
-// starts forwarding decoded heartbeats to mon.
+// WithListenerSockets binds n UDP sockets to the listener address with
+// SO_REUSEPORT (clamped to 1..64), each running its own read loop, so
+// the kernel spreads sender flows over n cores. On platforms without
+// SO_REUSEPORT — or with n < 2 — the listener keeps the single-socket
+// layout. Pair it with WithIngestWorkers at high fan-in: sockets scale
+// the decode side, workers the detector side, and the id-hash routing
+// between them keeps each process's beats ordered regardless of which
+// socket they arrived on.
+func WithListenerSockets(n int) ListenerOption {
+	return func(l *Listener) {
+		if n < 1 {
+			n = 1
+		}
+		if n > maxListenerSockets {
+			n = maxListenerSockets
+		}
+		l.sockets = n
+	}
+}
+
+// WithInternTable substitutes the id intern table backing decoded
+// heartbeat ids — normally the daemon-wide shared table also passed to
+// service.WithInterner, so a process id is one string for transport and
+// registry together. Overrides WithInternCapacity.
+func WithInternTable(tab *IDInterner) ListenerOption {
+	return func(l *Listener) {
+		if tab != nil {
+			l.ids = tab
+		}
+	}
+}
+
+// WithInternCapacity bounds the listener-private intern table at n ids
+// (default intern.DefaultCapacity) when no shared table was supplied.
+// Beyond the bound, unknown ids fall back to per-packet allocation and
+// are counted in accrual_intern_overflow_total.
+func WithInternCapacity(n int) ListenerOption {
+	return func(l *Listener) {
+		if n > 0 {
+			l.internCap = n
+		}
+	}
+}
+
+// Listen binds one or more UDP sockets on addr (host:port, port 0 for
+// ephemeral) and starts forwarding decoded heartbeats to mon.
 func Listen(addr string, mon *service.Monitor, opts ...ListenerOption) (*Listener, error) {
 	udpAddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: resolve %s: %w", addr, err)
 	}
-	conn, err := net.ListenUDP("udp", udpAddr)
-	if err != nil {
-		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
-	}
 	l := &Listener{
-		conn:      conn,
 		clk:       clock.Wall{},
 		mon:       mon,
 		queueCap:  defaultQueueCap,
 		readSlots: defaultReadBatch,
+		sockets:   1,
 		stopped:   make(chan struct{}),
 		tel:       new(telemetry.TransportCounters),
-		intern:    NewIDInterner(),
 	}
 	for _, opt := range opts {
 		opt(l)
 	}
+	if l.ids == nil {
+		// Built after the options so the overflow counter lands on the
+		// final (possibly hub-shared) TransportCounters.
+		iopts := []intern.Option{intern.WithOverflowCounter(&l.tel.InternOverflow)}
+		if l.internCap > 0 {
+			iopts = append(iopts, intern.WithCapacity(l.internCap))
+		}
+		l.ids = intern.New(iopts...)
+	}
+	if err := l.bindSockets(addr, udpAddr); err != nil {
+		return nil, err
+	}
 	if l.workers > 0 {
 		l.queues = make([]chan ingestItem, l.workers)
-		l.groups = make([][]core.Heartbeat, l.workers)
 		for i := range l.queues {
 			l.queues[i] = make(chan ingestItem, l.queueCap)
 			l.wg.Add(1)
 			go l.ingest(l.queues[i])
 		}
 	}
-	go l.loop()
+	cells := l.tel.RegisterSockets(len(l.conns))
+	l.readerWG.Add(len(l.conns))
+	for i, conn := range l.conns {
+		sl := &sockLoop{l: l, conn: conn, cell: &cells[i]}
+		if l.workers > 0 {
+			sl.groups = make([][]core.Heartbeat, l.workers)
+		}
+		go sl.run()
+	}
+	// Supervisor: the worker queues close only after every read loop has
+	// exited (each loop may still be dispatching), then Close unblocks
+	// once the workers drain.
+	go func() {
+		l.readerWG.Wait()
+		for _, q := range l.queues {
+			close(q)
+		}
+		l.wg.Wait()
+		close(l.stopped)
+	}()
 	return l, nil
 }
 
-// Addr returns the bound UDP address.
-func (l *Listener) Addr() net.Addr { return l.conn.LocalAddr() }
+// bindSockets opens the listener's socket set: one plain socket, or
+// sockets SO_REUSEPORT-bound ones sharing the address. The first bind
+// resolves an ephemeral port; the rest join that concrete address. A
+// platform without SO_REUSEPORT degrades to one socket rather than
+// failing — the flag is a throughput knob, not a semantic one.
+func (l *Listener) bindSockets(addr string, udpAddr *net.UDPAddr) error {
+	want := l.sockets
+	if want > 1 && !reusePortSupported {
+		want = 1
+	}
+	if want <= 1 {
+		conn, err := net.ListenUDP("udp", udpAddr)
+		if err != nil {
+			return fmt.Errorf("transport: listen %s: %w", addr, err)
+		}
+		l.conns = []*net.UDPConn{conn}
+		return nil
+	}
+	first, err := listenReusePort(addr)
+	if err != nil {
+		// SO_REUSEPORT refused (restricted environment): degrade to the
+		// plain single-socket layout instead of failing startup.
+		conn, perr := net.ListenUDP("udp", udpAddr)
+		if perr != nil {
+			return fmt.Errorf("transport: listen %s: %w", addr, perr)
+		}
+		l.conns = []*net.UDPConn{conn}
+		return nil
+	}
+	conns := []*net.UDPConn{first}
+	bound := first.LocalAddr().String()
+	for i := 1; i < want; i++ {
+		c, err := listenReusePort(bound)
+		if err != nil {
+			for _, pc := range conns {
+				_ = pc.Close()
+			}
+			return fmt.Errorf("transport: listen %s (socket %d/%d): %w", bound, i+1, want, err)
+		}
+		conns = append(conns, c)
+	}
+	l.conns = conns
+	return nil
+}
+
+// Addr returns the bound UDP address (shared by every socket).
+func (l *Listener) Addr() net.Addr { return l.conns[0].LocalAddr() }
+
+// Sockets returns how many UDP sockets the listener actually bound —
+// the WithListenerSockets request after platform clamping.
+func (l *Listener) Sockets() int { return len(l.conns) }
 
 // ingestItem is one unit of work for an ingest worker: either a single
 // heartbeat (group == nil) or a pooled per-shard group of beats from one
@@ -738,26 +881,25 @@ func (br *batchReader) readOne() (int, error) {
 	return 1, nil
 }
 
-func (l *Listener) loop() {
-	defer func() {
-		for _, q := range l.queues {
-			close(q)
-		}
-		l.wg.Wait()
-		close(l.stopped)
-	}()
-	br := newBatchReader(l.conn, l.readSlots)
+// run is one socket's read loop: drain datagrams (recvmmsg where
+// available), decode with loop-private scratch, dispatch to the shared
+// worker queues. The loop exits when its socket is closed.
+func (sl *sockLoop) run() {
+	defer sl.l.readerWG.Done()
+	br := newBatchReader(sl.conn, sl.l.readSlots)
 	for {
 		n, err := br.read()
 		if err != nil {
 			return // closed
 		}
+		sl.cell.Batches.Add(1)
+		sl.cell.Packets.Add(uint64(n))
 		// One clock read per drained batch: every datagram pulled by this
 		// syscall was already on the socket, so one timestamp is the most
 		// honest arrival time available for all of them.
-		arrived := l.clk.Now()
+		arrived := sl.l.clk.Now()
 		for i := 0; i < n; i++ {
-			l.handleDatagram(br.bufs[i][:br.sizes[i]], arrived)
+			sl.handleDatagram(br.bufs[i][:br.sizes[i]], arrived)
 		}
 	}
 }
@@ -765,23 +907,24 @@ func (l *Listener) loop() {
 // handleDatagram decodes one datagram — AFB1 batch or single-beat AFD1,
 // told apart by the magic — counts its disposition, and hands the
 // decoded beats to ingest.
-func (l *Listener) handleDatagram(buf []byte, arrived time.Time) {
+func (sl *sockLoop) handleDatagram(buf []byte, arrived time.Time) {
+	l := sl.l
 	l.tel.PacketsReceived.Add(1)
 	if IsBatchFrame(buf) {
-		beats, err := UnmarshalBatch(buf, l.beatScratch[:0], l.intern)
+		beats, err := UnmarshalBatch(buf, sl.beatScratch[:0], l.ids)
 		if err != nil {
 			l.countDecodeError(err)
 			return
 		}
-		l.beatScratch = beats[:0] // keep the grown capacity for the next frame
+		sl.beatScratch = beats[:0] // keep the grown capacity for the next frame
 		l.tel.ObserveBatch(len(beats))
 		for i := range beats {
 			beats[i].Arrived = arrived
 		}
-		l.dispatchBatch(beats)
+		sl.dispatchBatch(beats)
 		return
 	}
-	hb, err := unmarshalHeartbeat(buf, l.intern)
+	hb, err := unmarshalHeartbeat(buf, l.ids)
 	if err != nil {
 		l.countDecodeError(err)
 		return
@@ -834,7 +977,8 @@ func (l *Listener) dispatchOne(hb core.Heartbeat, fromBatch bool) {
 // to HeartbeatBatch, preserving per-process order throughout. Shedding
 // stays all-or-nothing per group: a full worker queue drops that worker's
 // share of the frame (counted per beat) without touching the rest.
-func (l *Listener) dispatchBatch(beats []core.Heartbeat) {
+func (sl *sockLoop) dispatchBatch(beats []core.Heartbeat) {
+	l := sl.l
 	if l.queues == nil {
 		acc, rej := l.mon.HeartbeatBatch(beats)
 		l.tel.Delivered.Add(uint64(acc))
@@ -845,14 +989,14 @@ func (l *Listener) dispatchBatch(beats []core.Heartbeat) {
 		l.dispatchOne(beats[0], true)
 		return
 	}
-	for i := range l.groups {
-		l.groups[i] = l.groups[i][:0]
+	for i := range sl.groups {
+		sl.groups[i] = sl.groups[i][:0]
 	}
 	for _, hb := range beats {
 		w := fnv1a(hb.From) % uint32(len(l.queues))
-		l.groups[w] = append(l.groups[w], hb)
+		sl.groups[w] = append(sl.groups[w], hb)
 	}
-	for w, g := range l.groups {
+	for w, g := range sl.groups {
 		if len(g) == 0 {
 			continue
 		}
@@ -917,10 +1061,15 @@ func (l *Listener) Stats() ListenerStats {
 	return l.tel.Snapshot()
 }
 
-// Close stops the read loop, drains the ingest workers and waits for all
-// of them to exit.
+// Close stops every read loop, drains the ingest workers and waits for
+// all of them to exit.
 func (l *Listener) Close() error {
-	err := l.conn.Close()
+	var err error
+	for _, conn := range l.conns {
+		if cerr := conn.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	<-l.stopped
 	return err
 }
