@@ -26,6 +26,10 @@
 //	accrualctl top [-api ...] [-every 2s] [-once] [-n 10]
 //	    ranked live table of suspicion and online QoS estimates
 //	    (λ_M, P_A, T_MR) scraped from the daemon's /v1/metrics
+//	accrualctl cluster [-api ...] [-suspects] [-groups]
+//	    print a federated daemon's merged fleet view (GET /v1/cluster):
+//	    every gossip peer with its digest freshness, the merged
+//	    most-suspected processes and the per-group accrual rollups
 //
 // `state dump | state restore` is the live handoff path: pipe one
 // daemon's learned estimator state straight into its replacement so the
@@ -77,6 +81,8 @@ func run(args []string) int {
 		err = cmdState(args[1:])
 	case "top":
 		err = cmdTop(args[1:])
+	case "cluster":
+		err = cmdCluster(args[1:])
 	default:
 		usage()
 		return 2
@@ -89,7 +95,7 @@ func run(args []string) int {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: accrualctl <beat|ls|get|status|watch|history|state|top> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: accrualctl <beat|ls|get|status|watch|history|state|top|cluster> [flags]")
 }
 
 func cmdHistory(args []string) error {
@@ -198,6 +204,69 @@ func cmdStateRestore(args []string) error {
 		return err
 	}
 	fmt.Printf("restored %d processes\n", restored.Restored)
+	return nil
+}
+
+// cmdCluster prints the merged fleet view of a federated daemon: the
+// peer table always, the merged suspect ranking and the per-group
+// rollups on request (both by default).
+func cmdCluster(args []string) error {
+	fs := flag.NewFlagSet("cluster", flag.ContinueOnError)
+	api := fs.String("api", "http://127.0.0.1:8080", "daemon HTTP address")
+	suspects := fs.Bool("suspects", false, "print only the merged suspect ranking")
+	groups := fs.Bool("groups", false, "print only the per-group rollups")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var info transport.ClusterInfo
+	if err := getJSON(*api, "/v1/cluster", nil, &info); err != nil {
+		return err
+	}
+	all := !*suspects && !*groups
+	if all {
+		fmt.Printf("self: %s   peers: %d known / %d configured\n",
+			info.Self, len(info.Peers), len(info.ConfiguredPeers))
+		fmt.Printf("%-16s %8s %8s %12s %s\n", "PEER", "SEQ", "PROCS", "STALENESS", "STATE")
+		for _, p := range info.Peers {
+			state := "fresh"
+			if p.Stale {
+				state = "stale"
+			}
+			fmt.Printf("%-16s %8d %8d %11.1fs %s\n", p.Peer, p.Seq, p.Procs, p.StalenessSeconds, state)
+		}
+	}
+	if all || *suspects {
+		fmt.Printf("\n%-24s %-16s %10s %10s\n", "PROCESS", "OWNER", "SUSPICION", "AGE")
+		for _, s := range info.Suspects {
+			owner := s.Owner
+			if owner == "" {
+				owner = info.Self + " (self)"
+			}
+			mark := ""
+			if s.Stale {
+				mark = "  (stale)"
+			}
+			fmt.Printf("%-24s %-16s %10.4f %9.1fs%s\n", s.ID, owner, s.Level, s.AgeSeconds, mark)
+		}
+	}
+	if all || *groups {
+		fmt.Printf("\n%-16s %-16s %8s %10s %10s\n", "GROUP", "OWNER", "PROCS", "IMPACT", "MAX")
+		for _, g := range info.Groups {
+			owner := g.Owner
+			if owner == "" {
+				owner = info.Self + " (self)"
+			}
+			name := g.Group
+			if name == "" {
+				name = "(default)"
+			}
+			mark := ""
+			if g.Stale {
+				mark = "  (stale)"
+			}
+			fmt.Printf("%-16s %-16s %8d %10.4f %10.4f%s\n", name, owner, g.Procs, g.Impact, g.Max, mark)
+		}
+	}
 	return nil
 }
 

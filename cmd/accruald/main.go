@@ -10,6 +10,18 @@
 //	         [-listeners 1] [-profile default] [-intern-max 1048576]
 //	         [-state-file accrual.state] [-state-interval 30s]
 //	         [-qos-high 2] [-qos-low 1] [-pprof-addr localhost:6060]
+//	         [-group east -peers host2:7946,host3:7946]
+//	         [-federation-interval 1s] [-fanout 2] [-digest-topk 64]
+//
+// With -peers the daemon federates: every -federation-interval it
+// digests its own slice of the fleet (the -digest-topk most suspected
+// processes plus a per-group accrual rollup) into one AFG1 frame and
+// gossips it to -fanout random peers on their heartbeat ports, relaying
+// the freshest digest it holds from every other peer. -group names this
+// daemon in the gossip (required with -peers) and tags every locally
+// monitored process. The merged fleet view is served on GET /v1/cluster
+// (see `accrualctl cluster`) and the gossip plane is observable through
+// the accrual_federation_* series on /v1/metrics.
 //
 // At large memberships, -listeners N binds N UDP sockets to the same
 // address with SO_REUSEPORT (Linux) so the kernel spreads heartbeat
@@ -61,12 +73,14 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"accrual/internal/chen"
 	"accrual/internal/clock"
 	"accrual/internal/core"
+	"accrual/internal/federation"
 	"accrual/internal/kappa"
 	"accrual/internal/phi"
 	"accrual/internal/service"
@@ -109,6 +123,11 @@ func run(ctx context.Context, args []string, ready chan<- [2]string) error {
 		qosHigh   = fs.Float64("qos-high", float64(telemetry.DefaultQoSHigh), "online QoS reference threshold: suspect above this level")
 		qosLow    = fs.Float64("qos-low", float64(telemetry.DefaultQoSLow), "online QoS reference threshold: trust again at or below this level")
 		pprofAddr = fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables; keep it on localhost)")
+		peers     = fs.String("peers", "", "comma-separated heartbeat addresses of peer daemons to federate with (requires -group)")
+		fedIntv   = fs.Duration("federation-interval", federation.DefaultInterval, "gossip period between suspicion digests")
+		fanout    = fs.Int("fanout", federation.DefaultFanout, "peers each gossip round sends digests to")
+		digestTop = fs.Int("digest-topk", federation.DefaultTopK, "most-suspected processes carried per gossiped digest")
+		group     = fs.String("group", "", "group tag for locally monitored processes; doubles as this daemon's federation identity")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -137,7 +156,30 @@ func run(ctx context.Context, args []string, ready chan<- [2]string) error {
 	if *shards > 0 {
 		monOpts = append(monOpts, service.WithShardCount(*shards))
 	}
+	if *peers != "" && *group == "" {
+		return errors.New("-peers requires -group (the federation identity)")
+	}
+	if *group != "" {
+		groupName := *group
+		monOpts = append(monOpts, service.WithGroupFn(func(string) string { return groupName }))
+	}
 	mon := service.NewMonitor(clock.Wall{}, factory, monOpts...)
+
+	var fed *federation.Federation
+	if *peers != "" {
+		fed, err = federation.New(federation.Config{
+			Self:     *group,
+			Peers:    strings.Split(*peers, ","),
+			Monitor:  mon,
+			Interval: *fedIntv,
+			Fanout:   *fanout,
+			TopK:     *digestTop,
+			Hub:      hub,
+		})
+		if err != nil {
+			return err
+		}
+	}
 
 	// Online QoS estimation: sample every process's suspicion level on
 	// the heartbeat cadence into the hub's streaming estimators.
@@ -164,6 +206,9 @@ func run(ctx context.Context, args []string, ready chan<- [2]string) error {
 		transport.WithTelemetry(hub),
 		transport.WithInternTable(ids),
 	}
+	if fed != nil {
+		lnOpts = append(lnOpts, transport.WithDigestHandler(fed.HandleDigest))
+	}
 	if *listeners > 1 {
 		lnOpts = append(lnOpts, transport.WithListenerSockets(*listeners))
 	}
@@ -187,6 +232,13 @@ func run(ctx context.Context, args []string, ready chan<- [2]string) error {
 	apiOpts := []transport.APIOption{
 		transport.WithAPITelemetry(hub),
 		transport.WithSampler(sampler),
+	}
+	if fed != nil {
+		fed.Start()
+		defer fed.Stop()
+		apiOpts = append(apiOpts, transport.WithClusterView(fed))
+		log.Printf("federation as %q: %d peers, fanout %d, interval %v, top-k %d",
+			*group, strings.Count(*peers, ",")+1, *fanout, *fedIntv, *digestTop)
 	}
 	if *logTrans {
 		// An internal observer application using the paper's

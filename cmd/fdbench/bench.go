@@ -233,9 +233,11 @@ func runBenchmarks(name, outDir string, scrapeProcs, manySizes []int) error {
 		names = []string{"scrape"}
 	case name == "manyprocs":
 		names = []string{"manyprocs"}
+	case name == "federation":
+		names = []string{"federation"}
 	default:
 		if _, ok := benchmarks[name]; !ok {
-			return fmt.Errorf("unknown benchmark %q (want ingest, query, scrape, batch, manyprocs or all)", name)
+			return fmt.Errorf("unknown benchmark %q (want ingest, query, scrape, batch, manyprocs, federation or all)", name)
 		}
 		names = []string{name}
 	}
@@ -243,6 +245,12 @@ func runBenchmarks(name, outDir string, scrapeProcs, manySizes []int) error {
 		return err
 	}
 	for _, n := range names {
+		if n == "federation" {
+			if err := runFederation(outDir); err != nil {
+				return err
+			}
+			continue
+		}
 		if n == "manyprocs" {
 			if len(manySizes) == 0 {
 				manySizes = []int{10000, 100000, 1000000}

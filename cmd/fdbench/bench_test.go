@@ -65,7 +65,10 @@ func TestBenchScrapeSweep(t *testing.T) {
 		if res.N <= 0 || res.NsPerOp <= 0 {
 			t.Errorf("implausible result: %+v", res)
 		}
-		if res.AllocsPerOp != 0 {
+		// Under race sync.Pool deliberately bypasses its caches, so the
+		// pooled scrape render's allocation budget is not meaningful
+		// there; the non-race CI gate still enforces it.
+		if !raceEnabled && res.AllocsPerOp != 0 {
 			t.Errorf("%s: scrape render allocates: %d allocs/op", res.Name, res.AllocsPerOp)
 		}
 	}

@@ -31,6 +31,12 @@
 // stack, then records ns/beat under a parallel hammer and resident
 // bytes per process into a single BENCH_manyprocs.json. It is not part
 // of "all" — a 1M-process point deliberately needs an explicit ask.
+//
+// The federation benchmark measures the gossip plane: AFG1 digest
+// encode (one EncodeRound over a 10k-process registry) and decode
+// ns/op, plus a measured cross-peer crash-detection time over two real
+// gossiping peers on loopback, written to BENCH_federation.json. Like
+// manyprocs it spins real sockets and so is not part of "all".
 package main
 
 import (
@@ -63,7 +69,7 @@ func run(args []string) int {
 	var (
 		sweep    = fs.String("sweep", "threshold", "sweep to run: threshold, window, loss, interval, gst, batch")
 		seed     = fs.Uint64("seed", 42, "base random seed")
-		bench    = fs.String("bench", "", "run a micro-benchmark instead of a sweep: ingest, query, scrape, batch, manyprocs or all")
+		bench    = fs.String("bench", "", "run a micro-benchmark instead of a sweep: ingest, query, scrape, batch, manyprocs, federation or all")
 		benchOut = fs.String("bench-out", ".", "directory for BENCH_<name>.json results")
 		procs    = fs.String("procs", "100", "comma-separated registry sizes for the scrape benchmark")
 		manySz   = fs.String("manyprocs-sizes", "10000,100000,1000000", "comma-separated registry sizes for the manyprocs benchmark")

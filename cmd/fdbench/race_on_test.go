@@ -1,0 +1,8 @@
+//go:build race
+
+package main
+
+// raceEnabled reports whether the race detector is active; under race
+// sync.Pool deliberately bypasses its caches, so allocation-budget
+// assertions over pooled paths are meaningless.
+const raceEnabled = true

@@ -1,0 +1,5 @@
+//go:build !race
+
+package federation
+
+const raceEnabled = false

@@ -86,8 +86,12 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, fmt.Errorf("%w: non-positive interval", ErrBadConfig)
 	case cfg.Horizon.IsZero():
 		return nil, fmt.Errorf("%w: missing horizon", ErrBadConfig)
+	case cfg.Fanout < 0:
+		// A negative fanout is a caller bug, not a "use the default"
+		// request; only the explicit zero value means unset.
+		return nil, fmt.Errorf("%w: negative fanout %d", ErrBadConfig, cfg.Fanout)
 	}
-	if cfg.Fanout < 1 {
+	if cfg.Fanout == 0 {
 		cfg.Fanout = 2
 	}
 	if cfg.Fanout > len(cfg.Nodes)-1 {
@@ -114,7 +118,11 @@ func New(cfg Config) (*Cluster, error) {
 		}
 		for _, peer := range cfg.Nodes {
 			if peer != id {
-				n.detectors[peer] = cfg.Detector(peer, start)
+				det := cfg.Detector(peer, start)
+				if det == nil {
+					return nil, fmt.Errorf("%w: detector factory returned nil for %q", ErrBadConfig, peer)
+				}
+				n.detectors[peer] = det
 			}
 		}
 		c.nodes[id] = n
@@ -217,6 +225,12 @@ func (n *Node) merge(vector map[string]uint64, at time.Time) {
 		det, ok := n.detectors[id]
 		if !ok && id != n.id {
 			det = n.cluster.cfg.Detector(id, at)
+			if det == nil {
+				// The factory was validated at New; a nil for a gossip-
+				// discovered id is skipped rather than stored (storing it
+				// would panic every future Report).
+				continue
+			}
 			n.detectors[id] = det
 			ok = true
 		}

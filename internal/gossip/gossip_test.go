@@ -43,6 +43,10 @@ func TestValidation(t *testing.T) {
 		{"zero interval", func(c *Config) { c.Interval = 0 }},
 		{"zero horizon", func(c *Config) { c.Horizon = time.Time{} }},
 		{"duplicate node", func(c *Config) { c.Nodes = []string{"a", "a"} }},
+		{"negative fanout", func(c *Config) { c.Fanout = -1 }},
+		{"nil-returning detector factory", func(c *Config) {
+			c.Detector = func(string, time.Time) core.Detector { return nil }
+		}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

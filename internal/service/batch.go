@@ -104,7 +104,7 @@ func (m *Monitor) ingestShardRun(si uint32, refs []batchRef) (accepted, rejected
 					start = m.clk.Now()
 				}
 				id := m.ids.InternString(refs[i].hb.From)
-				e, gen = sh.bind(id, m.factory(id, start))
+				e, gen = sh.bind(id, m.factory(id, start), m.groupOf(id), start)
 				if m.tel != nil {
 					m.tel.Counters.Registered(refs[i].h)
 				}

@@ -1,0 +1,146 @@
+package service
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+	"time"
+
+	"accrual/internal/core"
+)
+
+// TestGroupTagging pins WithGroupFn: the tag is captured at bind time
+// from the configured function, on explicit Register and on heartbeat
+// auto-registration alike, and rebinding after a deregister re-consults
+// the function.
+func TestGroupTagging(t *testing.T) {
+	groups := map[string]string{"a": "east", "b": "west"}
+	m, clk := newTestMonitor(WithGroupFn(func(id string) string { return groups[id] }))
+	if err := m.Register("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Heartbeat(hb("b", 1, clk.Now())); err != nil {
+		t.Fatal(err) // auto-registration path
+	}
+	if err := m.Register("c"); err != nil {
+		t.Fatal(err) // unmapped id: default group
+	}
+	got := map[string]string{}
+	m.EachInfo(func(info ProcessInfo) { got[info.ID] = info.Group })
+	want := map[string]string{"a": "east", "b": "west", "c": ""}
+	for id, g := range want {
+		if got[id] != g {
+			t.Errorf("group[%s] = %q, want %q", id, got[id], g)
+		}
+	}
+
+	groups["a"] = "moved"
+	m.Deregister("a")
+	if err := m.Register("a"); err != nil {
+		t.Fatal(err)
+	}
+	m.EachInfo(func(info ProcessInfo) {
+		if info.ID == "a" && info.Group != "moved" {
+			t.Errorf("rebound group = %q, want %q (re-consulted at bind)", info.Group, "moved")
+		}
+	})
+}
+
+// TestEachInfoLastArrival pins the last-arrival surface digests are
+// built from: registration time until the first heartbeat, then the
+// newest arrival stamp.
+func TestEachInfoLastArrival(t *testing.T) {
+	m, clk := newTestMonitor()
+	if err := m.Register("a"); err != nil {
+		t.Fatal(err)
+	}
+	arrival := func() time.Time {
+		var last time.Time
+		seen := false
+		m.EachInfo(func(info ProcessInfo) {
+			if info.ID == "a" {
+				last, seen = info.LastArrival, true
+			}
+		})
+		if !seen {
+			t.Fatal("a not visited")
+		}
+		return last
+	}
+	if got := arrival(); !got.Equal(start) {
+		t.Errorf("pre-heartbeat LastArrival = %v, want registration time %v", got, start)
+	}
+	at := clk.Advance(3 * time.Second)
+	if err := m.Heartbeat(hb("a", 1, at)); err != nil {
+		t.Fatal(err)
+	}
+	if got := arrival(); !got.Equal(at) {
+		t.Errorf("LastArrival = %v, want %v", got, at)
+	}
+	// A stale (out-of-order) heartbeat must not move the stamp backwards.
+	if err := m.Heartbeat(hb("a", 1, at.Add(-time.Second))); err != nil {
+		t.Fatal(err)
+	}
+	if got := arrival(); !got.Equal(at) {
+		t.Errorf("LastArrival after stale beat = %v, want unchanged %v", got, at)
+	}
+}
+
+// TestEachInfoMatchesEachLevel: the two walks agree on membership and
+// levels at the same instant.
+func TestEachInfoMatchesEachLevel(t *testing.T) {
+	m, clk := newTestMonitor()
+	for _, id := range []string{"a", "b", "c"} {
+		if err := m.Register(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Heartbeat(hb("a", 1, clk.Advance(time.Second))); err != nil {
+		t.Fatal(err)
+	}
+	levels := map[string]core.Level{}
+	m.EachLevel(func(id string, lvl core.Level) { levels[id] = lvl })
+	n := 0
+	m.EachInfo(func(info ProcessInfo) {
+		n++
+		if lvl, ok := levels[info.ID]; !ok || lvl != info.Level {
+			t.Errorf("EachInfo level[%s] = %v, EachLevel = %v (known %v)", info.ID, info.Level, lvl, ok)
+		}
+	})
+	if n != len(levels) {
+		t.Errorf("EachInfo visited %d processes, EachLevel %d", n, len(levels))
+	}
+}
+
+// TestEachInfoZeroAlloc pins the walk itself at zero steady-state
+// allocations — the registry half of the federation digest-build gate.
+func TestEachInfoZeroAlloc(t *testing.T) {
+	m, clk := newTestMonitor(WithGroupFn(func(id string) string {
+		if strings.HasPrefix(id, "proc-1") {
+			return "east"
+		}
+		return "west"
+	}))
+	now := clk.Now()
+	for i := 0; i < 1024; i++ {
+		id := "proc-" + string(rune('0'+i%10)) + string(rune('0'+(i/10)%10)) + string(rune('0'+(i/100)%10)) + string(rune('0'+i/1000))
+		if err := m.Heartbeat(core.Heartbeat{From: id, Seq: 1, Arrived: now}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var count int
+	walk := func() {
+		count = 0
+		m.EachInfo(func(info ProcessInfo) { count++ })
+	}
+	walk() // warm the ref pool
+	if count != 1024 {
+		t.Fatalf("visited %d processes, want 1024", count)
+	}
+	// The walk's scratch comes from a sync.Pool; a GC mid-measurement
+	// would empty it and count the refill against us.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	if allocs := testing.AllocsPerRun(100, walk); allocs != 0 {
+		t.Errorf("EachInfo: %.1f allocs/op, want 0", allocs)
+	}
+}

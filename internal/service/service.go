@@ -159,6 +159,15 @@ type entry struct {
 	lastSeq uint64
 	gen     atomic.Uint64
 	det     core.Detector
+	// group is the process's group tag (WithGroupFn), set at bind under
+	// the shard write lock and immutable for the binding's lifetime, so
+	// shard-locked walks may read it without taking mu.
+	group string
+	// lastArrival is the arrival time of the newest heartbeat (the bind
+	// time until one arrives), guarded by mu like the detector. Digest
+	// construction reads it through info so remote peers can judge how
+	// stale a suspect's evidence is.
+	lastArrival time.Time
 }
 
 // report feeds one heartbeat to the detector and reports whether it was
@@ -182,6 +191,11 @@ func (e *entry) report(gen uint64, hb core.Heartbeat) (stale, ok bool) {
 		}
 	}
 	e.det.Report(hb)
+	// Liveness evidence only accrues forward: a reordered or duplicate
+	// beat must not regress the last-arrival stamp digests are built from.
+	if hb.Arrived.After(e.lastArrival) {
+		e.lastArrival = hb.Arrived
+	}
 	e.mu.Unlock()
 	return stale, true
 }
@@ -197,6 +211,21 @@ func (e *entry) level(gen uint64, now time.Time) (core.Level, bool) {
 	l := e.det.Suspicion(now)
 	e.mu.Unlock()
 	return l, true
+}
+
+// info evaluates the detector at now and reads the last-arrival stamp in
+// one lock acquisition; ok is false when the slot was rebound since the
+// caller resolved gen.
+func (e *entry) info(gen uint64, now time.Time) (lvl core.Level, last time.Time, ok bool) {
+	e.mu.Lock()
+	if e.gen.Load() != gen {
+		e.mu.Unlock()
+		return 0, time.Time{}, false
+	}
+	lvl = e.det.Suspicion(now)
+	last = e.lastArrival
+	e.mu.Unlock()
+	return lvl, last, true
 }
 
 const (
@@ -260,13 +289,17 @@ func (sh *shard) get(id string) (*entry, uint64) {
 	return e, e.gen.Load()
 }
 
-// bind allocates a slot for id and installs det. Caller holds the shard
-// write lock; id must not be present.
-func (sh *shard) bind(id string, det core.Detector) (*entry, uint64) {
+// bind allocates a slot for id and installs det, tagged with the
+// process's group and stamped with its start time (so lastArrival is
+// never zero for a bound slot). Caller holds the shard write lock; id
+// must not be present.
+func (sh *shard) bind(id string, det core.Detector, group string, start time.Time) (*entry, uint64) {
 	idx, e := sh.slab.alloc()
 	e.mu.Lock()
 	e.det = det
 	e.lastSeq = 0
+	e.group = group
+	e.lastArrival = start
 	e.gen.Add(1) // even → odd: bound
 	gen := e.gen.Load()
 	e.mu.Unlock()
@@ -290,6 +323,8 @@ func (sh *shard) unbind(id string) bool {
 	e.gen.Add(1) // odd → even: free
 	e.det = nil
 	e.lastSeq = 0
+	e.group = ""
+	e.lastArrival = time.Time{}
 	e.mu.Unlock()
 	sh.slab.free = append(sh.slab.free, idx)
 	return true
@@ -314,6 +349,11 @@ type Monitor struct {
 	shardMask uint32
 	shardReq  int // WithShardCount request; 0 = profile default
 	shards    []shard
+
+	// groupFn, when non-nil, tags each process with a group name at
+	// registration (WithGroupFn). Groups drive the per-group accrual
+	// rollups federation digests carry.
+	groupFn func(id string) string
 
 	// tel is the optional telemetry hub. The hot paths reuse the shard
 	// hash to pick a counter stripe, so instrumentation costs one
@@ -361,6 +401,16 @@ func WithProfile(p Profile) MonitorOption {
 // table is valid and means no interning.
 func WithInterner(tab *intern.Table) MonitorOption {
 	return func(m *Monitor) { m.ids = tab }
+}
+
+// WithGroupFn tags every process registered (explicitly or by
+// auto-registration) with fn(id) — the group name the federation plane's
+// per-group impact rollups aggregate by. fn is called under the shard
+// write lock, so it must be fast and must not touch the monitor; a
+// constant function (one group per daemon) is the common case. A nil fn
+// leaves every process in the default (empty) group.
+func WithGroupFn(fn func(id string) string) MonitorOption {
+	return func(m *Monitor) { m.groupFn = fn }
 }
 
 // WithTelemetry wires a telemetry hub into the monitor: heartbeats,
@@ -431,6 +481,14 @@ func (m *Monitor) shardFor(id string) *shard {
 	return m.shardAt(fnv1a(id))
 }
 
+// groupOf resolves a process id's group tag ("" without WithGroupFn).
+func (m *Monitor) groupOf(id string) string {
+	if m.groupFn == nil {
+		return ""
+	}
+	return m.groupFn(id)
+}
+
 // lookup returns the live entry for id with its binding generation, or
 // (nil, 0).
 func (m *Monitor) lookup(id string) (*entry, uint64) {
@@ -452,7 +510,8 @@ func (m *Monitor) Register(id string) error {
 		sh.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrAlreadyRegistered, id)
 	}
-	sh.bind(id, m.factory(id, m.clk.Now()))
+	now := m.clk.Now()
+	sh.bind(id, m.factory(id, now), m.groupOf(id), now)
 	sh.mu.Unlock()
 	if m.tel != nil {
 		m.tel.Counters.Registered(h)
@@ -572,7 +631,7 @@ func (m *Monitor) Heartbeat(hb core.Heartbeat) error {
 		id := m.ids.InternString(hb.From)
 		sh.mu.Lock()
 		if e, gen = sh.get(id); e == nil {
-			e, gen = sh.bind(id, m.factory(id, start))
+			e, gen = sh.bind(id, m.factory(id, start), m.groupOf(id), start)
 			if m.tel != nil {
 				m.tel.Counters.Registered(h)
 			}
@@ -616,9 +675,10 @@ func (m *Monitor) Suspicion(id string) (core.Level, error) {
 // EachLevel/Snapshot/Ranked traffic does not re-allocate the scratch
 // space on every call.
 type procRef struct {
-	id  string
-	e   *entry
-	gen uint64
+	id    string
+	group string
+	e     *entry
+	gen   uint64
 }
 
 var refPool = sync.Pool{
@@ -641,7 +701,7 @@ func (m *Monitor) EachLevel(fn func(id string, lvl core.Level)) {
 		*refs = (*refs)[:0]
 		for id, idx := range sh.procs {
 			e := sh.slab.at(idx)
-			*refs = append(*refs, procRef{id, e, e.gen.Load()})
+			*refs = append(*refs, procRef{id: id, e: e, gen: e.gen.Load()})
 		}
 		sh.mu.RUnlock()
 		for _, r := range *refs {
@@ -651,6 +711,47 @@ func (m *Monitor) EachLevel(fn func(id string, lvl core.Level)) {
 			// A generation mismatch means the process was deregistered
 			// since the shard scan — exactly the entries the pre-slab
 			// walk skipped via the removed flag.
+		}
+	}
+	*refs = (*refs)[:0]
+	refPool.Put(refs)
+}
+
+// ProcessInfo is one monitored process's digest-relevant state at one
+// clock reading: its group tag, its suspicion level and the arrival time
+// of its newest heartbeat (the registration time until one arrives).
+type ProcessInfo struct {
+	ID          string
+	Group       string
+	Level       core.Level
+	LastArrival time.Time
+}
+
+// EachInfo calls fn with every monitored process's ProcessInfo at one
+// clock reading — the generation-guarded walk federation digest
+// construction runs on. Like EachLevel it proceeds shard by shard with
+// pooled scratch, holds no locks while fn runs, and allocates nothing in
+// steady state, so building a digest over a million processes never
+// takes a global pause. Group tags are captured under the shard read
+// lock (they are bind-time-immutable); level and last-arrival are read
+// under the entry lock with the generation revalidated, so a slot
+// rebound mid-walk is skipped rather than misattributed.
+func (m *Monitor) EachInfo(fn func(info ProcessInfo)) {
+	now := m.clk.Now()
+	refs := refPool.Get().(*[]procRef)
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		*refs = (*refs)[:0]
+		for id, idx := range sh.procs {
+			e := sh.slab.at(idx)
+			*refs = append(*refs, procRef{id: id, group: e.group, e: e, gen: e.gen.Load()})
+		}
+		sh.mu.RUnlock()
+		for _, r := range *refs {
+			if lvl, last, ok := r.e.info(r.gen, now); ok {
+				fn(ProcessInfo{ID: r.id, Group: r.group, Level: lvl, LastArrival: last})
+			}
 		}
 	}
 	*refs = (*refs)[:0]

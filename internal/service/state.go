@@ -48,7 +48,7 @@ func (m *Monitor) ExportState() MonitorState {
 		*refs = (*refs)[:0]
 		for id, idx := range sh.procs {
 			e := sh.slab.at(idx)
-			*refs = append(*refs, procRef{id, e, e.gen.Load()})
+			*refs = append(*refs, procRef{id: id, e: e, gen: e.gen.Load()})
 		}
 		sh.mu.RUnlock()
 		for _, r := range *refs {
@@ -98,7 +98,8 @@ func (m *Monitor) ImportState(st MonitorState) (restored int, err error) {
 			sh := m.shardFor(id)
 			sh.mu.Lock()
 			if e, gen = sh.get(id); e == nil {
-				e, gen = sh.bind(id, m.factory(id, m.clk.Now()))
+				now := m.clk.Now()
+				e, gen = sh.bind(id, m.factory(id, now), m.groupOf(id), now)
 			}
 			sh.mu.Unlock()
 		}

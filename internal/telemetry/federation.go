@@ -1,0 +1,44 @@
+package telemetry
+
+import "sync/atomic"
+
+// FederationCounters counts the federation plane's digest traffic: AFG1
+// suspicion digests gossiped between accruald peers. The gossip loop and
+// the digest receive path are low-rate (one frame per peer per round),
+// so plain atomics suffice; everything here is allocation-free so the
+// counters can sit on the send/receive paths of a daemon whose heartbeat
+// ingest is gated at zero allocations.
+type FederationCounters struct {
+	// DigestsSent counts AFG1 frames this daemon put on the wire —
+	// its own digests plus relayed peer digests.
+	DigestsSent atomic.Uint64
+	// DigestsReceived counts AFG1 frames accepted into the remote view
+	// (decoded, non-self origin, strictly newer than the known state).
+	DigestsReceived atomic.Uint64
+	// DigestBeats counts suspect records carried by accepted digests —
+	// the federation-plane analogue of batch beats.
+	DigestBeats atomic.Uint64
+	// DigestsStale counts decoded digests dropped because their sequence
+	// number was not newer than the origin's known state (a relay that
+	// lost the race against a direct copy; expected background noise at
+	// fanout > 1, a symptom of a partitioned relay mesh when dominant).
+	DigestsStale atomic.Uint64
+}
+
+// FederationStats is a point-in-time snapshot of FederationCounters.
+type FederationStats struct {
+	DigestsSent     uint64
+	DigestsReceived uint64
+	DigestBeats     uint64
+	DigestsStale    uint64
+}
+
+// Snapshot reads every counter once.
+func (f *FederationCounters) Snapshot() FederationStats {
+	return FederationStats{
+		DigestsSent:     f.DigestsSent.Load(),
+		DigestsReceived: f.DigestsReceived.Load(),
+		DigestBeats:     f.DigestBeats.Load(),
+		DigestsStale:    f.DigestsStale.Load(),
+	}
+}

@@ -59,6 +59,9 @@ type Hub struct {
 	// Transport counts UDP packet dispositions and the ingest queue
 	// high-water mark.
 	Transport TransportCounters
+	// Federation counts the gossip plane's digest traffic
+	// (internal/federation); zero and inert on a non-federated daemon.
+	Federation FederationCounters
 
 	qos *QoS
 }

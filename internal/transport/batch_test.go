@@ -742,6 +742,44 @@ func BenchmarkIngestBatch(b *testing.B) {
 // FuzzBatchDecode feeds arbitrary bytes through the batch decoder: it
 // must never panic, and everything it accepts must survive a re-encode /
 // re-decode round trip unchanged.
+// FuzzDigestDecode drives the AFG1 decoder with arbitrary bytes: it must
+// never panic, a rejected frame must leave the digest reset, and an
+// accepted frame must round-trip byte-identically through re-encoding
+// (NaN levels compared as bits).
+func FuzzDigestDecode(f *testing.F) {
+	good, err := MarshalDigest(sampleDigest())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte("AFG1"))
+	f.Add([]byte("AFG1\x01\x01p"))
+	f.Add(append(append([]byte(nil), good...), 0xff))
+	f.Add(good[:len(good)-5])
+	empty, _ := MarshalDigest(&Digest{Origin: "p", Seq: 1})
+	f.Add(empty)
+	single, _ := MarshalHeartbeat(core.Heartbeat{From: "p", Seq: 1})
+	f.Add(single)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var d Digest
+		if err := UnmarshalDigest(data, &d, nil); err != nil {
+			if d.Origin != "" || d.Seq != 0 || len(d.Suspects) != 0 || len(d.Groups) != 0 {
+				t.Fatalf("rejected frame left state behind: %+v", d)
+			}
+			return // rejected: fine, as long as it did not panic
+		}
+		buf, err := MarshalDigest(&d)
+		if err != nil {
+			t.Fatalf("decoded digest does not re-encode: %v", err)
+		}
+		if string(buf) != string(data) {
+			t.Fatalf("round trip changed the frame: %d vs %d bytes", len(buf), len(data))
+		}
+	})
+}
+
 func FuzzBatchDecode(f *testing.F) {
 	good, err := MarshalBatch(batchBeats(3, 2, 1))
 	if err != nil {

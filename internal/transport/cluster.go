@@ -1,0 +1,88 @@
+package transport
+
+import "time"
+
+// ClusterView is the read interface the federation plane
+// (internal/federation) implements and the HTTP API consumes — defined
+// here so transport serves GET /v1/cluster and the federation metrics
+// without importing the federation package (which imports transport for
+// the AFG1 codec).
+type ClusterView interface {
+	// ClusterInfo returns the merged fleet picture: this daemon's own
+	// slice plus every federated peer's digested view. Levels must
+	// already be JSON-safe (non-finite values clamped); the implementation
+	// owns the merge-by-freshness semantics.
+	ClusterInfo() ClusterInfo
+	// EachPeerStaleness calls fn once per known federated peer with the
+	// seconds elapsed since that peer's last accepted digest. It must not
+	// allocate: the metrics scrape walks it inside the zero-alloc render.
+	EachPeerStaleness(fn func(peer string, stalenessSeconds float64))
+}
+
+// ClusterInfo is the JSON shape of GET /v1/cluster: the federation
+// plane's merged view of every peer's slice of the fleet.
+type ClusterInfo struct {
+	// Self is this daemon's own peer (group) name.
+	Self string `json:"self"`
+	// Now is the local clock reading the view was assembled at.
+	Now time.Time `json:"now"`
+	// ConfiguredPeers are the gossip target addresses from -peers.
+	ConfiguredPeers []string `json:"configured_peers,omitempty"`
+	// Peers is every origin a digest has been accepted from.
+	Peers []ClusterPeer `json:"peers"`
+	// Suspects is the merged top-k suspect set across the local slice
+	// and every remote view, most suspected first; one entry per process
+	// id, owned by whichever origin reported the freshest arrival.
+	Suspects []ClusterSuspect `json:"suspects"`
+	// Groups is every per-group accrual rollup, local and remote.
+	Groups []ClusterGroup `json:"groups"`
+}
+
+// ClusterPeer is one federated origin's liveness summary.
+type ClusterPeer struct {
+	// Peer is the origin's self name (its -group).
+	Peer string `json:"peer"`
+	// Seq is the newest digest sequence number accepted from it.
+	Seq uint64 `json:"seq"`
+	// Procs is how many processes the origin reported monitoring.
+	Procs uint32 `json:"procs"`
+	// StalenessSeconds is the local time since its last accepted digest.
+	StalenessSeconds float64 `json:"staleness_seconds"`
+	// Stale marks a peer not heard from within the staleness cutoff; its
+	// data is still served (decayed, flagged) rather than dropped, so a
+	// partitioned peer's last known state remains inspectable.
+	Stale bool `json:"stale"`
+}
+
+// ClusterSuspect is one process in the merged suspect set.
+type ClusterSuspect struct {
+	// ID is the process id.
+	ID string `json:"id"`
+	// Owner is the peer whose digest this entry came from ("" == Self
+	// for locally monitored processes).
+	Owner string `json:"owner,omitempty"`
+	// Level is the suspicion level the owner reported (non-finite values
+	// clamped for JSON).
+	Level float64 `json:"level"`
+	// AgeSeconds is the time since the process's last heartbeat arrival
+	// at its owner, decayed by local elapsed time for remote entries.
+	AgeSeconds float64 `json:"age_seconds"`
+	// Stale marks entries owned by a stale peer.
+	Stale bool `json:"stale,omitempty"`
+}
+
+// ClusterGroup is one per-group accrual rollup in the merged view.
+type ClusterGroup struct {
+	// Group is the group name ("" = the default group).
+	Group string `json:"group"`
+	// Owner is the peer that produced the rollup ("" == Self).
+	Owner string `json:"owner,omitempty"`
+	// Procs is the group's member count at the owner.
+	Procs uint32 `json:"procs"`
+	// Impact is the sum of member suspicion levels (clamped).
+	Impact float64 `json:"impact"`
+	// Max is the maximum member suspicion level (clamped).
+	Max float64 `json:"max"`
+	// Stale marks rollups owned by a stale peer.
+	Stale bool `json:"stale,omitempty"`
+}

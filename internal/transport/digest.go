@@ -1,0 +1,309 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Digest wire format (big endian). One AFG1 frame is a peer daemon's
+// compact view of its own slice of the fleet: the top-k most suspected
+// processes it monitors directly (id, accrual level, age of the last
+// heartbeat arrival) plus one impact-style rollup per process group
+// (member count, summed accrual level, maximum level). Federated
+// accruald peers gossip these frames to each other on the heartbeat
+// port, dispatched by magic alongside AFD1/AFB1 — O(groups + k) bytes
+// per peer per round, never O(processes), which is what keeps a fleet
+// of daemons exchangeable without a state-transfer storm.
+//
+//	offset  size  field
+//	0       4     magic "AFG1"
+//	4       1     version (1)
+//	5       1     origin id length n (1..255)
+//	6       n     origin peer id (UTF-8)
+//	6+n     8     digest sequence number (per origin, strictly increasing)
+//	14+n    8     send time, Unix nanoseconds (0 = unknown)
+//	22+n    4     processes monitored at the origin
+//	26+n    2     suspect record count S (0..MaxDigestSuspects)
+//	28+n    2     group record count G (0..MaxDigestGroups)
+//	then S suspect records, each:
+//	        1     id length (1..255)
+//	        ...   process id (UTF-8)
+//	        8     suspicion level, IEEE-754 bits
+//	        8     age of the last heartbeat arrival, nanoseconds
+//	then G group records, each:
+//	        1     group name length (0..255; 0 = the default group)
+//	        ...   group name (UTF-8)
+//	        4     member process count
+//	        8     impact: sum of member suspicion levels, IEEE-754 bits
+//	        8     maximum member suspicion level, IEEE-754 bits
+//
+// Suspects carry the *age* of their last arrival rather than an absolute
+// timestamp, so the merge at the receiver needs no cross-host clock
+// agreement: the effective last-arrival is reconstructed against the
+// local receipt time and only keeps aging from there.
+//
+// Like AFB1, decoding is all-or-nothing: a truncated or corrupted frame
+// yields an error and an untouched (reset) digest, never a half-applied
+// prefix.
+const (
+	digestVersion = 1
+	// digestHeaderLen is magic + version + origin length byte.
+	digestHeaderLen = 6
+	// digestFixedLen is the fixed part after the origin id: seq + sent +
+	// process count + suspect count + group count.
+	digestFixedLen = 8 + 8 + 4 + 2 + 2
+	// digestSuspectOverhead is the per-suspect framing beyond the id.
+	digestSuspectOverhead = 1 + 16
+	// digestGroupOverhead is the per-group framing beyond the name.
+	digestGroupOverhead = 1 + 20
+	// MaxDigestSuspects bounds the suspect records one frame may carry.
+	// A decode-side cap too, so a hostile count cannot reserve
+	// pathological scratch space.
+	MaxDigestSuspects = 1024
+	// MaxDigestGroups bounds the group rollup records per frame.
+	MaxDigestGroups = 256
+)
+
+var digestMagic = [4]byte{'A', 'F', 'G', '1'}
+
+// ErrDigestTooLarge is returned by AppendDigest when the encoded frame
+// would exceed the maximum UDP payload. The caller trims its suspect or
+// group set and retries.
+var ErrDigestTooLarge = errors.New("transport: digest frame too large")
+
+// IsDigestFrame reports whether buf starts with the AFG1 digest magic —
+// the dispatch test the listener applies before choosing a decoder.
+func IsDigestFrame(buf []byte) bool {
+	return len(buf) >= 4 && [4]byte(buf[0:4]) == digestMagic
+}
+
+// DigestSuspect is one top-k suspect record: a process the origin peer
+// monitors directly, its accrual suspicion level at digest build time,
+// and how long before that the process's last heartbeat arrived.
+type DigestSuspect struct {
+	ID    string
+	Level float64
+	Age   time.Duration
+}
+
+// DigestGroup is one impact-style per-group rollup: the member count and
+// the sum and maximum of the members' suspicion levels, in the spirit of
+// the Impact Failure Detector's group impact factors — O(groups) summary
+// state instead of O(processes).
+type DigestGroup struct {
+	Group  string
+	Procs  uint32
+	Impact float64
+	Max    float64
+}
+
+// Digest is one peer's suspicion digest — the decoded form of an AFG1
+// frame. The zero value is an empty digest; decode reuses the Suspects
+// and Groups backing arrays, so a long-lived Digest makes steady-state
+// decoding allocation-free.
+type Digest struct {
+	Origin   string
+	Seq      uint64
+	Sent     time.Time
+	Procs    uint32
+	Suspects []DigestSuspect
+	Groups   []DigestGroup
+}
+
+// Reset empties the digest, keeping the slice capacity for reuse.
+func (d *Digest) Reset() {
+	d.Origin = ""
+	d.Seq = 0
+	d.Sent = time.Time{}
+	d.Procs = 0
+	d.Suspects = d.Suspects[:0]
+	d.Groups = d.Groups[:0]
+}
+
+// AppendDigest appends the AFG1 encoding of d to dst and returns the
+// extended slice — the allocation-free encode for gossip loops that
+// reuse one buffer per round (pass dst[:0]). On any error dst is
+// returned unchanged. ErrDigestTooLarge means the frame would exceed the
+// maximum UDP payload; the caller drops low-ranked suspects and retries.
+func AppendDigest(dst []byte, d *Digest) ([]byte, error) {
+	if len(d.Origin) == 0 {
+		return dst, ErrEmptyID
+	}
+	if len(d.Origin) > maxIDLen {
+		return dst, fmt.Errorf("%w: %d bytes", ErrIDTooLong, len(d.Origin))
+	}
+	if len(d.Suspects) > MaxDigestSuspects {
+		return dst, fmt.Errorf("%w: %d suspects", ErrDigestTooLarge, len(d.Suspects))
+	}
+	if len(d.Groups) > MaxDigestGroups {
+		return dst, fmt.Errorf("%w: %d groups", ErrDigestTooLarge, len(d.Groups))
+	}
+	size := digestHeaderLen + len(d.Origin) + digestFixedLen
+	for i := range d.Suspects {
+		size += digestSuspectOverhead + len(d.Suspects[i].ID)
+	}
+	for i := range d.Groups {
+		size += digestGroupOverhead + len(d.Groups[i].Group)
+	}
+	if size > MaxBatchPacketSize {
+		return dst, fmt.Errorf("%w: %d bytes", ErrDigestTooLarge, size)
+	}
+	orig := len(dst)
+	dst = append(dst, digestMagic[:]...)
+	dst = append(dst, digestVersion, byte(len(d.Origin)))
+	dst = append(dst, d.Origin...)
+	var fixed [digestFixedLen]byte
+	binary.BigEndian.PutUint64(fixed[0:8], d.Seq)
+	var sent int64
+	if !d.Sent.IsZero() {
+		sent = d.Sent.UnixNano()
+	}
+	binary.BigEndian.PutUint64(fixed[8:16], uint64(sent))
+	binary.BigEndian.PutUint32(fixed[16:20], d.Procs)
+	binary.BigEndian.PutUint16(fixed[20:22], uint16(len(d.Suspects)))
+	binary.BigEndian.PutUint16(fixed[22:24], uint16(len(d.Groups)))
+	dst = append(dst, fixed[:]...)
+	for i := range d.Suspects {
+		s := &d.Suspects[i]
+		if len(s.ID) == 0 {
+			return dst[:orig], ErrEmptyID
+		}
+		if len(s.ID) > maxIDLen {
+			return dst[:orig], fmt.Errorf("%w: %d bytes", ErrIDTooLong, len(s.ID))
+		}
+		dst = append(dst, byte(len(s.ID)))
+		dst = append(dst, s.ID...)
+		var rec [16]byte
+		binary.BigEndian.PutUint64(rec[0:8], math.Float64bits(s.Level))
+		age := s.Age
+		if age < 0 {
+			age = 0
+		}
+		binary.BigEndian.PutUint64(rec[8:16], uint64(age))
+		dst = append(dst, rec[:]...)
+	}
+	for i := range d.Groups {
+		g := &d.Groups[i]
+		if len(g.Group) > maxIDLen {
+			return dst[:orig], fmt.Errorf("%w: %d bytes", ErrIDTooLong, len(g.Group))
+		}
+		dst = append(dst, byte(len(g.Group)))
+		dst = append(dst, g.Group...)
+		var rec [20]byte
+		binary.BigEndian.PutUint32(rec[0:4], g.Procs)
+		binary.BigEndian.PutUint64(rec[4:12], math.Float64bits(g.Impact))
+		binary.BigEndian.PutUint64(rec[12:20], math.Float64bits(g.Max))
+		dst = append(dst, rec[:]...)
+	}
+	return dst, nil
+}
+
+// MarshalDigest encodes d as one AFG1 frame — the convenience wrapper
+// for tests and one-shot callers; gossip loops reuse a buffer through
+// AppendDigest instead.
+func MarshalDigest(d *Digest) ([]byte, error) {
+	return AppendDigest(nil, d)
+}
+
+// UnmarshalDigest decodes an AFG1 frame into d, reusing d's backing
+// arrays. Decoding is all-or-nothing: on any error d is left reset (an
+// empty digest) and the error wraps ErrBadPacket via the usual decode
+// taxonomy, so a truncated frame can never half-apply.
+//
+// A non-nil interner canonicalises the origin, suspect id and group name
+// strings, which makes steady-state decoding (all names seen before)
+// allocation-free; with nil each string is freshly allocated.
+func UnmarshalDigest(buf []byte, d *Digest, ids *IDInterner) error {
+	d.Reset()
+	if len(buf) < digestHeaderLen+1+digestFixedLen {
+		return fmt.Errorf("%w: %d bytes", ErrPacketShort, len(buf))
+	}
+	if [4]byte(buf[0:4]) != digestMagic {
+		return ErrBadMagic
+	}
+	if buf[4] != digestVersion {
+		return fmt.Errorf("%w: digest version %d", ErrBadVersion, buf[4])
+	}
+	n := int(buf[5])
+	if n == 0 || digestHeaderLen+n+digestFixedLen > len(buf) {
+		return fmt.Errorf("%w: origin %d, frame %d", ErrLengthMismatch, n, len(buf))
+	}
+	origin := ids.Intern(buf[digestHeaderLen : digestHeaderLen+n])
+	off := digestHeaderLen + n
+	seq := binary.BigEndian.Uint64(buf[off:])
+	sentNano := int64(binary.BigEndian.Uint64(buf[off+8:]))
+	procs := binary.BigEndian.Uint32(buf[off+16:])
+	suspects := int(binary.BigEndian.Uint16(buf[off+20:]))
+	groups := int(binary.BigEndian.Uint16(buf[off+22:]))
+	off += digestFixedLen
+	if suspects > MaxDigestSuspects {
+		return fmt.Errorf("%w: suspect count %d", ErrLengthMismatch, suspects)
+	}
+	if groups > MaxDigestGroups {
+		return fmt.Errorf("%w: group count %d", ErrLengthMismatch, groups)
+	}
+	for i := 0; i < suspects; i++ {
+		if off >= len(buf) {
+			d.Reset()
+			return fmt.Errorf("%w: digest truncated at suspect %d/%d", ErrLengthMismatch, i+1, suspects)
+		}
+		idLen := int(buf[off])
+		if idLen == 0 || off+1+idLen+16 > len(buf) {
+			d.Reset()
+			return fmt.Errorf("%w: digest suspect %d/%d (id %d, %d bytes left)",
+				ErrLengthMismatch, i+1, suspects, idLen, len(buf)-off)
+		}
+		id := ids.Intern(buf[off+1 : off+1+idLen])
+		off += 1 + idLen
+		level := math.Float64frombits(binary.BigEndian.Uint64(buf[off:]))
+		ageNanos := binary.BigEndian.Uint64(buf[off+8:])
+		if ageNanos > math.MaxInt64 {
+			d.Reset()
+			return fmt.Errorf("%w: digest suspect %d/%d age overflow", ErrLengthMismatch, i+1, suspects)
+		}
+		off += 16
+		d.Suspects = append(d.Suspects, DigestSuspect{
+			ID:    id,
+			Level: level,
+			Age:   time.Duration(ageNanos),
+		})
+	}
+	for i := 0; i < groups; i++ {
+		if off >= len(buf) {
+			d.Reset()
+			return fmt.Errorf("%w: digest truncated at group %d/%d", ErrLengthMismatch, i+1, groups)
+		}
+		nameLen := int(buf[off])
+		if off+1+nameLen+20 > len(buf) {
+			d.Reset()
+			return fmt.Errorf("%w: digest group %d/%d (name %d, %d bytes left)",
+				ErrLengthMismatch, i+1, groups, nameLen, len(buf)-off)
+		}
+		var name string
+		if nameLen > 0 {
+			name = ids.Intern(buf[off+1 : off+1+nameLen])
+		}
+		off += 1 + nameLen
+		d.Groups = append(d.Groups, DigestGroup{
+			Group:  name,
+			Procs:  binary.BigEndian.Uint32(buf[off:]),
+			Impact: math.Float64frombits(binary.BigEndian.Uint64(buf[off+4:])),
+			Max:    math.Float64frombits(binary.BigEndian.Uint64(buf[off+12:])),
+		})
+		off += 20
+	}
+	if off != len(buf) {
+		d.Reset()
+		return fmt.Errorf("%w: %d trailing bytes after digest", ErrLengthMismatch, len(buf)-off)
+	}
+	d.Origin = origin
+	d.Seq = seq
+	if sentNano != 0 {
+		d.Sent = unixNano(sentNano)
+	}
+	d.Procs = procs
+	return nil
+}

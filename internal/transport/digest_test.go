@@ -1,0 +1,394 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"accrual/internal/core"
+)
+
+func sampleDigest() *Digest {
+	return &Digest{
+		Origin: "peer-east",
+		Seq:    42,
+		Sent:   time.Date(2005, 3, 22, 0, 0, 0, 12345, time.UTC),
+		Procs:  100_000,
+		Suspects: []DigestSuspect{
+			{ID: "node-07", Level: 11.25, Age: 3 * time.Second},
+			{ID: "node-19", Level: 2.5, Age: 250 * time.Millisecond},
+			{ID: "n", Level: 0, Age: 0},
+		},
+		Groups: []DigestGroup{
+			{Group: "", Procs: 40_000, Impact: 12.75, Max: 11.25},
+			{Group: "west", Procs: 60_000, Impact: 1.5, Max: 0.75},
+		},
+	}
+}
+
+func TestDigestRoundTrip(t *testing.T) {
+	d := sampleDigest()
+	frame, err := MarshalDigest(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsDigestFrame(frame) {
+		t.Fatal("encoded digest not recognised as a digest frame")
+	}
+	if IsBatchFrame(frame) {
+		t.Fatal("digest frame matched the batch codec's magic")
+	}
+	var got Digest
+	if err := UnmarshalDigest(frame, &got, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got.Origin != d.Origin || got.Seq != d.Seq || !got.Sent.Equal(d.Sent) || got.Procs != d.Procs {
+		t.Errorf("header: got %q/%d/%v/%d, want %q/%d/%v/%d",
+			got.Origin, got.Seq, got.Sent, got.Procs, d.Origin, d.Seq, d.Sent, d.Procs)
+	}
+	if len(got.Suspects) != len(d.Suspects) {
+		t.Fatalf("decoded %d suspects, want %d", len(got.Suspects), len(d.Suspects))
+	}
+	for i := range d.Suspects {
+		if got.Suspects[i] != d.Suspects[i] {
+			t.Errorf("suspect %d: got %+v, want %+v", i, got.Suspects[i], d.Suspects[i])
+		}
+	}
+	if len(got.Groups) != len(d.Groups) {
+		t.Fatalf("decoded %d groups, want %d", len(got.Groups), len(d.Groups))
+	}
+	for i := range d.Groups {
+		if got.Groups[i] != d.Groups[i] {
+			t.Errorf("group %d: got %+v, want %+v", i, got.Groups[i], d.Groups[i])
+		}
+	}
+}
+
+// TestDigestRoundTripEdges pins the corners of the format: an unknown
+// send time stays zero, empty suspect and group sets are valid, and
+// non-finite levels pass through as raw IEEE-754 bits (clamping is the
+// JSON layer's job, not the codec's).
+func TestDigestRoundTripEdges(t *testing.T) {
+	d := &Digest{Origin: "p", Seq: 1}
+	frame, err := MarshalDigest(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Digest
+	if err := UnmarshalDigest(frame, &got, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Sent.IsZero() {
+		t.Errorf("Sent = %v, want zero for an unknown send time", got.Sent)
+	}
+	if len(got.Suspects) != 0 || len(got.Groups) != 0 {
+		t.Errorf("empty digest decoded to %d suspects, %d groups", len(got.Suspects), len(got.Groups))
+	}
+
+	d = &Digest{
+		Origin: "p",
+		Seq:    2,
+		Suspects: []DigestSuspect{
+			{ID: "inf", Level: math.Inf(1), Age: time.Hour},
+			{ID: "nan", Level: math.NaN(), Age: 0},
+		},
+	}
+	frame, err = MarshalDigest(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := UnmarshalDigest(frame, &got, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(got.Suspects[0].Level, 1) {
+		t.Errorf("level = %v, want +Inf preserved", got.Suspects[0].Level)
+	}
+	if !math.IsNaN(got.Suspects[1].Level) {
+		t.Errorf("level = %v, want NaN preserved", got.Suspects[1].Level)
+	}
+
+	// Negative ages are clamped at encode time, never sent negative.
+	d = &Digest{Origin: "p", Seq: 3, Suspects: []DigestSuspect{{ID: "x", Age: -time.Second}}}
+	frame, err = MarshalDigest(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := UnmarshalDigest(frame, &got, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got.Suspects[0].Age != 0 {
+		t.Errorf("age = %v, want negative clamped to 0", got.Suspects[0].Age)
+	}
+}
+
+// TestDigestDecodeAtomicity cuts a valid frame at every possible byte
+// offset: every proper prefix must be rejected whole, leaving the
+// destination digest reset — never a half-applied suspect or group
+// prefix.
+func TestDigestDecodeAtomicity(t *testing.T) {
+	frame, err := MarshalDigest(sampleDigest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Digest
+	for cut := 0; cut < len(frame); cut++ {
+		// Pre-poison the digest: a decode that errors without resetting
+		// would leave these visible.
+		d.Origin = "poison"
+		d.Seq = 999
+		d.Suspects = append(d.Suspects[:0], DigestSuspect{ID: "poison"})
+		d.Groups = append(d.Groups[:0], DigestGroup{Group: "poison"})
+		err := UnmarshalDigest(frame[:cut], &d, nil)
+		if err == nil {
+			t.Fatalf("cut at %d/%d decoded successfully", cut, len(frame))
+		}
+		if !errors.Is(err, ErrBadPacket) {
+			t.Fatalf("cut at %d: err %v does not wrap ErrBadPacket", cut, err)
+		}
+		if d.Origin != "" || d.Seq != 0 || len(d.Suspects) != 0 || len(d.Groups) != 0 {
+			t.Fatalf("cut at %d: digest not reset (origin %q, %d suspects, %d groups)",
+				cut, d.Origin, len(d.Suspects), len(d.Groups))
+		}
+	}
+}
+
+func TestDigestDecodeRejects(t *testing.T) {
+	frame, err := MarshalDigest(sampleDigest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	origin := len("peer-east")
+	suspectCountOff := digestHeaderLen + origin + 20
+	groupCountOff := digestHeaderLen + origin + 22
+	firstSuspectOff := digestHeaderLen + origin + digestFixedLen
+	cases := []struct {
+		name   string
+		mangle func([]byte) []byte
+		want   error
+	}{
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }, ErrBadMagic},
+		{"bad version", func(b []byte) []byte { b[4] = 9; return b }, ErrBadVersion},
+		{"zero origin length", func(b []byte) []byte { b[5] = 0; return b }, ErrLengthMismatch},
+		{"origin overruns frame", func(b []byte) []byte { b[5] = 255; return b[:digestHeaderLen+64] }, ErrLengthMismatch},
+		{"suspect count over cap", func(b []byte) []byte {
+			b[suspectCountOff], b[suspectCountOff+1] = 0xff, 0xff
+			return b
+		}, ErrLengthMismatch},
+		{"group count over cap", func(b []byte) []byte {
+			b[groupCountOff], b[groupCountOff+1] = 0xff, 0xff
+			return b
+		}, ErrLengthMismatch},
+		{"suspect count understates", func(b []byte) []byte { b[suspectCountOff+1] = 2; return b }, ErrLengthMismatch},
+		{"suspect count overstates", func(b []byte) []byte { b[suspectCountOff+1] = 4; return b }, ErrLengthMismatch},
+		{"zero suspect id length", func(b []byte) []byte { b[firstSuspectOff] = 0; return b }, ErrLengthMismatch},
+		{"suspect age overflows int64", func(b []byte) []byte {
+			// First suspect: 1 idLen byte + 7-byte id + 8 level, then age.
+			ageOff := firstSuspectOff + 1 + len("node-07") + 8
+			b[ageOff] = 0x80
+			return b
+		}, ErrLengthMismatch},
+		{"trailing bytes", func(b []byte) []byte { return append(b, 0) }, ErrLengthMismatch},
+		{"short frame", func(b []byte) []byte { return b[:digestHeaderLen] }, ErrPacketShort},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			buf := append([]byte(nil), frame...)
+			var d Digest
+			err := UnmarshalDigest(tc.mangle(buf), &d, nil)
+			if !errors.Is(err, tc.want) {
+				t.Errorf("err = %v, want %v", err, tc.want)
+			}
+			if d.Origin != "" || len(d.Suspects) != 0 || len(d.Groups) != 0 {
+				t.Errorf("rejected frame left state behind: origin %q, %d suspects, %d groups",
+					d.Origin, len(d.Suspects), len(d.Groups))
+			}
+		})
+	}
+}
+
+// TestDigestEncodeRejects pins the encode-side validation: a rejected
+// digest must leave dst untouched, and every reject names the field via
+// the shared error taxonomy.
+func TestDigestEncodeRejects(t *testing.T) {
+	long := string(make([]byte, maxIDLen+1))
+	manySuspects := make([]DigestSuspect, MaxDigestSuspects+1)
+	for i := range manySuspects {
+		manySuspects[i] = DigestSuspect{ID: "x"}
+	}
+	manyGroups := make([]DigestGroup, MaxDigestGroups+1)
+	// MaxDigestSuspects ids of maximum length overflow one UDP payload
+	// with every record still individually valid.
+	huge := make([]DigestSuspect, MaxDigestSuspects)
+	for i := range huge {
+		huge[i] = DigestSuspect{ID: fmt.Sprintf("%0*d", maxIDLen, i)}
+	}
+	cases := []struct {
+		name string
+		d    Digest
+		want error
+	}{
+		{"empty origin", Digest{}, ErrEmptyID},
+		{"long origin", Digest{Origin: long}, ErrIDTooLong},
+		{"too many suspects", Digest{Origin: "p", Suspects: manySuspects}, ErrDigestTooLarge},
+		{"too many groups", Digest{Origin: "p", Groups: manyGroups}, ErrDigestTooLarge},
+		{"payload too large", Digest{Origin: "p", Suspects: huge}, ErrDigestTooLarge},
+		{"empty suspect id", Digest{Origin: "p", Suspects: []DigestSuspect{{}}}, ErrEmptyID},
+		{"long suspect id", Digest{Origin: "p", Suspects: []DigestSuspect{{ID: long}}}, ErrIDTooLong},
+		{"long group name", Digest{Origin: "p", Groups: []DigestGroup{{Group: long}}}, ErrIDTooLong},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dst := []byte("prefix")
+			got, err := AppendDigest(dst, &tc.d)
+			if !errors.Is(err, tc.want) {
+				t.Errorf("err = %v, want %v", err, tc.want)
+			}
+			if string(got) != "prefix" {
+				t.Errorf("dst mutated to %d bytes on error", len(got))
+			}
+		})
+	}
+}
+
+// TestDigestCodecZeroAlloc pins the steady-state codec at zero
+// allocations per frame in both directions: a reused append buffer on
+// the send side, a reused digest plus a warm id interner on the receive
+// side — the contract the federation gossip loop builds on.
+func TestDigestCodecZeroAlloc(t *testing.T) {
+	src := sampleDigest()
+	ids := NewIDInterner()
+	var buf []byte
+	var dst Digest
+	encode := func() {
+		src.Seq++
+		var err error
+		buf, err = AppendDigest(buf[:0], src)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	decode := func() {
+		if err := UnmarshalDigest(buf, &dst, ids); err != nil {
+			t.Fatal(err)
+		}
+		if len(dst.Suspects) != len(src.Suspects) {
+			t.Fatalf("decoded %d suspects, want %d", len(dst.Suspects), len(src.Suspects))
+		}
+	}
+	encode()
+	decode() // warm: buffers grown, ids interned
+	if allocs := testing.AllocsPerRun(1000, encode); allocs != 0 {
+		t.Errorf("digest encode: %.1f allocs/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(1000, decode); allocs != 0 {
+		t.Errorf("digest decode: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestListenerDigestDispatch proves AFG1 frames share the heartbeat port:
+// a digest datagram reaches the registered handler with its contents
+// intact, heartbeats on the same socket still reach the monitor, and a
+// daemon without a handler just counts the frame instead of crashing.
+func TestListenerDigestDispatch(t *testing.T) {
+	mon := newMonitor()
+	var mu sync.Mutex
+	var got []Digest
+	l, err := Listen("127.0.0.1:0", mon, WithDigestHandler(func(d *Digest, arrived time.Time) {
+		if arrived.IsZero() {
+			t.Error("arrived not stamped")
+		}
+		mu.Lock()
+		got = append(got, Digest{
+			Origin:   d.Origin,
+			Seq:      d.Seq,
+			Procs:    d.Procs,
+			Suspects: append([]DigestSuspect(nil), d.Suspects...),
+			Groups:   append([]DigestGroup(nil), d.Groups...),
+		})
+		mu.Unlock()
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	conn, err := net.Dial("udp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	frame, err := MarshalDigest(sampleDigest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	hb, err := MarshalHeartbeat(core.Heartbeat{From: "beater", Seq: 1, Sent: time.Now()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(hb); err != nil {
+		t.Fatal(err)
+	}
+	// A corrupt digest folds into the decode-drop taxonomy.
+	bad := append([]byte(nil), frame...)
+	bad[len(bad)-1]++
+	if _, err := conn.Write(append(bad, 0)); err != nil {
+		t.Fatal(err)
+	}
+
+	waitUntil(t, 3*time.Second, func() bool {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		return n == 1 && mon.Known("beater") && l.Stats().PacketsMalformed == 1
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	want := sampleDigest()
+	if got[0].Origin != want.Origin || got[0].Seq != want.Seq || got[0].Procs != want.Procs {
+		t.Errorf("dispatched digest header = %q/%d/%d, want %q/%d/%d",
+			got[0].Origin, got[0].Seq, got[0].Procs, want.Origin, want.Seq, want.Procs)
+	}
+	if len(got[0].Suspects) != len(want.Suspects) || len(got[0].Groups) != len(want.Groups) {
+		t.Errorf("dispatched digest carried %d suspects, %d groups; want %d, %d",
+			len(got[0].Suspects), len(got[0].Groups), len(want.Suspects), len(want.Groups))
+	}
+	if mon.Known(want.Suspects[0].ID) {
+		t.Error("digest suspects must not be registered as local processes")
+	}
+}
+
+// TestListenerDigestWithoutHandler pins the no-handler path: the frame is
+// decoded (validated) and dropped without a crash or a malformed count.
+func TestListenerDigestWithoutHandler(t *testing.T) {
+	mon := newMonitor()
+	l, err := Listen("127.0.0.1:0", mon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	conn, err := net.Dial("udp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	frame, err := MarshalDigest(sampleDigest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, 3*time.Second, func() bool {
+		return l.Stats().PacketsReceived >= 1
+	})
+	if dropped := l.Stats().PacketsMalformed; dropped != 0 {
+		t.Errorf("valid digest counted as malformed (%d)", dropped)
+	}
+}

@@ -45,6 +45,7 @@ type API struct {
 	hub     *telemetry.Hub
 	watcher *service.Watcher
 	sampler *telemetry.Sampler
+	cluster ClusterView
 	mux     *http.ServeMux
 }
 
@@ -75,6 +76,13 @@ func WithSampler(s *telemetry.Sampler) APIOption {
 	return func(a *API) { a.sampler = s }
 }
 
+// WithClusterView enables GET /v1/cluster, serving the federation
+// plane's merged fleet view, and the per-peer staleness gauge on
+// /v1/metrics.
+func WithClusterView(v ClusterView) APIOption {
+	return func(a *API) { a.cluster = v }
+}
+
 // NewAPI returns the HTTP handler for a monitor.
 func NewAPI(mon *service.Monitor, opts ...APIOption) *API {
 	a := &API{mon: mon, mux: http.NewServeMux()}
@@ -89,6 +97,7 @@ func NewAPI(mon *service.Monitor, opts ...APIOption) *API {
 	a.mux.HandleFunc("PUT /v1/state", a.handleStateRestore)
 	a.mux.HandleFunc("GET /v1/healthz", a.handleHealthz)
 	a.mux.HandleFunc("GET /v1/metrics", a.handleMetrics)
+	a.mux.HandleFunc("GET /v1/cluster", a.handleCluster)
 	return a
 }
 
@@ -265,6 +274,14 @@ func (a *API) handleStateRestore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, StateRestoreResponse{Restored: n})
+}
+
+func (a *API) handleCluster(w http.ResponseWriter, _ *http.Request) {
+	if a.cluster == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "federation not enabled"})
+		return
+	}
+	writeJSON(w, http.StatusOK, a.cluster.ClusterInfo())
 }
 
 func (a *API) handleHealthz(w http.ResponseWriter, _ *http.Request) {

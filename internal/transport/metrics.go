@@ -246,6 +246,26 @@ func (a *API) writeGlobalMetrics(mw *telemetry.MetricWriter) {
 	counter("accrual_sender_redials_total",
 		"Local sender reconnection attempts after a torn-down socket", ts.Redials)
 
+	fed := a.hub.Federation.Snapshot()
+	counter("accrual_federation_digests_sent_total",
+		"AFG1 suspicion digests put on the wire (own rounds plus relays)", fed.DigestsSent)
+	counter("accrual_federation_digests_received_total",
+		"AFG1 suspicion digests accepted into the remote view", fed.DigestsReceived)
+	counter("accrual_federation_digest_beats_total",
+		"Suspect records carried by accepted digests", fed.DigestBeats)
+	mw.Header("accrual_federation_digests_dropped_total",
+		"Decoded digests dropped before merging, by reason", "counter")
+	mw.Sample("accrual_federation_digests_dropped_total", float64(fed.DigestsStale),
+		telemetry.Label{Name: "reason", Value: "stale_seq"})
+	if a.cluster != nil {
+		mw.Header("accrual_federation_peer_staleness_seconds",
+			"Seconds since the last accepted digest from each federated peer", "gauge")
+		a.cluster.EachPeerStaleness(func(peer string, staleness float64) {
+			mw.Sample("accrual_federation_peer_staleness_seconds", staleness,
+				telemetry.Label{Name: "peer", Value: peer})
+		})
+	}
+
 	count, mean, max := a.hub.QoS().DetectionStats()
 	mw.Header("accrual_qos_detections_total",
 		"Crashes detected (crash-marked processes deregistered while suspected)", "counter")

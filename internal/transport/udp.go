@@ -617,6 +617,12 @@ type Listener struct {
 	// instance and is redirected to a shared hub by WithTelemetry, so
 	// the counting code never branches on "telemetry enabled".
 	tel *telemetry.TransportCounters
+
+	// digestFn, when set via WithDigestHandler, receives decoded AFG1
+	// suspicion digests from federated peers. Without it digest frames
+	// are decoded (and counted) but ignored — a non-federated daemon
+	// tolerates a misdirected peer without log spam.
+	digestFn func(d *Digest, arrived time.Time)
 }
 
 // sockLoop is one socket's read loop with its private decode scratch:
@@ -629,6 +635,9 @@ type sockLoop struct {
 	cell        *telemetry.SocketCell
 	beatScratch []core.Heartbeat
 	groups      [][]core.Heartbeat
+	// dig is this loop's private digest decode scratch; the handler must
+	// copy anything it keeps past its return.
+	dig Digest
 }
 
 // ListenerOption configures a Listener.
@@ -712,6 +721,15 @@ func WithListenerSockets(n int) ListenerOption {
 		}
 		l.sockets = n
 	}
+}
+
+// WithDigestHandler routes decoded AFG1 suspicion digests (gossiped by
+// federated accruald peers, sharing the heartbeat port) to fn, called
+// from the read loop with the frame's arrival time. The digest is the
+// loop's reused decode scratch: fn must copy whatever it keeps. A nil fn
+// keeps the default of decoding and ignoring digest frames.
+func WithDigestHandler(fn func(d *Digest, arrived time.Time)) ListenerOption {
+	return func(l *Listener) { l.digestFn = fn }
 }
 
 // WithInternTable substitutes the id intern table backing decoded
@@ -904,12 +922,22 @@ func (sl *sockLoop) run() {
 	}
 }
 
-// handleDatagram decodes one datagram — AFB1 batch or single-beat AFD1,
-// told apart by the magic — counts its disposition, and hands the
-// decoded beats to ingest.
+// handleDatagram decodes one datagram — AFG1 digest, AFB1 batch or
+// single-beat AFD1, told apart by the magic — counts its disposition,
+// and hands the decoded beats to ingest (or the digest to its handler).
 func (sl *sockLoop) handleDatagram(buf []byte, arrived time.Time) {
 	l := sl.l
 	l.tel.PacketsReceived.Add(1)
+	if IsDigestFrame(buf) {
+		if err := UnmarshalDigest(buf, &sl.dig, l.ids); err != nil {
+			l.countDecodeError(err)
+			return
+		}
+		if l.digestFn != nil {
+			l.digestFn(&sl.dig, arrived)
+		}
+		return
+	}
 	if IsBatchFrame(buf) {
 		beats, err := UnmarshalBatch(buf, sl.beatScratch[:0], l.ids)
 		if err != nil {
