@@ -30,6 +30,12 @@
 //	    print a federated daemon's merged fleet view (GET /v1/cluster):
 //	    every gossip peer with its digest freshness, the merged
 //	    most-suspected processes and the per-group accrual rollups
+//	accrualctl tune plan [-api ...] [-json]
+//	    print the autotuner's dry-run plan: measured channel statistics,
+//	    current vs proposed knobs and the predicted QoS (GET /v1/tune)
+//	accrualctl tune apply [-api ...] [-json]
+//	    run one autotune controller round now and print the applied
+//	    plan (POST /v1/tune)
 //
 // `state dump | state restore` is the live handoff path: pipe one
 // daemon's learned estimator state straight into its replacement so the
@@ -83,6 +89,8 @@ func run(args []string) int {
 		err = cmdTop(args[1:])
 	case "cluster":
 		err = cmdCluster(args[1:])
+	case "tune":
+		err = cmdTune(args[1:])
 	default:
 		usage()
 		return 2
@@ -95,7 +103,7 @@ func run(args []string) int {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: accrualctl <beat|ls|get|status|watch|history|state|top|cluster> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: accrualctl <beat|ls|get|status|watch|history|state|top|cluster|tune> [flags]")
 }
 
 func cmdHistory(args []string) error {

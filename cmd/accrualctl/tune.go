@@ -1,0 +1,121 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"accrual/internal/transport"
+)
+
+// cmdTune drives the daemon's autotuner: `tune plan` fetches the
+// dry-run plan (GET /v1/tune), `tune apply` runs one controller round
+// (POST /v1/tune). Both print the same current-vs-proposed table.
+func cmdTune(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: accrualctl tune <plan|apply> [flags]")
+	}
+	var apply bool
+	switch args[0] {
+	case "plan":
+	case "apply":
+		apply = true
+	default:
+		return fmt.Errorf("usage: accrualctl tune <plan|apply> [flags]")
+	}
+	fs := flag.NewFlagSet("tune "+args[0], flag.ContinueOnError)
+	api := fs.String("api", "http://127.0.0.1:8080", "daemon HTTP address")
+	asJSON := fs.Bool("json", false, "print the raw plan JSON")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+
+	var plan transport.TunePlanResponse
+	if apply {
+		if err := postJSON(*api, "/v1/tune", &plan); err != nil {
+			return err
+		}
+	} else {
+		if err := getJSON(*api, "/v1/tune", nil, &plan); err != nil {
+			return err
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(plan)
+	}
+	printPlan(plan, apply)
+	return nil
+}
+
+func printPlan(plan transport.TunePlanResponse, applied bool) {
+	m := plan.Measured
+	verb := "plan"
+	if applied {
+		verb = "round"
+	}
+	fmt.Printf("%s %d: %s\n", verb, plan.Round, plan.Reason)
+	fmt.Printf("measured: %d procs (%d estimable, %d suspected), loss %.1f%%, interval %v (arrivals %v ± %v)\n",
+		m.Procs, m.Estimable, m.Suspected, m.LossProb*100,
+		time.Duration(m.IntervalNs), time.Duration(m.ArrivalMeanNs), time.Duration(m.ArrivalStdDevNs))
+	if m.Detections > 0 {
+		fmt.Printf("detections: %d recorded, mean T_D %v, max %v\n",
+			m.Detections, time.Duration(m.DetectionMeanNs), time.Duration(m.DetectionMaxNs))
+	}
+	if !plan.Feasible {
+		return
+	}
+	fmt.Printf("\n%-16s %14s %14s\n", "KNOB", "CURRENT", "PROPOSED")
+	fmt.Printf("%-16s %14.4f %14.4f\n", "threshold-high", plan.Current.ThresholdHigh, plan.Proposed.ThresholdHigh)
+	fmt.Printf("%-16s %14.4f %14.4f\n", "threshold-low", plan.Current.ThresholdLow, plan.Proposed.ThresholdLow)
+	fmt.Printf("%-16s %14d %14d\n", "window-size", plan.Current.WindowSize, plan.Proposed.WindowSize)
+	fmt.Printf("%-16s %14v %14v\n", "interval",
+		time.Duration(plan.Current.IntervalNs), time.Duration(plan.Proposed.IntervalNs))
+	fmt.Printf("\npredicted: T_D %v, T_MR %v (trim %.3f",
+		time.Duration(plan.PredictedDetectionNs), time.Duration(plan.PredictedRecurrenceNs), plan.Trim)
+	if plan.Clamped {
+		fmt.Printf(", step-clamped")
+	}
+	fmt.Printf(")\nrecommended protocol: interval %v, margin %v\n",
+		time.Duration(plan.RecommendedIntervalNs), time.Duration(plan.RecommendedAlphaNs))
+	if applied {
+		if plan.Applied {
+			fmt.Printf("applied: %d detectors retuned, %d skipped\n",
+				plan.TunedDetectors, plan.SkippedDetectors)
+		} else {
+			fmt.Println("not applied")
+		}
+	}
+	if len(plan.Groups) > 1 {
+		fmt.Printf("\n%-16s %8s %10s %12s\n", "GROUP", "PROCS", "LOSS", "ARRIVAL")
+		for _, g := range plan.Groups {
+			name := g.Group
+			if name == "" {
+				name = "(default)"
+			}
+			fmt.Printf("%-16s %8d %9.1f%% %12v\n", name, g.Procs, g.LossProb*100, time.Duration(g.ArrivalMeanNs))
+		}
+	}
+}
+
+// postJSON POSTs an empty body and decodes the JSON response, with the
+// same error shaping as getJSON.
+func postJSON(api, path string, out any) error {
+	resp, err := http.Post(api+path, "application/json", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("%s: %s (%s)", path, resp.Status, e.Error)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

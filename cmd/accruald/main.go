@@ -12,6 +12,19 @@
 //	         [-qos-high 2] [-qos-low 1] [-pprof-addr localhost:6060]
 //	         [-group east -peers host2:7946,host3:7946]
 //	         [-federation-interval 1s] [-fanout 2] [-digest-topk 64]
+//	         [-autotune -target-td 2s] [-target-tmr 5m] [-target-pa 0.99]
+//	         [-autotune-interval 10s] [-autotune-step 0.25]
+//
+// With -target-td the daemon builds the online QoS autotuner
+// (internal/autotune): GET /v1/tune serves a dry-run tuning plan and
+// POST /v1/tune applies one controller round (`accrualctl tune
+// plan|apply`). Adding -autotune runs the controller periodically,
+// steering the reference-interpreter thresholds and the detectors'
+// estimator windows toward the -target-* QoS bounds under the measured
+// loss and jitter; every knob move is limited to ±autotune-step per
+// round and every estimator retune preserves accrued suspicion
+// (core.Retunable). Progress is observable via the accrual_autotune_*
+// series on /v1/metrics.
 //
 // With -peers the daemon federates: every -federation-interval it
 // digests its own slice of the fleet (the -digest-topk most suspected
@@ -77,6 +90,7 @@ import (
 	"syscall"
 	"time"
 
+	"accrual/internal/autotune"
 	"accrual/internal/chen"
 	"accrual/internal/clock"
 	"accrual/internal/core"
@@ -122,6 +136,12 @@ func run(ctx context.Context, args []string, ready chan<- [2]string) error {
 		stateIntv = fs.Duration("state-interval", 30*time.Second, "period between state-file saves")
 		qosHigh   = fs.Float64("qos-high", float64(telemetry.DefaultQoSHigh), "online QoS reference threshold: suspect above this level")
 		qosLow    = fs.Float64("qos-low", float64(telemetry.DefaultQoSLow), "online QoS reference threshold: trust again at or below this level")
+		autoTune  = fs.Bool("autotune", false, "run the online QoS autotuner (requires -target-td)")
+		tuneIntv  = fs.Duration("autotune-interval", 10*time.Second, "period between autotune controller rounds")
+		targetTD  = fs.Duration("target-td", 0, "QoS target: max detection time T_D^U the autotuner steers toward")
+		targetTMR = fs.Duration("target-tmr", 0, "QoS target: min mistake recurrence T_MR^L (0 = 100x -target-td)")
+		targetPA  = fs.Float64("target-pa", 0, "QoS target: min query accuracy P_A; below it the autotuner widens the lateness budget (0 disables)")
+		tuneStep  = fs.Float64("autotune-step", 0.25, "max relative knob change per autotune round (0 < step < 1)")
 		pprofAddr = fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables; keep it on localhost)")
 		peers     = fs.String("peers", "", "comma-separated heartbeat addresses of peer daemons to federate with (requires -group)")
 		fedIntv   = fs.Duration("federation-interval", federation.DefaultInterval, "gossip period between suspicion digests")
@@ -139,6 +159,13 @@ func run(ctx context.Context, args []string, ready chan<- [2]string) error {
 	factory, err := detectorFactory(*detName, *interval, profile)
 	if err != nil {
 		return err
+	}
+	// Threshold validation is a hard boot failure here: the Hub option
+	// falls back to defaults on invalid pairs (it has no error path), and
+	// silently ignoring an operator's explicit -qos-high/-qos-low is
+	// exactly the kind of seam an autotuner must not sit on.
+	if _, err := telemetry.NewQoS(core.Level(*qosHigh), core.Level(*qosLow)); err != nil {
+		return fmt.Errorf("-qos-high/-qos-low: %w", err)
 	}
 	hub := telemetry.NewHub(telemetry.WithQoSThresholds(core.Level(*qosHigh), core.Level(*qosLow)))
 	// One id intern table serves both the UDP decode path and the
@@ -186,6 +213,31 @@ func run(ctx context.Context, args []string, ready chan<- [2]string) error {
 	sampler := telemetry.StartSampler(hub.QoS(), mon, *interval)
 	defer sampler.Stop()
 
+	// Online QoS autotuning: close the loop between the estimators above
+	// and the detector/threshold knobs. The controller is constructed
+	// whenever a detection-time target is given (so `accrualctl tune
+	// plan` works as a dry run); the background loop only runs with
+	// -autotune.
+	var tuner *autotune.Controller
+	if *autoTune && *targetTD <= 0 {
+		return errors.New("-autotune requires -target-td (the detection-time target)")
+	}
+	if *targetTD > 0 {
+		tuner, err = autotune.New(autotune.Config{
+			Monitor:  mon,
+			QoS:      hub.QoS(),
+			Counters: &hub.Autotune,
+			Targets:  chen.QoS{MaxDetectionTime: *targetTD, MinMistakeRecurrence: *targetTMR},
+			TargetPA: *targetPA,
+			Detector: *detName,
+			Every:    *tuneIntv,
+			MaxStep:  *tuneStep,
+		})
+		if err != nil {
+			return err
+		}
+	}
+
 	// Warm boot: restore any persisted detector state before the
 	// listeners open, so the first heartbeats land on calibrated
 	// estimators. A missing file is a cold start, not an error.
@@ -232,6 +284,15 @@ func run(ctx context.Context, args []string, ready chan<- [2]string) error {
 	apiOpts := []transport.APIOption{
 		transport.WithAPITelemetry(hub),
 		transport.WithSampler(sampler),
+	}
+	if tuner != nil {
+		apiOpts = append(apiOpts, transport.WithTuner(tuner))
+		if *autoTune {
+			tuner.Start()
+			defer tuner.Stop()
+			log.Printf("autotune: target T_D=%v T_MR=%v P_A=%.3g, every %v, max step %.0f%%",
+				*targetTD, *targetTMR, *targetPA, *tuneIntv, *tuneStep*100)
+		}
 	}
 	if fed != nil {
 		fed.Start()

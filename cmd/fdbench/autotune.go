@@ -1,0 +1,295 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"accrual/internal/autotune"
+	"accrual/internal/chen"
+	"accrual/internal/clock"
+	"accrual/internal/core"
+	"accrual/internal/faultinject"
+	"accrual/internal/service"
+	"accrual/internal/telemetry"
+)
+
+// autotuneResult is the single BENCH_autotune.json artifact: one
+// closed-loop convergence sweep of the QoS autotuner over a lossy,
+// jittery channel, with the suspicion-continuity bound checked at every
+// applied retune.
+type autotuneResult struct {
+	Name string `json:"name"`
+	// The scenario: Procs chen detectors heartbeating every IntervalMs,
+	// through a faultinject plan dropping DropProb of the packets and
+	// delaying DelayProb of them by up to MaxDelayMs.
+	Procs      int     `json:"procs"`
+	IntervalMs float64 `json:"interval_ms"`
+	DropProb   float64 `json:"drop_prob"`
+	DelayProb  float64 `json:"delay_prob"`
+	MaxDelayMs float64 `json:"max_delay_ms"`
+	// The operator targets handed to the controller.
+	TargetTDMs  float64 `json:"target_td_ms"`
+	TargetTMRMs float64 `json:"target_tmr_ms"`
+	// MeasuredLoss is what the controller's last measurement saw.
+	MeasuredLoss float64 `json:"measured_loss"`
+	// Per-round trace of the sweep.
+	Rounds []autotuneRound `json:"rounds"`
+	// ConvergedRound is the first round whose probe detection time
+	// landed within 15% of the target (0 = never).
+	ConvergedRound int     `json:"converged_round"`
+	FinalTDMs      float64 `json:"final_td_ms"`
+	FinalTDError   float64 `json:"final_td_error"`
+	// ContinuityMax is the largest |Δ suspicion| observed across any
+	// process at any applied retune instant; ContinuityOK is that bound
+	// checked against 1e-6.
+	ContinuityMax float64 `json:"continuity_max"`
+	ContinuityOK  bool    `json:"continuity_ok"`
+}
+
+type autotuneRound struct {
+	Round         int     `json:"round"`
+	ThresholdHigh float64 `json:"threshold_high"`
+	WindowSize    int     `json:"window_size"`
+	Trim          float64 `json:"trim"`
+	Applied       bool    `json:"applied"`
+	Clamped       bool    `json:"clamped"`
+	// TDMs is the probe-crash detection time measured after this round's
+	// knobs took effect; TDError its relative distance from the target.
+	TDMs    float64 `json:"td_ms"`
+	TDError float64 `json:"td_error"`
+	// ContinuityMax is the largest |Δ suspicion| across the fleet at
+	// this round's retune instant (0 when nothing was applied).
+	ContinuityMax float64 `json:"continuity_max"`
+}
+
+// autotuneFleet drives a manual-clock chen fleet through a faultinject
+// channel: every heartbeat is offered to the injector, which decides
+// drop and delay deterministically.
+type autotuneFleet struct {
+	clk  *clock.Manual
+	mon  *service.Monitor
+	hub  *telemetry.Hub
+	inj  *faultinject.Injector
+	eta  time.Duration
+	ids  []string
+	seq  map[string]uint64
+	dead map[string]bool
+}
+
+func newAutotuneFleet(procs int, eta time.Duration, faults faultinject.Faults) *autotuneFleet {
+	f := &autotuneFleet{
+		clk:  clock.NewManual(time.Date(2005, 3, 22, 0, 0, 0, 0, time.UTC)),
+		hub:  telemetry.NewHub(),
+		inj:  faultinject.New(faults, 1),
+		eta:  eta,
+		seq:  make(map[string]uint64),
+		dead: make(map[string]bool),
+	}
+	f.mon = service.NewMonitor(f.clk, func(_ string, start time.Time) core.Detector {
+		return chen.New(start, eta, chen.WithWindowSize(64))
+	}, service.WithTelemetry(f.hub))
+	for i := 0; i < procs; i++ {
+		id := fmt.Sprintf("proc-%02d", i)
+		f.ids = append(f.ids, id)
+		if err := f.mon.Register(id); err != nil {
+			panic(fmt.Sprintf("autotune bench: register %s: %v", id, err))
+		}
+	}
+	return f
+}
+
+// autotunePayload is the stand-in heartbeat datagram offered to the
+// fault injector; only the injector's drop/delay verdict is used.
+var autotunePayload = make([]byte, 32)
+
+// tick advances one heartbeat interval: every live process emits one
+// beat through the fault injector (drop = lost, Delay = arrival
+// jitter), and the QoS estimators sample the fleet twice.
+func (f *autotuneFleet) tick() {
+	f.clk.Advance(f.eta / 2)
+	f.hub.QoS().Sample(f.mon)
+	f.clk.Advance(f.eta / 2)
+	now := f.clk.Now()
+	for _, id := range f.ids {
+		if f.dead[id] {
+			continue
+		}
+		f.seq[id]++
+		for _, pkt := range f.inj.Apply(autotunePayload) {
+			if err := f.mon.Heartbeat(core.Heartbeat{From: id, Seq: f.seq[id], Arrived: now.Add(pkt.Delay)}); err != nil {
+				panic(fmt.Sprintf("autotune bench: heartbeat %s: %v", id, err))
+			}
+			break // a duplicate delivery would be stale anyway
+		}
+	}
+	f.hub.QoS().Sample(f.mon)
+}
+
+// crashProbe crashes one process, waits for the reference interpreter
+// to suspect it, deregisters it and returns the recorded detection
+// time (recovered from the cumulative statistics), then revives it.
+func (f *autotuneFleet) crashProbe(id string, maxTicks int) time.Duration {
+	f.dead[id] = true
+	f.hub.QoS().MarkCrashed(id, f.clk.Now())
+	for i := 0; i < maxTicks; i++ {
+		f.tick()
+		if est, ok := f.hub.QoS().Estimate(id); ok && est.Status == core.Suspected {
+			break
+		}
+	}
+	before, beforeMean, _ := f.hub.QoS().DetectionStats()
+	f.mon.Deregister(id)
+	after, afterMean, _ := f.hub.QoS().DetectionStats()
+	var td time.Duration
+	if after == before+1 {
+		td = time.Duration(float64(afterMean)*float64(after) - float64(beforeMean)*float64(before))
+	}
+	f.dead[id] = false
+	delete(f.seq, id)
+	if err := f.mon.Register(id); err != nil {
+		panic(fmt.Sprintf("autotune bench: re-register %s: %v", id, err))
+	}
+	return td
+}
+
+// suspicionSnapshot captures every process's level at the frozen manual
+// clock instant, reusing dst.
+func (f *autotuneFleet) suspicionSnapshot(dst map[string]float64) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	f.mon.EachLevel(func(id string, lvl core.Level) {
+		dst[id] = float64(lvl)
+	})
+}
+
+// runAutotune executes the convergence sweep and writes
+// BENCH_autotune.json. The acceptance bar mirrors the CI gate: the
+// achieved detection time must land within 15% of the target within 10
+// controller rounds under 30% injected loss, and no applied retune may
+// move any suspicion level by more than 1e-6 at the retune instant.
+func runAutotune(outDir string) error {
+	const (
+		procs    = 8
+		rounds   = 10
+		tolerate = 0.15
+	)
+	eta := 100 * time.Millisecond
+	faults := faultinject.Faults{
+		Drop:     0.3,
+		Delay:    0.5,
+		MaxDelay: 20 * time.Millisecond,
+	}
+	target := chen.QoS{
+		MaxDetectionTime:     600 * time.Millisecond,
+		MinMistakeRecurrence: 10 * time.Second,
+	}
+
+	f := newAutotuneFleet(procs, eta, faults)
+	ctl, err := autotune.New(autotune.Config{
+		Monitor:   f.mon,
+		QoS:       f.hub.QoS(),
+		Counters:  &f.hub.Autotune,
+		Targets:   target,
+		Detector:  autotune.DetectorChen,
+		MinWindow: 16,
+		MaxWindow: 256,
+	})
+	if err != nil {
+		return fmt.Errorf("autotune bench: %w", err)
+	}
+
+	res := autotuneResult{
+		Name:        "autotune",
+		Procs:       procs,
+		IntervalMs:  float64(eta) / float64(time.Millisecond),
+		DropProb:    faults.Drop,
+		DelayProb:   faults.Delay,
+		MaxDelayMs:  float64(faults.MaxDelay) / float64(time.Millisecond),
+		TargetTDMs:  float64(target.MaxDetectionTime) / float64(time.Millisecond),
+		TargetTMRMs: float64(target.MinMistakeRecurrence) / float64(time.Millisecond),
+	}
+
+	// Warm up the estimator windows before the first round.
+	for i := 0; i < 100; i++ {
+		f.tick()
+	}
+
+	before := make(map[string]float64, procs)
+	after := make(map[string]float64, procs)
+	targetTD := float64(target.MaxDetectionTime)
+	for round := 1; round <= rounds; round++ {
+		// Continuity check brackets the applied retune: the manual clock
+		// is frozen across Round, so any level shift is the retune's.
+		f.suspicionSnapshot(before)
+		plan := ctl.Round()
+		f.suspicionSnapshot(after)
+		var contMax float64
+		if plan.Applied {
+			for id, b := range before {
+				if d := math.Abs(after[id] - b); d > contMax {
+					contMax = d
+				}
+			}
+		}
+		if contMax > res.ContinuityMax {
+			res.ContinuityMax = contMax
+		}
+
+		// Traffic, then a probe crash to measure the achieved T_D with
+		// this round's knobs (and feed the controller's feedback term).
+		for i := 0; i < 30; i++ {
+			f.tick()
+		}
+		td := f.crashProbe(f.ids[round%len(f.ids)], 50)
+		for i := 0; i < 20; i++ {
+			f.tick()
+		}
+
+		tdErr := math.Abs(float64(td)-targetTD) / targetTD
+		res.Rounds = append(res.Rounds, autotuneRound{
+			Round:         round,
+			ThresholdHigh: plan.Proposed.ThresholdHigh,
+			WindowSize:    plan.Proposed.WindowSize,
+			Trim:          plan.Trim,
+			Applied:       plan.Applied,
+			Clamped:       plan.Clamped,
+			TDMs:          float64(td) / float64(time.Millisecond),
+			TDError:       tdErr,
+			ContinuityMax: contMax,
+		})
+		res.FinalTDMs = float64(td) / float64(time.Millisecond)
+		res.FinalTDError = tdErr
+		if res.ConvergedRound == 0 && tdErr <= tolerate {
+			res.ConvergedRound = round
+		}
+	}
+	res.MeasuredLoss = ctl.Plan().Measured.LossProb
+	res.ContinuityOK = res.ContinuityMax <= 1e-6
+
+	if res.ConvergedRound == 0 || res.ConvergedRound > rounds {
+		return fmt.Errorf("autotune bench: never within %.0f%% of target in %d rounds (final T_D %.1fms, target %.1fms)",
+			tolerate*100, rounds, res.FinalTDMs, res.TargetTDMs)
+	}
+	if !res.ContinuityOK {
+		return fmt.Errorf("autotune bench: suspicion continuity violated: max |Δ| = %g > 1e-6", res.ContinuityMax)
+	}
+
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	path := filepath.Join(outDir, "BENCH_autotune.json")
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("autotune: converged round %d/%d, final T_D %.1fms (target %.1fms, err %.1f%%), loss %.1f%%, continuity max %.2g -> %s\n",
+		res.ConvergedRound, rounds, res.FinalTDMs, res.TargetTDMs, res.FinalTDError*100,
+		res.MeasuredLoss*100, res.ContinuityMax, path)
+	return nil
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestBenchAutotune runs the convergence sweep through the CLI path and
+// validates the BENCH_autotune.json contract: runAutotune itself fails
+// the run unless the achieved T_D lands within 15% of the target within
+// 10 rounds with suspicion continuity preserved, so a zero exit already
+// implies the acceptance bar; the assertions below pin the artifact
+// shape CI archives.
+func TestBenchAutotune(t *testing.T) {
+	dir := t.TempDir()
+	if code := run([]string{"-bench", "autotune", "-bench-out", dir}); code != 0 {
+		t.Fatalf("bench exit = %d", code)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_autotune.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res autotuneResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v\n%s", err, data)
+	}
+	if res.Name != "autotune" || len(res.Rounds) != 10 {
+		t.Errorf("implausible result: name %q, %d rounds", res.Name, len(res.Rounds))
+	}
+	if res.ConvergedRound < 1 || res.ConvergedRound > 10 {
+		t.Errorf("converged_round = %d, want 1..10", res.ConvergedRound)
+	}
+	if res.FinalTDError > 0.15 {
+		t.Errorf("final_td_error = %.3f, want <= 0.15", res.FinalTDError)
+	}
+	if !res.ContinuityOK || res.ContinuityMax > 1e-6 {
+		t.Errorf("continuity: ok=%v max=%g, want ok within 1e-6", res.ContinuityOK, res.ContinuityMax)
+	}
+	if res.MeasuredLoss < 0.2 || res.MeasuredLoss > 0.4 {
+		t.Errorf("measured_loss = %.3f, want ≈0.3", res.MeasuredLoss)
+	}
+	// The sweep is deterministic (seeded faults, virtual time): the
+	// committed bench/BENCH_autotune.json is this same run.
+	applied := 0
+	for _, r := range res.Rounds {
+		if r.Applied {
+			applied++
+		}
+	}
+	if applied == 0 {
+		t.Error("no round applied an update")
+	}
+}

@@ -235,9 +235,11 @@ func runBenchmarks(name, outDir string, scrapeProcs, manySizes []int) error {
 		names = []string{"manyprocs"}
 	case name == "federation":
 		names = []string{"federation"}
+	case name == "autotune":
+		names = []string{"autotune"}
 	default:
 		if _, ok := benchmarks[name]; !ok {
-			return fmt.Errorf("unknown benchmark %q (want ingest, query, scrape, batch, manyprocs, federation or all)", name)
+			return fmt.Errorf("unknown benchmark %q (want ingest, query, scrape, batch, manyprocs, federation, autotune or all)", name)
 		}
 		names = []string{name}
 	}
@@ -247,6 +249,12 @@ func runBenchmarks(name, outDir string, scrapeProcs, manySizes []int) error {
 	for _, n := range names {
 		if n == "federation" {
 			if err := runFederation(outDir); err != nil {
+				return err
+			}
+			continue
+		}
+		if n == "autotune" {
+			if err := runAutotune(outDir); err != nil {
 				return err
 			}
 			continue

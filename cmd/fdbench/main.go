@@ -37,6 +37,17 @@
 // ns/op, plus a measured cross-peer crash-detection time over two real
 // gossiping peers on loopback, written to BENCH_federation.json. Like
 // manyprocs it spins real sockets and so is not part of "all".
+//
+// The autotune benchmark closes the QoS loop: a manual-clock chen fleet
+// behind a faultinject channel (30% loss, delay jitter) is steered by
+// the internal/autotune controller toward a detection-time target, and
+// the per-round convergence trace — achieved T_D versus target, knob
+// positions, and the suspicion-continuity bound at every applied
+// retune — is written to BENCH_autotune.json. The run fails unless the
+// achieved T_D lands within 15% of the target within 10 rounds with
+// continuity preserved. Deterministic (seeded faults, virtual time), so
+// it is CI-gateable, but it is a convergence check rather than a
+// micro-benchmark and so is not part of "all".
 package main
 
 import (
@@ -69,7 +80,7 @@ func run(args []string) int {
 	var (
 		sweep    = fs.String("sweep", "threshold", "sweep to run: threshold, window, loss, interval, gst, batch")
 		seed     = fs.Uint64("seed", 42, "base random seed")
-		bench    = fs.String("bench", "", "run a micro-benchmark instead of a sweep: ingest, query, scrape, batch, manyprocs, federation or all")
+		bench    = fs.String("bench", "", "run a micro-benchmark instead of a sweep: ingest, query, scrape, batch, manyprocs, federation, autotune or all")
 		benchOut = fs.String("bench-out", ".", "directory for BENCH_<name>.json results")
 		procs    = fs.String("procs", "100", "comma-separated registry sizes for the scrape benchmark")
 		manySz   = fs.String("manyprocs-sizes", "10000,100000,1000000", "comma-separated registry sizes for the manyprocs benchmark")

@@ -1,0 +1,54 @@
+package autotune_test
+
+import (
+	"testing"
+	"time"
+
+	"accrual/internal/autotune"
+	"accrual/internal/chen"
+)
+
+// TestRoundZeroAllocSteadyState gates the controller loop at zero
+// allocations per round once converged: on stable traffic a round is
+// measure → plan → no change, and the measurement walk (pooled shard
+// scratch, reused group aggregates) and the planning math must not
+// touch the heap. A controller ticking every few seconds on a
+// million-process registry must not become a garbage producer.
+func TestRoundZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is unreliable under -race")
+	}
+	f := newFleet(t, 3, 0.1)
+	ctl, err := autotune.New(autotune.Config{
+		Monitor:  f.mon,
+		QoS:      f.hub.QoS(),
+		Counters: &f.hub.Autotune,
+		Targets:  chen.QoS{MaxDetectionTime: 500 * time.Millisecond, MinMistakeRecurrence: 10 * time.Second},
+		Detector: autotune.DetectorChen,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		f.tick(t)
+	}
+	// Converge first; steady state is the no-change round.
+	for round := 0; round < 30; round++ {
+		if p := ctl.Round(); p.Reason == autotune.ReasonConverged {
+			break
+		}
+		for i := 0; i < 10; i++ {
+			f.tick(t)
+		}
+	}
+	if p := ctl.Round(); p.Change {
+		t.Fatalf("not converged before alloc gate: %+v", p)
+	}
+
+	allocs := testing.AllocsPerRun(100, func() {
+		ctl.Round()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Round allocates %.1f times per op, want 0", allocs)
+	}
+}

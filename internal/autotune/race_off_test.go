@@ -1,0 +1,5 @@
+//go:build !race
+
+package autotune_test
+
+const raceEnabled = false

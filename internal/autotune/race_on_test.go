@@ -1,0 +1,7 @@
+//go:build race
+
+package autotune_test
+
+// raceEnabled mirrors the telemetry package's idiom: allocation gates
+// are skipped under the race detector, whose instrumentation allocates.
+const raceEnabled = true

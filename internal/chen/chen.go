@@ -37,6 +37,14 @@ type Detector struct {
 	snLast   uint64
 	eps      core.Level
 	unit     time.Duration
+
+	// Channel bookkeeping for the autotuner (core.TuneInfo): accepted
+	// heartbeats, sequence gaps seen on acceptance, and the first/last
+	// accepted arrival times for an observed inter-arrival mean.
+	accepted uint64
+	lost     uint64
+	firstA   time.Time
+	lastA    time.Time
 }
 
 var (
@@ -89,7 +97,13 @@ func (d *Detector) Report(hb core.Heartbeat) {
 	if hb.Seq <= d.snLast {
 		return
 	}
+	d.lost += hb.Seq - d.snLast - 1
 	d.snLast = hb.Seq
+	d.accepted++
+	if d.firstA.IsZero() {
+		d.firstA = hb.Arrived
+	}
+	d.lastA = hb.Arrived
 	// Store A_i − η·s_i in seconds relative to the detector start so the
 	// window arithmetic operates on small magnitudes.
 	a := hb.Arrived.Sub(d.start).Seconds()

@@ -51,6 +51,34 @@ type Params struct {
 // the requirements under the given network statistics.
 var ErrInfeasible = errors.New("chen: QoS requirements infeasible for this network")
 
+// ErrBadNetworkStats is returned when the network statistics themselves
+// are degenerate — NaN or out-of-range loss probability, negative delay
+// moments. The autotuner feeds Configure *measured* statistics, so
+// garbage inputs (a NaN from an empty estimator window, loss pinned at
+// 1 by a crashed fleet) must be rejected up front rather than letting
+// NaN/Inf parameters escape into a running detector. Errors carrying
+// this sentinel also match ErrInfeasible, so callers that only
+// distinguish feasible/infeasible keep working.
+var ErrBadNetworkStats = errors.New("chen: degenerate network statistics")
+
+// validate rejects degenerate measured inputs with an error wrapping
+// both ErrBadNetworkStats and ErrInfeasible.
+func (n NetworkStats) validate() error {
+	if math.IsNaN(n.LossProb) || math.IsInf(n.LossProb, 0) {
+		return fmt.Errorf("%w (%w): loss probability is %v", ErrBadNetworkStats, ErrInfeasible, n.LossProb)
+	}
+	if n.LossProb < 0 || n.LossProb >= 1 {
+		return fmt.Errorf("%w (%w): loss probability %v out of [0,1)", ErrBadNetworkStats, ErrInfeasible, n.LossProb)
+	}
+	if n.DelayMean < 0 {
+		return fmt.Errorf("%w (%w): negative mean delay %v", ErrBadNetworkStats, ErrInfeasible, n.DelayMean)
+	}
+	if n.DelayStdDev < 0 {
+		return fmt.Errorf("%w (%w): negative delay deviation %v", ErrBadNetworkStats, ErrInfeasible, n.DelayStdDev)
+	}
+	return nil
+}
+
 // Configure derives heartbeat parameters from QoS requirements, following
 // the shape of the Chen et al. configurator with two documented
 // simplifications: delays are modelled as normal with the measured
@@ -69,8 +97,8 @@ func Configure(qos QoS, net NetworkStats) (Params, error) {
 	if qos.MaxDetectionTime <= 0 || qos.MinMistakeRecurrence <= 0 {
 		return Params{}, fmt.Errorf("%w: requirements must be positive", ErrInfeasible)
 	}
-	if net.LossProb < 0 || net.LossProb >= 1 {
-		return Params{}, fmt.Errorf("%w: loss probability %v out of [0,1)", ErrInfeasible, net.LossProb)
+	if err := net.validate(); err != nil {
+		return Params{}, err
 	}
 	sigma := net.DelayStdDev.Seconds()
 	// Budget for η+α: the worst-case detection time is E[D]+η+α (crash
@@ -103,11 +131,50 @@ func Configure(qos QoS, net NetworkStats) (Params, error) {
 		ErrInfeasible, qos.MaxDetectionTime, qos.MinMistakeRecurrence, net.LossProb, net.DelayStdDev)
 }
 
+// Predict returns the QoS the analysis expects the given parameters to
+// achieve on a network with the given statistics: worst-case detection
+// time E[D]+η+α, mean wrong-suspicion recurrence η/p₁ and mistake
+// duration η. It is the inverse direction of Configure, used by the
+// autotuner's dry-run plan view to show the predicted effect of a
+// proposed parameter change. Degenerate inputs return an error wrapping
+// ErrBadNetworkStats.
+func Predict(p Params, net NetworkStats) (QoS, error) {
+	if p.Interval <= 0 || p.Alpha < 0 {
+		return QoS{}, fmt.Errorf("%w: non-positive interval %v or negative margin %v",
+			ErrBadNetworkStats, p.Interval, p.Alpha)
+	}
+	if err := net.validate(); err != nil {
+		return QoS{}, err
+	}
+	eta := p.Interval.Seconds()
+	p1 := wrongSuspicionProb(eta, p.Alpha.Seconds(), net.LossProb, net.DelayStdDev.Seconds())
+	out := QoS{
+		MaxDetectionTime:   net.DelayMean + p.Interval + p.Alpha,
+		MaxMistakeDuration: p.Interval,
+	}
+	if p1 > 0 {
+		recur := eta / p1
+		const maxRecur = float64(1<<62) / float64(time.Second)
+		if recur > maxRecur {
+			recur = maxRecur
+		}
+		out.MinMistakeRecurrence = time.Duration(recur * float64(time.Second))
+	} else {
+		out.MinMistakeRecurrence = 1 << 62 // effectively never
+	}
+	return out, nil
+}
+
 // wrongSuspicionProb estimates the probability that an alarm fires in one
 // heartbeat interval although the sender is alive: all ⌈α/η⌉ heartbeats
 // due inside the margin are lost, or the delay jitter of the surviving
 // one exceeds the residual margin.
 func wrongSuspicionProb(eta, alpha, loss, sigma float64) float64 {
+	if eta <= 0 || alpha < 0 {
+		// Degenerate geometry (no heartbeat period, or a negative
+		// margin): every interval is a potential wrong suspicion.
+		return 1
+	}
 	due := math.Ceil(alpha / eta)
 	pAllLost := math.Pow(loss, due)
 	residual := alpha - (due-1)*eta // margin left for the last due heartbeat

@@ -1,0 +1,153 @@
+package chen
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+// The autotuner feeds Configure live measurements; degenerate inputs
+// must come back as ErrBadNetworkStats (still matching ErrInfeasible
+// for legacy callers) with no NaN/Inf params escaping.
+func TestConfigureBadNetworkStats(t *testing.T) {
+	qos := QoS{MaxDetectionTime: time.Second, MinMistakeRecurrence: time.Hour}
+	tests := []struct {
+		name string
+		net  NetworkStats
+	}{
+		{"nan loss", NetworkStats{LossProb: math.NaN()}},
+		{"+inf loss", NetworkStats{LossProb: math.Inf(1)}},
+		{"-inf loss", NetworkStats{LossProb: math.Inf(-1)}},
+		{"negative loss", NetworkStats{LossProb: -0.1}},
+		{"loss of one", NetworkStats{LossProb: 1}},
+		{"loss above one", NetworkStats{LossProb: 1.5}},
+		{"negative mean delay", NetworkStats{DelayMean: -time.Millisecond}},
+		{"negative delay deviation", NetworkStats{DelayStdDev: -time.Millisecond}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p, err := Configure(qos, tt.net)
+			if !errors.Is(err, ErrBadNetworkStats) {
+				t.Fatalf("err = %v, want ErrBadNetworkStats", err)
+			}
+			if !errors.Is(err, ErrInfeasible) {
+				t.Errorf("err = %v does not match ErrInfeasible", err)
+			}
+			if p != (Params{}) {
+				t.Errorf("params = %+v, want zero", p)
+			}
+		})
+	}
+}
+
+func TestConfigureNeverEmitsNonFiniteParams(t *testing.T) {
+	// Sweep a grid of inputs, including near-degenerate but accepted
+	// ones; every success must carry finite positive parameters.
+	losses := []float64{0, 1e-9, 0.3, 0.999999}
+	sigmas := []time.Duration{0, time.Nanosecond, 50 * time.Millisecond, 10 * time.Second}
+	for _, loss := range losses {
+		for _, sigma := range sigmas {
+			p, err := Configure(QoS{
+				MaxDetectionTime:     2 * time.Second,
+				MinMistakeRecurrence: time.Minute,
+			}, NetworkStats{LossProb: loss, DelayStdDev: sigma})
+			if err != nil {
+				continue
+			}
+			if p.Interval <= 0 || p.Alpha <= 0 {
+				t.Errorf("loss=%v sigma=%v: non-positive params %+v", loss, sigma, p)
+			}
+		}
+	}
+}
+
+// TestWrongSuspicionProbBranches pins every branch of the p₁ estimate.
+func TestWrongSuspicionProbBranches(t *testing.T) {
+	tests := []struct {
+		name                    string
+		eta, alpha, loss, sigma float64
+		want                    float64
+		wantAbove, wantBelow    float64 // used when want < 0
+	}{
+		// Degenerate geometry branch: no period or negative margin.
+		{name: "zero eta", eta: 0, alpha: 1, loss: 0.1, sigma: 0.1, want: 1},
+		{name: "negative eta", eta: -1, alpha: 1, loss: 0.1, sigma: 0.1, want: 1},
+		{name: "negative alpha", eta: 1, alpha: -1, loss: 0.1, sigma: 0.1, want: 1},
+		// alpha == 0: due = 0 heartbeats, pAllLost = loss^0 = 1, clamp.
+		{name: "zero alpha", eta: 1, alpha: 0, loss: 0.1, sigma: 0, want: 1},
+		// sigma == 0, residual > 0: only the all-lost term remains.
+		// due = ceil(2.5) = 3, p = 0.5^3.
+		{name: "sigma zero residual positive", eta: 1, alpha: 2.5, loss: 0.5, sigma: 0, want: 0.125},
+		// alpha an exact multiple of eta: due = alpha/eta and the
+		// residual is a full interval, so still only the all-lost term.
+		{name: "sigma zero alpha multiple of eta", eta: 1, alpha: 2, loss: 0.5, sigma: 0, want: 0.25},
+		// sigma > 0: the jitter tail contributes. With residual = 0.5
+		// and sigma = 0.1 the tail is tiny but positive: p is strictly
+		// between the all-lost term and 1.
+		{name: "sigma positive", eta: 1, alpha: 2.5, loss: 0.5, sigma: 0.1, want: -1, wantAbove: 0.125, wantBelow: 0.2},
+		// sigma > 0 with zero loss: pure jitter term. residual = 1 and
+		// jitter deviation σ√2 = √2, so p = P(N(0,√2) > 1) ≈ 0.2398.
+		{name: "pure jitter", eta: 1, alpha: 1, loss: 0, sigma: 1, want: -1, wantAbove: 0.2, wantBelow: 0.3},
+		// Clamp branch: the helper itself does not validate loss (the
+		// exported entry points do), so an out-of-range loss drives the
+		// all-lost term past 1 and must come back clamped.
+		{name: "clamped to one", eta: 1, alpha: 2.5, loss: 1.5, sigma: 0, want: 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := wrongSuspicionProb(tt.eta, tt.alpha, tt.loss, tt.sigma)
+			if math.IsNaN(got) || got < 0 || got > 1 {
+				t.Fatalf("p = %v out of [0,1]", got)
+			}
+			if tt.want >= 0 {
+				if math.Abs(got-tt.want) > 1e-9 {
+					t.Errorf("p = %v, want %v", got, tt.want)
+				}
+			} else if got <= tt.wantAbove || got >= tt.wantBelow {
+				t.Errorf("p = %v, want in (%v, %v)", got, tt.wantAbove, tt.wantBelow)
+			}
+		})
+	}
+}
+
+func TestPredictRoundTripsConfigure(t *testing.T) {
+	qos := QoS{MaxDetectionTime: 2 * time.Second, MinMistakeRecurrence: time.Minute}
+	net := NetworkStats{LossProb: 0.02, DelayMean: 20 * time.Millisecond, DelayStdDev: 15 * time.Millisecond}
+	p, err := Configure(qos, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := Predict(p, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.MaxDetectionTime > qos.MaxDetectionTime {
+		t.Errorf("predicted T_D %v exceeds requested %v", pred.MaxDetectionTime, qos.MaxDetectionTime)
+	}
+	if pred.MinMistakeRecurrence < qos.MinMistakeRecurrence {
+		t.Errorf("predicted T_MR %v below requested %v", pred.MinMistakeRecurrence, qos.MinMistakeRecurrence)
+	}
+}
+
+func TestPredictRejectsDegenerateInputs(t *testing.T) {
+	net := NetworkStats{LossProb: 0.1}
+	if _, err := Predict(Params{Interval: 0, Alpha: time.Second}, net); !errors.Is(err, ErrBadNetworkStats) {
+		t.Errorf("zero interval: err = %v, want ErrBadNetworkStats", err)
+	}
+	if _, err := Predict(Params{Interval: time.Second, Alpha: -1}, net); !errors.Is(err, ErrBadNetworkStats) {
+		t.Errorf("negative alpha: err = %v, want ErrBadNetworkStats", err)
+	}
+	if _, err := Predict(Params{Interval: time.Second, Alpha: time.Second}, NetworkStats{LossProb: math.NaN()}); !errors.Is(err, ErrBadNetworkStats) {
+		t.Errorf("nan loss: err = %v, want ErrBadNetworkStats", err)
+	}
+	// A lossless, jitter-free channel never wrongly suspects: the
+	// recurrence prediction must saturate, not overflow.
+	pred, err := Predict(Params{Interval: time.Second, Alpha: 10 * time.Second}, NetworkStats{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.MinMistakeRecurrence <= 0 {
+		t.Errorf("recurrence %v overflowed", pred.MinMistakeRecurrence)
+	}
+}

@@ -196,6 +196,14 @@ type Detector struct {
 	hasLast bool
 	snLast  uint64
 	eps     core.Level
+
+	// pendingFixed is a retuned fixed interval awaiting the next
+	// accepted heartbeat (see Retune); negative means "none pending".
+	pendingFixed time.Duration
+
+	// Channel bookkeeping for the autotuner (core.TuneInfo).
+	accepted uint64
+	lost     uint64
 }
 
 var _ core.Detector = (*Detector)(nil)
@@ -223,7 +231,7 @@ func WithResolution(eps core.Level) Option {
 // New returns a κ detector using the given contribution function, started
 // at the given local time.
 func New(start time.Time, contrib Contribution, opts ...Option) *Detector {
-	d := &Detector{contrib: contrib, start: start, last: start}
+	d := &Detector{contrib: contrib, start: start, last: start, pendingFixed: -1}
 	for _, opt := range opts {
 		opt(d)
 	}
@@ -240,7 +248,9 @@ func (d *Detector) Report(hb core.Heartbeat) {
 	if hb.Seq <= d.snLast {
 		return
 	}
+	d.lost += hb.Seq - d.snLast - 1
 	d.snLast = hb.Seq
+	d.accepted++
 	if d.hasLast {
 		interval := hb.Arrived.Sub(d.last).Seconds()
 		if interval >= 0 {
@@ -249,6 +259,13 @@ func (d *Detector) Report(hb core.Heartbeat) {
 	}
 	d.last = hb.Arrived
 	d.hasLast = true
+	if d.pendingFixed >= 0 {
+		// Apply a retuned fixed interval at an arrival, where the level
+		// has just collapsed: changing the due-time grid here cannot
+		// re-price heartbeats that were already accruing (see Retune).
+		d.fixed = d.pendingFixed
+		d.pendingFixed = -1
+	}
 }
 
 // estimate returns the current inter-arrival estimate and whether one is

@@ -72,6 +72,10 @@ type Detector struct {
 	snLast          uint64
 	hasLast         bool
 	eps             core.Level
+
+	// Channel bookkeeping for the autotuner (core.TuneInfo).
+	accepted uint64
+	lost     uint64
 }
 
 var _ core.Detector = (*Detector)(nil)
@@ -166,7 +170,9 @@ func (d *Detector) Report(hb core.Heartbeat) {
 	if hb.Seq <= d.snLast {
 		return
 	}
+	d.lost += hb.Seq - d.snLast - 1
 	d.snLast = hb.Seq
+	d.accepted++
 	if d.hasLast {
 		interval := hb.Arrived.Sub(d.last).Seconds()
 		if interval >= 0 {

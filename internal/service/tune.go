@@ -1,0 +1,110 @@
+package service
+
+import (
+	"errors"
+
+	"accrual/internal/core"
+)
+
+// tuneInfo reads the detector's tunable state under the entry lock.
+// retunable is false when the bound detector does not implement
+// core.Retunable; ok is false when the slot was rebound since the
+// caller resolved gen.
+func (e *entry) tuneInfo(gen uint64) (info core.TuneInfo, retunable, ok bool) {
+	e.mu.Lock()
+	if e.gen.Load() != gen {
+		e.mu.Unlock()
+		return core.TuneInfo{}, false, false
+	}
+	if r, is := e.det.(core.Retunable); is {
+		info, retunable = r.TuneInfo(), true
+	}
+	e.mu.Unlock()
+	return info, retunable, true
+}
+
+// retune applies a tuning under the entry lock. applied is false when
+// the detector is not retunable; ok is false when the slot was rebound
+// since the caller resolved gen.
+func (e *entry) retune(gen uint64, t core.Tuning) (applied, ok bool, err error) {
+	e.mu.Lock()
+	if e.gen.Load() != gen {
+		e.mu.Unlock()
+		return false, false, nil
+	}
+	if r, is := e.det.(core.Retunable); is {
+		err = r.Retune(t)
+		applied = err == nil
+	}
+	e.mu.Unlock()
+	return applied, true, err
+}
+
+// TuneProcess pairs a process id and group with its detector's tunable
+// state, as yielded by EachTuneInfo.
+type TuneProcess struct {
+	ID    string
+	Group string
+	Info  core.TuneInfo
+}
+
+// EachTuneInfo calls fn with every monitored process whose detector
+// implements core.Retunable, following the generation-guarded,
+// shard-by-shard walk of EachLevel/EachInfo: pooled scratch, no locks
+// held while fn runs, zero steady-state allocations. Processes bound to
+// non-retunable detectors are skipped silently — the autotuner tunes
+// the fleet it can and leaves the rest alone.
+func (m *Monitor) EachTuneInfo(fn func(p TuneProcess)) {
+	refs := refPool.Get().(*[]procRef)
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		*refs = (*refs)[:0]
+		for id, idx := range sh.procs {
+			e := sh.slab.at(idx)
+			*refs = append(*refs, procRef{id: id, group: e.group, e: e, gen: e.gen.Load()})
+		}
+		sh.mu.RUnlock()
+		for _, r := range *refs {
+			if info, retunable, ok := r.e.tuneInfo(r.gen); ok && retunable {
+				fn(TuneProcess{ID: r.id, Group: r.group, Info: info})
+			}
+		}
+	}
+	*refs = (*refs)[:0]
+	refPool.Put(refs)
+}
+
+// Retune applies one tuning to every retunable detector in the
+// registry. It returns how many detectors were retuned and how many
+// were skipped (not retunable, or rebound mid-walk); err joins any
+// per-detector rejections (the rest of the fleet is still retuned —
+// a partially applied round is reported, not rolled back). The walk
+// allocates nothing when every detector accepts the tuning.
+func (m *Monitor) Retune(t core.Tuning) (tuned, skipped int, err error) {
+	refs := refPool.Get().(*[]procRef)
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		*refs = (*refs)[:0]
+		for id, idx := range sh.procs {
+			e := sh.slab.at(idx)
+			*refs = append(*refs, procRef{id: id, e: e, gen: e.gen.Load()})
+		}
+		sh.mu.RUnlock()
+		for _, r := range *refs {
+			applied, ok, rerr := r.e.retune(r.gen, t)
+			switch {
+			case rerr != nil:
+				err = errors.Join(err, rerr)
+			case ok && applied:
+				tuned++
+			default:
+				skipped++
+			}
+		}
+	}
+	*refs = (*refs)[:0]
+	refPool.Put(refs)
+	return tuned, skipped, err
+}

@@ -24,6 +24,11 @@ type Detector struct {
 	snLast uint64
 	eps    core.Level
 	unit   time.Duration
+
+	// Channel bookkeeping for the autotuner (core.TuneInfo).
+	accepted uint64
+	lost     uint64
+	firstA   time.Time
 }
 
 var _ core.Detector = (*Detector)(nil)
@@ -65,8 +70,13 @@ func New(start time.Time, opts ...Option) *Detector {
 // Algorithm 4).
 func (d *Detector) Report(hb core.Heartbeat) {
 	if hb.Seq > d.snLast {
-		d.tLast = hb.Arrived
+		d.lost += hb.Seq - d.snLast - 1
 		d.snLast = hb.Seq
+		d.accepted++
+		if d.firstA.IsZero() {
+			d.firstA = hb.Arrived
+		}
+		d.tLast = hb.Arrived
 	}
 }
 

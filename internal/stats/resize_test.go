@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestWindowResizeGrowKeepsSamples grows a full window and checks that
+// the moments are untouched and the new capacity fills before eviction
+// resumes.
+func TestWindowResizeGrowKeepsSamples(t *testing.T) {
+	w := NewWindow(4)
+	for _, v := range []float64{1, 2, 3, 4, 5} { // 1 evicted, holds 2..5
+		w.Push(v)
+	}
+	mean, vari := w.Mean(), w.Variance()
+
+	w.Resize(8)
+	if w.Cap() != 8 || w.Len() != 4 {
+		t.Fatalf("after grow: cap=%d len=%d, want 8/4", w.Cap(), w.Len())
+	}
+	if w.Mean() != mean || w.Variance() != vari {
+		t.Fatalf("grow changed moments: mean %v -> %v, var %v -> %v", mean, w.Mean(), vari, w.Variance())
+	}
+	// Order preserved: oldest is still 2.
+	if got := w.At(0); got != 2 {
+		t.Fatalf("At(0) = %v, want 2", got)
+	}
+	for v := 6.0; v <= 9; v++ { // fills to 8 with no eviction
+		w.Push(v)
+	}
+	if w.Len() != 8 || w.At(0) != 2 {
+		t.Fatalf("after refill: len=%d At(0)=%v, want 8 and 2", w.Len(), w.At(0))
+	}
+	w.Push(10)
+	if w.Len() != 8 || w.At(0) != 3 {
+		t.Fatalf("eviction after grow: len=%d At(0)=%v, want 8 and 3", w.Len(), w.At(0))
+	}
+}
+
+// TestWindowResizeShrinkIsLazy shrinks below the current sample count
+// and checks that no samples are dropped at the instant of the call —
+// the continuity contract the live retune path depends on — and that
+// the excess drains on subsequent pushes.
+func TestWindowResizeShrinkIsLazy(t *testing.T) {
+	w := NewWindow(8)
+	for v := 1.0; v <= 8; v++ {
+		w.Push(v)
+	}
+	mean, vari := w.Mean(), w.Variance()
+
+	w.Resize(3)
+	if w.Cap() != 3 {
+		t.Fatalf("cap = %d, want 3", w.Cap())
+	}
+	if w.Len() != 8 {
+		t.Fatalf("shrink dropped samples immediately: len = %d, want 8", w.Len())
+	}
+	if w.Mean() != mean || w.Variance() != vari {
+		t.Fatalf("shrink changed moments: mean %v -> %v, var %v -> %v", mean, w.Mean(), vari, w.Variance())
+	}
+	w.Push(9) // evicts down to the new capacity
+	if w.Len() != 3 {
+		t.Fatalf("after push: len = %d, want 3", w.Len())
+	}
+	want := []float64{7, 8, 9}
+	for i, v := range want {
+		if got := w.At(i); got != v {
+			t.Fatalf("At(%d) = %v, want %v", i, got, v)
+		}
+	}
+}
+
+// TestWindowResizeNoop covers the degenerate inputs: same capacity is a
+// no-op and capacities below one clamp to one.
+func TestWindowResizeNoop(t *testing.T) {
+	w := NewWindow(4)
+	w.Push(1)
+	w.Push(2)
+	w.Resize(4)
+	if w.Cap() != 4 || w.Len() != 2 {
+		t.Fatalf("same-cap resize: cap=%d len=%d, want 4/2", w.Cap(), w.Len())
+	}
+	w.Resize(0)
+	if w.Cap() != 1 {
+		t.Fatalf("cap = %d, want clamp to 1", w.Cap())
+	}
+	w.Resize(-3)
+	if w.Cap() != 1 {
+		t.Fatalf("cap = %d, want clamp to 1", w.Cap())
+	}
+}
+
+// TestWindowShiftMovesMeanOnly checks the Shift contract: the mean
+// moves by exactly delta and the variance is unchanged (up to float
+// error), across wrapped buffers.
+func TestWindowShiftMovesMeanOnly(t *testing.T) {
+	w := NewWindow(4)
+	for _, v := range []float64{10, 20, 30, 40, 50, 60} { // wrapped: holds 30..60
+		w.Push(v)
+	}
+	mean, vari := w.Mean(), w.Variance()
+
+	const delta = -12.5
+	w.Shift(delta)
+	if got := w.Mean(); math.Abs(got-(mean+delta)) > 1e-9 {
+		t.Fatalf("mean = %v, want %v", got, mean+delta)
+	}
+	if got := w.Variance(); math.Abs(got-vari) > 1e-9 {
+		t.Fatalf("variance = %v, want %v", got, vari)
+	}
+	// Samples themselves shifted, order preserved.
+	if got := w.At(0); got != 30+delta {
+		t.Fatalf("At(0) = %v, want %v", got, 30+delta)
+	}
+	if got := w.Last(); got != 60+delta {
+		t.Fatalf("Last() = %v, want %v", got, 60+delta)
+	}
+}

@@ -19,6 +19,7 @@ type Window struct {
 	buf    []float64
 	head   int // index of the oldest sample
 	n      int // number of valid samples
+	limit  int // target capacity; len(buf) >= limit (lazy shrink)
 	sum    float64
 	sumSq  float64
 	evicts int
@@ -32,22 +33,22 @@ func NewWindow(capacity int) *Window {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Window{buf: make([]float64, capacity)}
+	return &Window{buf: make([]float64, capacity), limit: capacity}
 }
 
-// Push adds a sample, evicting the oldest one if the window is full.
+// Push adds a sample, evicting the oldest ones if the window is at (or,
+// after a shrinking Resize, above) its capacity.
 func (w *Window) Push(v float64) {
-	if w.n == len(w.buf) {
+	for w.n >= w.limit {
 		old := w.buf[w.head]
 		w.sum -= old
 		w.sumSq -= old * old
-		w.buf[w.head] = v
 		w.head = (w.head + 1) % len(w.buf)
+		w.n--
 		w.evicts++
-	} else {
-		w.buf[(w.head+w.n)%len(w.buf)] = v
-		w.n++
 	}
+	w.buf[(w.head+w.n)%len(w.buf)] = v
+	w.n++
 	w.sum += v
 	w.sumSq += v * v
 	if w.evicts >= rebuildEvery {
@@ -69,10 +70,50 @@ func (w *Window) rebuild() {
 func (w *Window) Len() int { return w.n }
 
 // Cap returns the window capacity.
-func (w *Window) Cap() int { return len(w.buf) }
+func (w *Window) Cap() int { return w.limit }
 
-// Full reports whether the window holds Cap() samples.
-func (w *Window) Full() bool { return w.n == len(w.buf) }
+// Full reports whether the window holds at least Cap() samples.
+func (w *Window) Full() bool { return w.n >= w.limit }
+
+// Resize changes the window capacity without discarding history.
+// Capacities below 1 are raised to 1. Growing keeps every sample.
+// Shrinking is lazy: all current samples are kept at the instant of the
+// call (so Mean/Variance — and any suspicion level derived from them —
+// are unchanged), and the excess drains on subsequent Pushes, which
+// evict down to the new capacity. This is what lets a live retune
+// change the estimation window with no suspicion cliff.
+func (w *Window) Resize(capacity int) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if capacity == w.limit {
+		return
+	}
+	size := capacity
+	if w.n > size {
+		size = w.n
+	}
+	if size != len(w.buf) {
+		nb := make([]float64, size)
+		for i := 0; i < w.n; i++ {
+			nb[i] = w.buf[(w.head+i)%len(w.buf)]
+		}
+		w.buf = nb
+		w.head = 0
+	}
+	w.limit = capacity
+}
+
+// Shift adds delta to every sample and recomputes the running moments
+// from scratch. The mean shifts by exactly delta and the variance is
+// unchanged. Chen's estimator uses this to re-express its shifted
+// arrival samples when the nominal interval η changes mid-run.
+func (w *Window) Shift(delta float64) {
+	for i := 0; i < w.n; i++ {
+		w.buf[(w.head+i)%len(w.buf)] += delta
+	}
+	w.rebuild()
+}
 
 // Mean returns the sample mean, or 0 when the window is empty.
 func (w *Window) Mean() float64 {
@@ -140,8 +181,8 @@ func (w *Window) Reset() {
 // samples directly.
 func (w *Window) Restore(samples []float64) {
 	w.Reset()
-	if len(samples) > len(w.buf) {
-		samples = samples[len(samples)-len(w.buf):]
+	if len(samples) > w.limit {
+		samples = samples[len(samples)-w.limit:]
 	}
 	copy(w.buf, samples)
 	w.n = len(samples)

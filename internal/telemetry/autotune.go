@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// AutotuneCounters tracks the online QoS autotuner (internal/autotune):
+// controller rounds, how many produced an applied update, and how often
+// proposals were clamped by the per-round step bound or rejected
+// outright (degenerate measurements, infeasible targets). A set of
+// per-knob gauges mirrors the last applied parameter values so a scrape
+// can see where the controller currently sits. All fields are atomics;
+// the controller updates them lock-free and the exposition reads them
+// the same way.
+type AutotuneCounters struct {
+	Rounds   atomic.Uint64
+	Applied  atomic.Uint64
+	Clamped  atomic.Uint64
+	Rejected atomic.Uint64
+
+	// Gauges, stored as float64 bits. Zero until the first round.
+	thresholdHigh atomic.Uint64
+	thresholdLow  atomic.Uint64
+	windowSize    atomic.Uint64
+	intervalSecs  atomic.Uint64
+}
+
+// SetKnobs records the controller's current knob positions.
+func (a *AutotuneCounters) SetKnobs(high, low, window, intervalSecs float64) {
+	a.thresholdHigh.Store(math.Float64bits(high))
+	a.thresholdLow.Store(math.Float64bits(low))
+	a.windowSize.Store(math.Float64bits(window))
+	a.intervalSecs.Store(math.Float64bits(intervalSecs))
+}
+
+// Knobs returns the last recorded knob positions.
+func (a *AutotuneCounters) Knobs() (high, low, window, intervalSecs float64) {
+	return math.Float64frombits(a.thresholdHigh.Load()),
+		math.Float64frombits(a.thresholdLow.Load()),
+		math.Float64frombits(a.windowSize.Load()),
+		math.Float64frombits(a.intervalSecs.Load())
+}
+
+// AutotuneSnapshot is a point-in-time copy of the counters.
+type AutotuneSnapshot struct {
+	Rounds, Applied, Clamped, Rejected uint64
+}
+
+// Snapshot returns a consistent-enough copy for display (each field is
+// individually atomic).
+func (a *AutotuneCounters) Snapshot() AutotuneSnapshot {
+	return AutotuneSnapshot{
+		Rounds:   a.Rounds.Load(),
+		Applied:  a.Applied.Load(),
+		Clamped:  a.Clamped.Load(),
+		Rejected: a.Rejected.Load(),
+	}
+}

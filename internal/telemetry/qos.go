@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"sync"
@@ -9,6 +10,12 @@ import (
 	"accrual/internal/core"
 	"accrual/internal/transform"
 )
+
+// ErrBadThresholds is returned by NewQoS and SetThresholds when the
+// reference thresholds are inverted or negative: Algorithm 3 requires
+// T(t) > T₀(t) ≥ 0, otherwise every query would flap between suspect
+// and trust.
+var ErrBadThresholds = fmt.Errorf("telemetry: invalid hysteresis thresholds (need high > low >= 0)")
 
 // QoS maintains streaming estimates of the §2 accuracy metrics for every
 // monitored process. Each process gets a reference interpreter — the
@@ -38,13 +45,48 @@ type QoS struct {
 }
 
 // NewQoS returns an online estimator set using the given reference
-// thresholds (suspect above high, trust again at or below low).
-func NewQoS(high, low core.Level) *QoS {
-	return &QoS{high: high, low: low, procs: make(map[string]*procEstimator)}
+// thresholds (suspect above high, trust again at or below low). The
+// thresholds must satisfy high > low >= 0; anything else returns
+// ErrBadThresholds.
+func NewQoS(high, low core.Level) (*QoS, error) {
+	if err := checkThresholds(high, low); err != nil {
+		return nil, err
+	}
+	return &QoS{high: high, low: low, procs: make(map[string]*procEstimator)}, nil
+}
+
+func checkThresholds(high, low core.Level) error {
+	// The NaN comparisons are deliberate: NaN fails high > low.
+	if !(high > low && low >= 0) || !high.IsFinite() {
+		return fmt.Errorf("%w: high=%v low=%v", ErrBadThresholds, high, low)
+	}
+	return nil
 }
 
 // Thresholds returns the reference interpreter thresholds.
-func (q *QoS) Thresholds() (high, low core.Level) { return q.high, q.low }
+func (q *QoS) Thresholds() (high, low core.Level) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.high, q.low
+}
+
+// SetThresholds replaces the reference interpreter thresholds at
+// runtime — the autotuner's dynamic T(t)/T₀(t). Inverted or negative
+// pairs are rejected with ErrBadThresholds and leave the current
+// thresholds in place. The swap is atomic with respect to concurrent
+// Sample/Observe rounds: every per-process hysteresis reads the live
+// thresholds under the same mutex that serialises its queries, so a
+// retune mid-sample cannot record a spurious transition against a
+// half-updated pair.
+func (q *QoS) SetThresholds(high, low core.Level) error {
+	if err := checkThresholds(high, low); err != nil {
+		return err
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.high, q.low = high, low
+	return nil
+}
 
 // procEstimator is the streaming state of one monitored process.
 type procEstimator struct {
@@ -147,8 +189,15 @@ func (q *QoS) observeLocked(id string, lvl core.Level, now time.Time) {
 		pe = &procEstimator{status: core.Trusted, firstAt: now, lastAt: now, accEnd: now}
 		// The hysteresis source reads the estimator's latest pushed
 		// level; each observation below becomes exactly one Algorithm 3
-		// query.
-		pe.hyst = transform.NewHysteresis(func(time.Time) core.Level { return pe.level }, q.high, q.low)
+		// query. The thresholds are read through q at query time — not
+		// captured by value — so SetThresholds retunes every existing
+		// interpreter. Both reads happen under q.mu (Query is only
+		// reached from observeLocked), so the pair is always coherent.
+		pe.hyst = transform.NewHysteresisFunc(
+			func(time.Time) core.Level { return pe.level },
+			func(time.Time) core.Level { return q.high },
+			func(time.Time) core.Level { return q.low },
+		)
 		q.procs[id] = pe
 	}
 
@@ -226,6 +275,14 @@ func (q *QoS) Forget(id string, now time.Time) {
 	defer q.mu.Unlock()
 	pe := q.procs[id]
 	if pe == nil {
+		return
+	}
+	if pe.lastAt.After(now) {
+		// The estimator has observations newer than this deregistration
+		// instant: the id has already been re-registered (slab handles
+		// are reused) and sampled, so this state belongs to the
+		// successor. Keep it, and record nothing — the predecessor's
+		// detection outcome is unknowable at this point.
 		return
 	}
 	delete(q.procs, id)
@@ -306,6 +363,62 @@ func (pe *procEstimator) estimate(id string) Estimate {
 		est.TG = (pe.sumTG / time.Duration(pe.nTG)).Seconds()
 	}
 	return est
+}
+
+// Aggregate is a fleet-level rollup of the per-process estimates, cheap
+// enough for the autotuner to take every controller round.
+type Aggregate struct {
+	// Procs is the number of processes with estimator state; Estimable
+	// is how many of them have accrued observation time.
+	Procs, Estimable int
+	// Suspected counts processes the reference interpreter currently
+	// suspects.
+	Suspected int
+	// MeanLambdaM and MeanPA average the estimable processes' mistake
+	// rate and query accuracy (NaN when nothing is estimable yet).
+	MeanLambdaM, MeanPA float64
+	// MeanTM averages the mean mistake durations of processes that have
+	// completed at least one mistake (NaN when none has).
+	MeanTM float64
+}
+
+// AggregateEstimates folds every process's current estimate into one
+// fleet-level Aggregate. It allocates nothing: the fold runs over the
+// estimator map under the mutex and returns a value struct.
+func (q *QoS) AggregateEstimates() Aggregate {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	agg := Aggregate{
+		Procs:       len(q.procs),
+		MeanLambdaM: math.NaN(),
+		MeanPA:      math.NaN(),
+		MeanTM:      math.NaN(),
+	}
+	var sumLambda, sumPA, sumTM float64
+	var nTM int
+	for _, pe := range q.procs {
+		if pe.status == core.Suspected {
+			agg.Suspected++
+		}
+		observed := pe.accEnd.Sub(pe.firstAt)
+		if observed > 0 {
+			agg.Estimable++
+			sumLambda += float64(pe.sCount) / observed.Seconds()
+			sumPA += float64(pe.trusted) / float64(observed)
+		}
+		if pe.nTM > 0 {
+			sumTM += (pe.sumTM / time.Duration(pe.nTM)).Seconds()
+			nTM++
+		}
+	}
+	if agg.Estimable > 0 {
+		agg.MeanLambdaM = sumLambda / float64(agg.Estimable)
+		agg.MeanPA = sumPA / float64(agg.Estimable)
+	}
+	if nTM > 0 {
+		agg.MeanTM = sumTM / float64(nTM)
+	}
+	return agg
 }
 
 // Len returns how many processes currently have estimator state.

@@ -28,7 +28,7 @@ func TestOnlineMatchesOffline(t *testing.T) {
 		step      = 50 * time.Millisecond
 		steps     = 20_000 // 1000 seconds of observation
 	)
-	q := telemetry.NewQoS(high, low)
+	q := mustQoS(t, high, low)
 
 	// The offline replica: the same Algorithm 3 interpreter over the
 	// same sampled levels, recorded as a transition trace.
@@ -89,7 +89,7 @@ func TestOnlineMatchesOffline(t *testing.T) {
 // exists, the estimates are NaN — the "not yet estimable" convention the
 // exposition renders verbatim.
 func TestFreshProcessNaN(t *testing.T) {
-	q := telemetry.NewQoS(2, 1)
+	q := mustQoS(t, 2, 1)
 	q.Observe("p", 0, qosStart)
 	est, ok := q.Estimate("p")
 	if !ok {
@@ -111,7 +111,7 @@ func TestFreshProcessNaN(t *testing.T) {
 // crash, let the reference interpreter suspect the process, deregister —
 // the T_D sample must span crash → final S-transition.
 func TestDetectionTimeSample(t *testing.T) {
-	q := telemetry.NewQoS(2, 1)
+	q := mustQoS(t, 2, 1)
 	now := qosStart
 	for i := 0; i < 10; i++ {
 		q.Observe("p", 0.1, now)
@@ -147,7 +147,7 @@ func TestDetectionTimeSample(t *testing.T) {
 // TestDetectionRequiresCrashAndSuspicion: deregistering without a crash
 // mark, or crashed-but-never-suspected, records nothing.
 func TestDetectionRequiresCrashAndSuspicion(t *testing.T) {
-	q := telemetry.NewQoS(2, 1)
+	q := mustQoS(t, 2, 1)
 	q.Observe("alive", 0.1, qosStart)
 	q.Observe("alive", 5, qosStart.Add(time.Second)) // suspected, but no crash mark
 	q.Forget("alive", qosStart.Add(2*time.Second))
@@ -167,7 +167,7 @@ func TestDetectionRequiresCrashAndSuspicion(t *testing.T) {
 // TestCrashFreezesAccuracyWindow: P_A and λ_M stop moving at the crash
 // mark even as observations continue.
 func TestCrashFreezesAccuracyWindow(t *testing.T) {
-	q := telemetry.NewQoS(2, 1)
+	q := mustQoS(t, 2, 1)
 	now := qosStart
 	for i := 0; i < 20; i++ {
 		q.Observe("p", 0.1, now)
@@ -195,7 +195,7 @@ func TestSampleFromMonitor(t *testing.T) {
 	mon := service.NewMonitor(clk, func(_ string, start time.Time) core.Detector {
 		return simple.New(start)
 	})
-	q := telemetry.NewQoS(2, 1)
+	q := mustQoS(t, 2, 1)
 	for seq := 1; seq <= 5; seq++ {
 		at := clk.Advance(time.Second)
 		_ = mon.Heartbeat(core.Heartbeat{From: "a", Seq: uint64(seq), Arrived: at})
@@ -234,7 +234,7 @@ func TestSamplerLoop(t *testing.T) {
 		return simple.New(start)
 	})
 	_ = mon.Heartbeat(core.Heartbeat{From: "p", Seq: 1, Arrived: time.Now()})
-	q := telemetry.NewQoS(2, 1)
+	q := mustQoS(t, 2, 1)
 	s := telemetry.StartSampler(q, mon, 2*time.Millisecond)
 	defer s.Stop()
 	deadline := time.Now().Add(3 * time.Second)

@@ -62,6 +62,10 @@ type Hub struct {
 	// Federation counts the gossip plane's digest traffic
 	// (internal/federation); zero and inert on a non-federated daemon.
 	Federation FederationCounters
+	// Autotune counts the QoS autotuner's controller rounds and knob
+	// movements (internal/autotune); zero and inert when autotuning is
+	// off.
+	Autotune AutotuneCounters
 
 	qos *QoS
 }
@@ -71,11 +75,13 @@ type HubOption func(*Hub)
 
 // WithQoSThresholds sets the reference interpreter's two thresholds
 // (Algorithm 3's T and T_0; high must exceed low for the hysteresis to
-// be meaningful — invalid pairs fall back to the defaults).
+// be meaningful — invalid pairs fall back to the defaults; callers that
+// want a hard failure should validate with NewQoS first, as
+// cmd/accruald does at boot).
 func WithQoSThresholds(high, low core.Level) HubOption {
 	return func(h *Hub) {
-		if high > low && low >= 0 {
-			h.qos = NewQoS(high, low)
+		if qos, err := NewQoS(high, low); err == nil {
+			h.qos = qos
 		}
 	}
 }
@@ -83,7 +89,11 @@ func WithQoSThresholds(high, low core.Level) HubOption {
 // NewHub returns a telemetry hub with default QoS thresholds unless
 // overridden.
 func NewHub(opts ...HubOption) *Hub {
-	h := &Hub{qos: NewQoS(DefaultQoSHigh, DefaultQoSLow)}
+	qos, err := NewQoS(DefaultQoSHigh, DefaultQoSLow)
+	if err != nil {
+		panic(err) // the defaults are constants; unreachable
+	}
+	h := &Hub{qos: qos}
 	for _, opt := range opts {
 		opt(h)
 	}

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"time"
 
+	"accrual/internal/autotune"
 	"accrual/internal/core"
 	"accrual/internal/service"
 	"accrual/internal/telemetry"
@@ -33,6 +34,8 @@ import (
 //	GET /v1/healthz              liveness probe
 //	GET /v1/metrics              Prometheus text exposition (WithAPITelemetry);
 //	                             ?cursor=&limit= pages shard-by-shard
+//	GET /v1/tune                 autotuner dry-run plan (WithTuner)
+//	POST /v1/tune                run one autotune round now (WithTuner)
 //
 // /v1/state carries the statecodec binary format (see
 // internal/transport/statecodec) and is the live state handoff path: a
@@ -46,6 +49,7 @@ type API struct {
 	watcher *service.Watcher
 	sampler *telemetry.Sampler
 	cluster ClusterView
+	tuner   *autotune.Controller
 	mux     *http.ServeMux
 }
 
@@ -98,6 +102,8 @@ func NewAPI(mon *service.Monitor, opts ...APIOption) *API {
 	a.mux.HandleFunc("GET /v1/healthz", a.handleHealthz)
 	a.mux.HandleFunc("GET /v1/metrics", a.handleMetrics)
 	a.mux.HandleFunc("GET /v1/cluster", a.handleCluster)
+	a.mux.HandleFunc("GET /v1/tune", a.handleTunePlan)
+	a.mux.HandleFunc("POST /v1/tune", a.handleTuneApply)
 	return a
 }
 

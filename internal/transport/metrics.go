@@ -266,6 +266,29 @@ func (a *API) writeGlobalMetrics(mw *telemetry.MetricWriter) {
 		})
 	}
 
+	tune := a.hub.Autotune.Snapshot()
+	counter("accrual_autotune_rounds_total",
+		"QoS autotuner controller rounds (planned, whether or not applied)", tune.Rounds)
+	counter("accrual_autotune_applied_total",
+		"Autotuner rounds that applied a threshold or estimator update", tune.Applied)
+	counter("accrual_autotune_clamped_total",
+		"Autotuner rounds whose proposal was limited by the per-round step bound", tune.Clamped)
+	counter("accrual_autotune_rejected_total",
+		"Autotuner rounds rejected: degenerate measurements, infeasible targets or refused updates", tune.Rejected)
+	tuneHigh, tuneLow, tuneWindow, tuneInterval := a.hub.Autotune.Knobs()
+	mw.Header("accrual_autotune_threshold_high",
+		"Last applied reference-interpreter high threshold, in detector level units", "gauge")
+	mw.Sample("accrual_autotune_threshold_high", tuneHigh)
+	mw.Header("accrual_autotune_threshold_low",
+		"Last applied reference-interpreter low threshold, in detector level units", "gauge")
+	mw.Sample("accrual_autotune_threshold_low", tuneLow)
+	mw.Header("accrual_autotune_window_size",
+		"Last applied estimator window capacity", "gauge")
+	mw.Sample("accrual_autotune_window_size", tuneWindow)
+	mw.Header("accrual_autotune_interval_seconds",
+		"Last applied detector nominal-interval knob", "gauge")
+	mw.Sample("accrual_autotune_interval_seconds", tuneInterval)
+
 	count, mean, max := a.hub.QoS().DetectionStats()
 	mw.Header("accrual_qos_detections_total",
 		"Crashes detected (crash-marked processes deregistered while suspected)", "counter")

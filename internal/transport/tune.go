@@ -1,0 +1,43 @@
+package transport
+
+import (
+	"net/http"
+
+	"accrual/internal/autotune"
+)
+
+// WithTuner enables the autotuning endpoints: GET /v1/tune serves the
+// controller's dry-run plan (current versus proposed knobs, measured
+// channel statistics, predicted QoS), POST /v1/tune runs one controller
+// round immediately — measure, plan, apply — and returns the applied
+// plan. Without this option both verbs answer 404.
+func WithTuner(c *autotune.Controller) APIOption {
+	return func(a *API) { a.tuner = c }
+}
+
+// TunePlanResponse is the JSON shape of the tune endpoints: the plan
+// plus the per-federation-group measurement rollup.
+type TunePlanResponse struct {
+	autotune.Plan
+	Groups []autotune.GroupMeasurement `json:"groups,omitempty"`
+}
+
+func (a *API) handleTunePlan(w http.ResponseWriter, _ *http.Request) {
+	if a.tuner == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "autotuning not enabled"})
+		return
+	}
+	resp := TunePlanResponse{Plan: a.tuner.Plan()}
+	resp.Groups = a.tuner.Groups()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (a *API) handleTuneApply(w http.ResponseWriter, _ *http.Request) {
+	if a.tuner == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "autotuning not enabled"})
+		return
+	}
+	resp := TunePlanResponse{Plan: a.tuner.Round()}
+	resp.Groups = a.tuner.Groups()
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,102 @@
+package transport
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"accrual/internal/autotune"
+	"accrual/internal/chen"
+	"accrual/internal/clock"
+	"accrual/internal/core"
+	"accrual/internal/service"
+	"accrual/internal/telemetry"
+)
+
+func TestTuneEndpoints(t *testing.T) {
+	epoch := time.Date(2005, 3, 22, 0, 0, 0, 0, time.UTC)
+	clk := clock.NewManual(epoch)
+	hub := telemetry.NewHub()
+	mon := service.NewMonitor(clk, func(_ string, start time.Time) core.Detector {
+		return chen.New(start, 100*time.Millisecond)
+	}, service.WithTelemetry(hub))
+
+	// Without WithTuner both verbs are 404.
+	bare := httptest.NewServer(NewAPI(mon))
+	defer bare.Close()
+	resp, err := http.Get(bare.URL + "/v1/tune")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /v1/tune without tuner = %d, want 404", resp.StatusCode)
+	}
+
+	ctl, err := autotune.New(autotune.Config{
+		Monitor:  mon,
+		QoS:      hub.QoS(),
+		Counters: &hub.Autotune,
+		Targets:  chen.QoS{MaxDetectionTime: 500 * time.Millisecond},
+		Detector: autotune.DetectorChen,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewAPI(mon, WithTuner(ctl)))
+	defer srv.Close()
+
+	// Feed a little traffic so the plan has something to measure.
+	for seq := uint64(1); seq <= 20; seq++ {
+		clk.Advance(100 * time.Millisecond)
+		if err := mon.Heartbeat(core.Heartbeat{From: "p", Seq: seq, Arrived: clk.Now()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/tune")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plan TunePlanResponse
+	if err := json.NewDecoder(resp.Body).Decode(&plan); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/tune = %d, want 200", resp.StatusCode)
+	}
+	if plan.Measured.Procs != 1 || !plan.Feasible {
+		t.Fatalf("plan = %+v, want one measured proc and a feasible plan", plan.Plan)
+	}
+	if plan.Applied {
+		t.Fatal("GET /v1/tune applied an update; it must be a dry run")
+	}
+	if rounds := hub.Autotune.Snapshot().Rounds; rounds != 0 {
+		t.Fatalf("dry run moved the round counter to %d", rounds)
+	}
+
+	resp, err = http.Post(srv.URL+"/v1/tune", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var applied TunePlanResponse
+	if err := json.NewDecoder(resp.Body).Decode(&applied); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/tune = %d, want 200", resp.StatusCode)
+	}
+	if applied.Round != 1 {
+		t.Fatalf("applied round = %d, want 1", applied.Round)
+	}
+	if rounds := hub.Autotune.Snapshot().Rounds; rounds != 1 {
+		t.Fatalf("round counter = %d after POST, want 1", rounds)
+	}
+	if len(applied.Groups) == 0 {
+		t.Fatal("no group rollup in the tune response")
+	}
+}
