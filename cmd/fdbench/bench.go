@@ -224,13 +224,15 @@ func writeBenchResult(artifact string, r testing.BenchmarkResult, outDir string)
 // BENCH_scrape.json, other sizes in BENCH_scrape_<procs>.json. The
 // manyprocs benchmark sweeps manySizes × {default, compact} into a
 // single BENCH_manyprocs.json.
-func runBenchmarks(name, outDir string, scrapeProcs, manySizes []int) error {
+func runBenchmarks(name, outDir string, scrapeProcs, manySizes, walkSizes []int) error {
 	var names []string
 	switch {
 	case name == "all":
 		names = []string{"ingest", "query", "batch", "scrape"}
 	case name == "scrape":
 		names = []string{"scrape"}
+	case name == "walk":
+		names = []string{"walk"}
 	case name == "manyprocs":
 		names = []string{"manyprocs"}
 	case name == "federation":
@@ -239,7 +241,7 @@ func runBenchmarks(name, outDir string, scrapeProcs, manySizes []int) error {
 		names = []string{"autotune"}
 	default:
 		if _, ok := benchmarks[name]; !ok {
-			return fmt.Errorf("unknown benchmark %q (want ingest, query, scrape, batch, manyprocs, federation, autotune or all)", name)
+			return fmt.Errorf("unknown benchmark %q (want ingest, query, scrape, batch, walk, manyprocs, federation, autotune or all)", name)
 		}
 		names = []string{name}
 	}
@@ -264,6 +266,15 @@ func runBenchmarks(name, outDir string, scrapeProcs, manySizes []int) error {
 				manySizes = []int{10000, 100000, 1000000}
 			}
 			if err := runManyprocs(manySizes, outDir); err != nil {
+				return err
+			}
+			continue
+		}
+		if n == "walk" {
+			if len(walkSizes) == 0 {
+				walkSizes = []int{10000, 100000, 1000000}
+			}
+			if err := runWalk(walkSizes, outDir); err != nil {
 				return err
 			}
 			continue

@@ -32,6 +32,13 @@
 // bytes per process into a single BENCH_manyprocs.json. It is not part
 // of "all" — a 1M-process point deliberately needs an explicit ask.
 //
+// The walk benchmark measures the lock-free evaluation plane: for each
+// -walk-sizes registry size it times one full-fleet pass through every
+// snapshot read path — EachLevel, EachLevelParallel, TopK(64) and
+// EachInfo — and writes the size × path matrix to a single
+// BENCH_walk.json (ns per pass, ns per process, allocs). The 1M point
+// makes it too heavy for "all"; CI runs it capped at 100k.
+//
 // The federation benchmark measures the gossip plane: AFG1 digest
 // encode (one EncodeRound over a 10k-process registry) and decode
 // ns/op, plus a measured cross-peer crash-detection time over two real
@@ -80,10 +87,11 @@ func run(args []string) int {
 	var (
 		sweep    = fs.String("sweep", "threshold", "sweep to run: threshold, window, loss, interval, gst, batch")
 		seed     = fs.Uint64("seed", 42, "base random seed")
-		bench    = fs.String("bench", "", "run a micro-benchmark instead of a sweep: ingest, query, scrape, batch, manyprocs, federation, autotune or all")
+		bench    = fs.String("bench", "", "run a micro-benchmark instead of a sweep: ingest, query, scrape, batch, walk, manyprocs, federation, autotune or all")
 		benchOut = fs.String("bench-out", ".", "directory for BENCH_<name>.json results")
 		procs    = fs.String("procs", "100", "comma-separated registry sizes for the scrape benchmark")
 		manySz   = fs.String("manyprocs-sizes", "10000,100000,1000000", "comma-separated registry sizes for the manyprocs benchmark")
+		walkSz   = fs.String("walk-sizes", "10000,100000,1000000", "comma-separated registry sizes for the walk benchmark")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -99,7 +107,12 @@ func run(args []string) int {
 			fmt.Fprintf(os.Stderr, "fdbench: %v\n", err)
 			return 2
 		}
-		if err := runBenchmarks(*bench, *benchOut, sizes, manySizes); err != nil {
+		walkSizes, err := parseProcs(*walkSz)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fdbench: %v\n", err)
+			return 2
+		}
+		if err := runBenchmarks(*bench, *benchOut, sizes, manySizes, walkSizes); err != nil {
 			fmt.Fprintf(os.Stderr, "fdbench: %v\n", err)
 			return 2
 		}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"accrual/internal/stats"
+)
+
+// This file defines the lock-free evaluation contract: the compact,
+// immutable parameter snapshot a detector publishes on every state
+// change so that full-fleet readers can evaluate suspicion levels
+// without taking the detector's lock or calling into the detector at
+// all.
+//
+// The contract exploits the paper's central decoupling. Between
+// heartbeats a detector's state is frozen: the suspicion level is a
+// pure, monotone function of the time elapsed since the last arrival,
+// given the frozen inter-arrival estimate (Definition 1 — the level
+// accrues with elapsed time, the estimate only moves on monitoring
+// input). Every detector in this module reduces to a handful of scalar
+// parameters between arrivals — φ and Bertier to (mean, stddev) /
+// (EA, margin), Chen to EA, Algorithm 4 to t_last, κ to the estimate
+// feeding its contribution curve — so a reader holding those scalars
+// can reproduce Suspicion(now) exactly, for any now, with pure
+// arithmetic.
+
+// EvalKind discriminates the evaluator shape of an EvalSnapshot.
+type EvalKind uint32
+
+const (
+	// EvalNone means no snapshot is available: the detector does not
+	// implement EvalSnapshotter (or the slot is unbound). Readers must
+	// fall back to the locked Suspicion path.
+	EvalNone EvalKind = iota
+	// EvalZero is the degenerate snapshot of a detector with no
+	// estimate yet (φ or κ before any inter-arrival sample): the level
+	// is 0 for every now.
+	EvalZero
+	// EvalElapsed is Algorithm 4 (internal/simple):
+	// level = max(0, now−Ref) / P1, with Ref = t_last and P1 the level
+	// unit in nanoseconds.
+	EvalElapsed
+	// EvalLateness is Chen's accrual form (internal/chen):
+	// level = max(0, now−Ref) / P1, with Ref = EA (the expected arrival
+	// of the next heartbeat) and P1 the level unit in nanoseconds.
+	// Strictly-negative lateness clamps to 0 before the division, so
+	// the two kinds differ only in what Ref means.
+	EvalLateness
+	// EvalLatenessMargin is Bertier's accrual form (internal/bertier):
+	// lateness = max(0, now−Ref)/P2 (the embedded Chen estimator's
+	// level, unit P2 ns); level = lateness/P1 when lateness > 0, with
+	// P1 the adaptive margin in seconds.
+	EvalLatenessMargin
+	// EvalPhiNormal is the φ detector under its normal inter-arrival
+	// model: Ref = t_last, P1 = μ (seconds, acceptable pause included),
+	// P2 = σ (seconds, floored).
+	EvalPhiNormal
+	// EvalPhiExponential is φ under the exponential model:
+	// Ref = t_last, P1 = the distribution mean (seconds).
+	EvalPhiExponential
+	// EvalPhiErlang is φ under the Erlang model: Ref = t_last,
+	// P1 = the fitted integer shape k, P2 = λ.
+	EvalPhiErlang
+	// EvalAuxKind delegates evaluation to the snapshot's Aux hook — the
+	// escape hatch for detectors whose level needs more than the POD
+	// parameters (κ's pluggable contribution curve).
+	EvalAuxKind
+)
+
+// EvalSnapshot is a compact immutable parameter set sufficient to
+// evaluate a detector's suspicion level at any instant at or after the
+// snapshot was taken, without locks and without the detector.
+//
+// The meaning of Ref, P1 and P2 depends on Kind (see the constants).
+// Ref is always an instant in Unix nanoseconds; readers compare it
+// against now.UnixNano(), i.e. wall-clock arithmetic. Under the manual
+// clocks of the simulator and the test suites this is bit-identical to
+// the detector's own time.Time arithmetic; under the real clock the two
+// may differ by the wall-versus-monotonic reading of one clock step.
+//
+// Snapshots are plain values: publishing one must not allocate, so a
+// detector's EvalSnapshot method returns it by value and any Aux hook
+// is allocated once at construction, never per publication.
+type EvalSnapshot struct {
+	Kind EvalKind
+	// Ref is the reference instant in Unix nanoseconds: t_last for
+	// elapsed-time kinds, EA for lateness kinds.
+	Ref int64
+	// P1 and P2 are the kind-specific scalar parameters.
+	P1 float64
+	P2 float64
+	// Eps is the detector's level resolution ε (Definition 1), applied
+	// by Level exactly as the detector's own Suspicion applies it.
+	Eps Level
+	// Aux is the evaluator hook of EvalAuxKind snapshots, nil
+	// otherwise. Implementations must be immutable once published and
+	// must have a comparable dynamic type (publish-side change
+	// detection compares interface identities).
+	Aux EvalAux
+}
+
+// EvalAux evaluates snapshot kinds whose level computation needs state
+// beyond the POD parameters — κ's contribution curve is the in-tree
+// case. An implementation must be a pure function of (s, now): it runs
+// concurrently on arbitrary reader goroutines with no synchronisation.
+type EvalAux interface {
+	EvalLevel(s EvalSnapshot, now time.Time) Level
+}
+
+// EvalSnapshotter is implemented by detectors that publish eval
+// snapshots. The contract: for any now at or after the last state
+// change, s.Level(now) must equal Suspicion(now) to within 1e-9 — the
+// snapshot is the detector's interpretation function with the
+// monitoring state frozen in, not an approximation of it.
+//
+// EvalSnapshot is called under the same external synchronisation as
+// Report and Suspicion (the registry's entry lock); it must not
+// allocate on the steady-state path, since it runs once per accepted
+// heartbeat.
+type EvalSnapshotter interface {
+	EvalSnapshot() EvalSnapshot
+}
+
+// Level evaluates the snapshot at now. It is pure, lock-free and
+// allocation-free for every kind except EvalPhiErlang (whose
+// log-sum-exp scratch allocates, exactly as the live φ Erlang path
+// does).
+func (s EvalSnapshot) Level(now time.Time) Level {
+	switch s.Kind {
+	case EvalElapsed, EvalLateness:
+		d := now.UnixNano() - s.Ref
+		if d < 0 {
+			return 0
+		}
+		return Level(float64(d) / s.P1).Quantize(s.Eps)
+	case EvalLatenessMargin:
+		d := now.UnixNano() - s.Ref
+		if d < 0 {
+			d = 0
+		}
+		lateness := float64(d) / s.P2
+		if lateness <= 0 {
+			return 0
+		}
+		return Level(lateness / s.P1).Quantize(s.Eps)
+	case EvalPhiNormal:
+		return s.phiLevel(now, stats.Normal{Mu: s.P1, Sigma: s.P2})
+	case EvalPhiExponential:
+		return s.phiLevel(now, stats.Exponential{MeanValue: s.P1})
+	case EvalPhiErlang:
+		return s.phiLevel(now, stats.Erlang{K: int(s.P1), Lambda: s.P2})
+	case EvalAuxKind:
+		if s.Aux == nil {
+			return 0
+		}
+		return s.Aux.EvalLevel(s, now)
+	default: // EvalNone, EvalZero
+		return 0
+	}
+}
+
+// phiLevel replicates phi.Detector.Phi + Suspicion over the published
+// distribution parameters: elapsed time in seconds through the same
+// Duration.Seconds() rounding, the same log-space tail, the same
+// −log₁₀ conversion and non-positive clamp.
+func (s EvalSnapshot) phiLevel(now time.Time, dist stats.LogTailer) Level {
+	elapsed := time.Duration(now.UnixNano() - s.Ref).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	phi := -dist.LogTail(elapsed) / math.Ln10
+	if phi <= 0 {
+		return 0
+	}
+	return Level(phi).Quantize(s.Eps)
+}

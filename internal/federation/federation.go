@@ -111,7 +111,8 @@ type Federation struct {
 	fed *telemetry.FederationCounters
 
 	// mu guards everything below plus the build scratch; lock order is
-	// mu → registry shard locks (via EachInfo), never the reverse.
+	// mu → walk coalescer → registry shard locks (via EachInfoShared),
+	// never the reverse.
 	mu      sync.Mutex
 	rng     interface{ IntN(int) int }
 	seq     uint64
@@ -335,7 +336,11 @@ func (f *Federation) buildSummary(now time.Time) {
 	clear(f.groupIdx)
 	f.procs = 0
 	f.buildNow = now
-	f.mon.EachInfo(f.observe)
+	// Joining the coalesced walk lets a digest round that fires together
+	// with the QoS sampler share one registry pass; observe touches only
+	// the build scratch under f.mu, which no other shared-walk consumer
+	// acquires, so executing it on the walk leader's goroutine is safe.
+	f.mon.EachInfoShared(f.observe)
 	slices.SortFunc(f.top, suspectRank)
 	slices.SortFunc(f.groups, groupRank)
 	if len(f.groups) > transport.MaxDigestGroups {

@@ -1,0 +1,74 @@
+package kappa
+
+import (
+	"time"
+
+	"accrual/internal/core"
+)
+
+var _ core.EvalSnapshotter = (*Detector)(nil)
+
+// snapEval is the κ detector's core.EvalAux hook: it re-runs the
+// contribution sum of Suspicion from published parameters instead of
+// detector state. One snapEval is allocated per detector at
+// construction (never per publication) and is immutable afterwards —
+// the contribution function itself is configuration, fixed at New, so
+// sharing it across lock-free readers is safe.
+type snapEval struct {
+	contrib Contribution
+}
+
+// EvalLevel replicates Detector.Suspicion over the published
+// parameters: P1/P2 carry the inter-arrival estimate (mean and stddev,
+// nanoseconds), Ref the last arrival. The due-time grid walk, the
+// saturation shortcut and the quantisation are the same code shape as
+// the live path, so the two agree wherever their clock arithmetic does.
+func (a *snapEval) EvalLevel(s core.EvalSnapshot, now time.Time) core.Level {
+	est := Estimate{Mean: time.Duration(s.P1), StdDev: time.Duration(s.P2)}
+	elapsed := time.Duration(now.UnixNano() - s.Ref)
+	if elapsed <= 0 || est.Mean <= 0 {
+		return 0
+	}
+	base := time.Unix(0, s.Ref)
+	m := int64(elapsed/est.Mean) + 1
+	sat := a.contrib.Saturation(est)
+	var nSat int64
+	if elapsed > sat {
+		nSat = int64((elapsed-sat)/est.Mean) + 1
+		if nSat > m {
+			nSat = m
+		}
+	}
+	sum := float64(nSat)
+	for j := nSat + 1; j <= m; j++ {
+		due := base.Add(time.Duration(j-1) * est.Mean)
+		sum += a.contrib.Value(now.Sub(due), est)
+	}
+	return core.Level(sum).Quantize(s.Eps)
+}
+
+// EvalSnapshot publishes the detector's frozen interpretation function
+// (core.EvalSnapshotter): between heartbeats the κ level is the
+// contribution sum over the due-time grid anchored at the last arrival,
+// so the inter-arrival estimate, the last arrival and the (immutable)
+// contribution curve are the whole state. The curve rides along as the
+// snapshot's Aux hook.
+func (d *Detector) EvalSnapshot() core.EvalSnapshot {
+	est, ok := d.estimate()
+	if !ok || est.Mean <= 0 {
+		return core.EvalSnapshot{Kind: core.EvalZero}
+	}
+	if d.aux == nil {
+		// Detectors predating New (zero-value construction in tests)
+		// lazily build the hook; New preallocates it.
+		d.aux = &snapEval{contrib: d.contrib}
+	}
+	return core.EvalSnapshot{
+		Kind: core.EvalAuxKind,
+		Ref:  d.last.UnixNano(),
+		P1:   float64(est.Mean),
+		P2:   float64(est.StdDev),
+		Eps:  d.eps,
+		Aux:  d.aux,
+	}
+}

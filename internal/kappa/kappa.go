@@ -204,6 +204,11 @@ type Detector struct {
 	// Channel bookkeeping for the autotuner (core.TuneInfo).
 	accepted uint64
 	lost     uint64
+
+	// aux is the shared core.EvalAux hook handed out with every eval
+	// snapshot (see eval.go). Allocated once so publication stays
+	// allocation-free.
+	aux *snapEval
 }
 
 var _ core.Detector = (*Detector)(nil)
@@ -238,6 +243,7 @@ func New(start time.Time, contrib Contribution, opts ...Option) *Detector {
 	if d.window == nil {
 		d.window = stats.NewWindow(200)
 	}
+	d.aux = &snapEval{contrib: d.contrib}
 	return d
 }
 

@@ -49,6 +49,7 @@ package service
 import (
 	"errors"
 	"fmt"
+	"math"
 	"slices"
 	"sort"
 	"strings"
@@ -150,8 +151,23 @@ func (p Profile) EstimatorWindow(def int) int {
 // cycles. gen distinguishes bindings: odd while a process is bound to
 // the slot, even while free, bumped under e.mu on every bind and unbind.
 // A caller that resolved (entry, gen) under a shard lock passes the gen
-// back into report/level, which verify it under e.mu and refuse the
+// back into report, which verifies it under e.mu and refuses the
 // operation if the slot was rebound in between.
+//
+// # The eval cell
+//
+// Read paths never take e.mu in steady state. Each write that changes
+// what a reader could observe — bind, unbind, an accepted heartbeat, a
+// retune, a state restore — republishes the entry's evaluation state
+// into a seqlock cell of plain atomics: the process identity (meta),
+// the frozen core.EvalSnapshot parameters and the last-arrival stamp.
+// The writer (always under e.mu, so writers never interleave) bumps
+// evalSeq odd, stores the fields, bumps it even; a reader snapshots the
+// fields between two equal even reads of evalSeq and otherwise retries.
+// Every field is individually atomic, so the protocol is race-detector
+// clean, and a reader can never pair one binding's id with another's
+// parameters. Full-registry walks evaluate levels from the captured
+// snapshot alone — zero locks, zero detector calls.
 type entry struct {
 	mu sync.Mutex
 	// lastSeq is the highest heartbeat sequence number seen (0 until a
@@ -159,15 +175,143 @@ type entry struct {
 	lastSeq uint64
 	gen     atomic.Uint64
 	det     core.Detector
-	// group is the process's group tag (WithGroupFn), set at bind under
-	// the shard write lock and immutable for the binding's lifetime, so
-	// shard-locked walks may read it without taking mu.
-	group string
+	// snap is det asserted to core.EvalSnapshotter once at bind (nil when
+	// the detector does not publish snapshots); guarded by mu.
+	snap core.EvalSnapshotter
 	// lastArrival is the arrival time of the newest heartbeat (the bind
-	// time until one arrives), guarded by mu like the detector. Digest
-	// construction reads it through info so remote peers can judge how
-	// stale a suspect's evidence is.
+	// time until one arrives), guarded by mu like the detector; its
+	// UnixNano is mirrored into evalLast for lock-free readers.
 	lastArrival time.Time
+
+	// meta is the binding's identity (id and group tag), nil while the
+	// slot is free. It is stored inside the seqlock window at bind and
+	// unbind, so one consistent read of the cell pairs the right identity
+	// with the right parameters even across a rebind.
+	meta atomic.Pointer[entryMeta]
+
+	// The seqlock cell proper. evalKind/evalRef/evalP1/evalP2/evalEps
+	// mirror core.EvalSnapshot (floats as Float64bits); evalLast mirrors
+	// lastArrival.UnixNano(); evalAux boxes the snapshot's EvalAux hook,
+	// re-boxed only when its identity changes (for the in-tree detectors
+	// that is once per binding, so steady-state publication allocates
+	// nothing).
+	evalSeq  atomic.Uint32
+	evalKind atomic.Uint32
+	evalRef  atomic.Int64
+	evalLast atomic.Int64
+	evalP1   atomic.Uint64
+	evalP2   atomic.Uint64
+	evalEps  atomic.Uint64
+	evalAux  atomic.Pointer[evalAuxBox]
+}
+
+// entryMeta is a binding's immutable identity, shared with lock-free
+// readers by pointer.
+type entryMeta struct {
+	id    string
+	group string
+}
+
+// evalAuxBox wraps the snapshot's EvalAux hook so the two-word interface
+// value can be published through a single atomic pointer.
+type evalAuxBox struct{ aux core.EvalAux }
+
+// publishEval recomputes the detector's eval snapshot and writes it —
+// with the last-arrival mirror and, when setMeta is true, a new identity
+// — into the seqlock cell. Caller holds e.mu; every mutation of
+// detector-observable state must call this before unlocking, so readers
+// are never more than one heartbeat behind the locked truth.
+func (e *entry) publishEval(meta *entryMeta, setMeta bool) {
+	var snap core.EvalSnapshot
+	if e.snap != nil {
+		snap = e.snap.EvalSnapshot()
+	}
+	e.evalSeq.Add(1) // even → odd: readers retry
+	if setMeta {
+		e.meta.Store(meta)
+	}
+	e.evalKind.Store(uint32(snap.Kind))
+	e.evalRef.Store(snap.Ref)
+	e.evalLast.Store(e.lastArrival.UnixNano())
+	e.evalP1.Store(math.Float64bits(snap.P1))
+	e.evalP2.Store(math.Float64bits(snap.P2))
+	e.evalEps.Store(math.Float64bits(float64(snap.Eps)))
+	if snap.Aux != nil {
+		if box := e.evalAux.Load(); box == nil || box.aux != snap.Aux {
+			e.evalAux.Store(&evalAuxBox{aux: snap.Aux})
+		}
+	} else if e.evalAux.Load() != nil {
+		e.evalAux.Store(nil)
+	}
+	e.evalSeq.Add(1) // odd → even: cell stable
+}
+
+// evalSpinLimit bounds the seqlock retry loop; past it the reader falls
+// back to a locked read rather than spinning against a write storm.
+const evalSpinLimit = 64
+
+// loadEval performs one lock-free read of the entry's eval cell. ok is
+// false when the slot is free; otherwise meta, snap and last (the
+// last-arrival UnixNano) form one consistent published state. A
+// snapshot of kind core.EvalNone means the bound detector does not
+// publish snapshots and the caller must evaluate under the entry lock.
+func (e *entry) loadEval() (meta *entryMeta, snap core.EvalSnapshot, last int64, ok bool) {
+	for spin := 0; spin < evalSpinLimit; spin++ {
+		s1 := e.evalSeq.Load()
+		if s1&1 != 0 {
+			continue // publication in flight
+		}
+		meta = e.meta.Load()
+		if meta == nil {
+			if e.evalSeq.Load() == s1 {
+				return nil, core.EvalSnapshot{}, 0, false // stably free
+			}
+			continue // observed mid-(un)bind; retry
+		}
+		snap.Kind = core.EvalKind(e.evalKind.Load())
+		snap.Ref = e.evalRef.Load()
+		last = e.evalLast.Load()
+		snap.P1 = math.Float64frombits(e.evalP1.Load())
+		snap.P2 = math.Float64frombits(e.evalP2.Load())
+		snap.Eps = core.Level(math.Float64frombits(e.evalEps.Load()))
+		if box := e.evalAux.Load(); box != nil {
+			snap.Aux = box.aux
+		} else {
+			snap.Aux = nil
+		}
+		if e.evalSeq.Load() == s1 {
+			return meta, snap, last, true
+		}
+	}
+	// Writer storm on this entry: read the cell under its lock instead.
+	e.mu.Lock()
+	meta = e.meta.Load()
+	if meta == nil {
+		e.mu.Unlock()
+		return nil, core.EvalSnapshot{}, 0, false
+	}
+	if e.snap != nil {
+		snap = e.snap.EvalSnapshot()
+	} else {
+		snap = core.EvalSnapshot{}
+	}
+	last = e.lastArrival.UnixNano()
+	e.mu.Unlock()
+	return meta, snap, last, true
+}
+
+// lockedLevel evaluates the live detector under e.mu — the fallback for
+// detectors that do not publish snapshots. ok is false when the slot no
+// longer holds the binding identified by meta.
+func (e *entry) lockedLevel(meta *entryMeta, now time.Time) (core.Level, bool) {
+	e.mu.Lock()
+	if e.meta.Load() != meta {
+		e.mu.Unlock()
+		return 0, false
+	}
+	l := e.det.Suspicion(now)
+	e.mu.Unlock()
+	return l, true
 }
 
 // report feeds one heartbeat to the detector and reports whether it was
@@ -196,36 +340,9 @@ func (e *entry) report(gen uint64, hb core.Heartbeat) (stale, ok bool) {
 	if hb.Arrived.After(e.lastArrival) {
 		e.lastArrival = hb.Arrived
 	}
+	e.publishEval(nil, false)
 	e.mu.Unlock()
 	return stale, true
-}
-
-// level evaluates the detector at now; ok is false when the slot was
-// rebound since the caller resolved gen.
-func (e *entry) level(gen uint64, now time.Time) (core.Level, bool) {
-	e.mu.Lock()
-	if e.gen.Load() != gen {
-		e.mu.Unlock()
-		return 0, false
-	}
-	l := e.det.Suspicion(now)
-	e.mu.Unlock()
-	return l, true
-}
-
-// info evaluates the detector at now and reads the last-arrival stamp in
-// one lock acquisition; ok is false when the slot was rebound since the
-// caller resolved gen.
-func (e *entry) info(gen uint64, now time.Time) (lvl core.Level, last time.Time, ok bool) {
-	e.mu.Lock()
-	if e.gen.Load() != gen {
-		e.mu.Unlock()
-		return 0, time.Time{}, false
-	}
-	lvl = e.det.Suspicion(now)
-	last = e.lastArrival
-	e.mu.Unlock()
-	return lvl, last, true
 }
 
 const (
@@ -297,11 +414,15 @@ func (sh *shard) bind(id string, det core.Detector, group string, start time.Tim
 	idx, e := sh.slab.alloc()
 	e.mu.Lock()
 	e.det = det
+	e.snap, _ = det.(core.EvalSnapshotter)
 	e.lastSeq = 0
-	e.group = group
 	e.lastArrival = start
 	e.gen.Add(1) // even → odd: bound
 	gen := e.gen.Load()
+	// Publish the identity and the detector's initial snapshot in one
+	// seqlock window: lock-free walks see the process from this instant,
+	// never with a predecessor's parameters.
+	e.publishEval(&entryMeta{id: id, group: group}, true)
 	e.mu.Unlock()
 	sh.procs[id] = idx
 	return e, gen
@@ -322,9 +443,12 @@ func (sh *shard) unbind(id string) bool {
 	e.mu.Lock()
 	e.gen.Add(1) // odd → even: free
 	e.det = nil
+	e.snap = nil
 	e.lastSeq = 0
-	e.group = ""
 	e.lastArrival = time.Time{}
+	// Clear the eval cell inside one seqlock window; concurrent walks
+	// observe the slot as stably free and skip it.
+	e.publishEval(nil, true)
 	e.mu.Unlock()
 	sh.slab.free = append(sh.slab.free, idx)
 	return true
@@ -365,6 +489,20 @@ type Monitor struct {
 	// verify the once-per-shard-per-batch contract; production monitors
 	// leave it nil.
 	onShardLock func(shard uint32, write bool)
+
+	// walk is the persistent worker pool behind EachLevelParallel; coal
+	// is the single-flight coalescer behind the Shared walk variants.
+	// Both live in walk.go.
+	walk walkPool
+	coal walkCoalescer
+}
+
+// noteWalkRun counts one full-registry evaluation pass on the telemetry
+// hub (accrual_walk_runs_total).
+func (m *Monitor) noteWalkRun() {
+	if m.tel != nil {
+		m.tel.Walks.Run()
+	}
 }
 
 // MonitorOption configures a Monitor.
@@ -654,7 +792,7 @@ func (m *Monitor) Suspicion(id string) (core.Level, error) {
 	h := fnv1a(id)
 	sh := m.shardAt(h)
 	sh.mu.RLock()
-	e, gen := sh.get(id)
+	e, _ := sh.get(id)
 	sh.mu.RUnlock()
 	if e == nil {
 		return 0, fmt.Errorf("%w: %q", ErrUnknownProcess, id)
@@ -662,7 +800,7 @@ func (m *Monitor) Suspicion(id string) (core.Level, error) {
 	if m.tel != nil {
 		m.tel.Counters.Query(h)
 	}
-	lvl, ok := e.level(gen, m.clk.Now())
+	lvl, ok := e.snapLevel(id, m.clk.Now())
 	if !ok {
 		// Deregistered between lookup and evaluation.
 		return 0, fmt.Errorf("%w: %q", ErrUnknownProcess, id)
@@ -670,51 +808,109 @@ func (m *Monitor) Suspicion(id string) (core.Level, error) {
 	return lvl, nil
 }
 
-// procRef pairs an id with its resolved slot handle during shard
-// iteration; the slices are pooled so steady-state
-// EachLevel/Snapshot/Ranked traffic does not re-allocate the scratch
-// space on every call.
-type procRef struct {
-	id    string
-	group string
-	e     *entry
-	gen   uint64
+// snapLevel evaluates the level of the process bound to e — lock-free
+// from the published snapshot when the detector provides one, under the
+// entry lock otherwise. ok is false when the slot no longer holds id.
+func (e *entry) snapLevel(id string, now time.Time) (core.Level, bool) {
+	meta, snap, _, ok := e.loadEval()
+	if !ok || meta.id != id {
+		return 0, false
+	}
+	if snap.Kind != core.EvalNone {
+		return snap.Level(now), true
+	}
+	return e.lockedLevel(meta, now)
 }
 
-var refPool = sync.Pool{
-	New: func() any {
-		s := make([]procRef, 0, 64)
-		return &s
-	},
+// walkSpan captures the shard's slab extent for lock-free iteration:
+// the chunk table and the high-water slot count. The shard lock is held
+// only for the two-field copy — chunks are append-only and never moved,
+// so the captured prefix stays valid for the monitor's lifetime; slots
+// bound after the capture are simply not visited this pass (the same
+// membership semantics the locked walk had).
+func (sh *shard) walkSpan() ([][]entry, uint32) {
+	sh.mu.RLock()
+	chunks, n := sh.slab.chunks, sh.slab.next
+	sh.mu.RUnlock()
+	return chunks, n
+}
+
+// walkShardLevels evaluates every bound slot of one shard at now,
+// straight off the slab arrays: no shard lock, no entry locks, no map
+// iteration — each slot is one seqlock read plus a pure snapshot
+// evaluation. Detectors that do not publish snapshots are evaluated
+// under their entry lock, preserving the old semantics.
+func walkShardLevels(sh *shard, now time.Time, fn func(id string, lvl core.Level)) {
+	chunks, n := sh.walkSpan()
+	remaining := int(n)
+	for _, chunk := range chunks {
+		cn := slabChunkSize
+		if remaining < cn {
+			cn = remaining
+		}
+		for j := 0; j < cn; j++ {
+			e := &chunk[j]
+			meta, snap, _, ok := e.loadEval()
+			if !ok {
+				continue // free slot
+			}
+			var lvl core.Level
+			if snap.Kind != core.EvalNone {
+				lvl = snap.Level(now)
+			} else if lvl, ok = e.lockedLevel(meta, now); !ok {
+				continue // unbound mid-walk
+			}
+			fn(meta.id, lvl)
+		}
+		remaining -= cn
+		if remaining <= 0 {
+			break
+		}
+	}
+}
+
+// walkShardInfos is walkShardLevels plus the identity and last-arrival
+// surface digests are built from; one seqlock read yields a consistent
+// (group, level, lastArrival) triple per process.
+func walkShardInfos(sh *shard, now time.Time, fn func(info ProcessInfo)) {
+	chunks, n := sh.walkSpan()
+	remaining := int(n)
+	for _, chunk := range chunks {
+		cn := slabChunkSize
+		if remaining < cn {
+			cn = remaining
+		}
+		for j := 0; j < cn; j++ {
+			e := &chunk[j]
+			meta, snap, last, ok := e.loadEval()
+			if !ok {
+				continue
+			}
+			var lvl core.Level
+			if snap.Kind != core.EvalNone {
+				lvl = snap.Level(now)
+			} else if lvl, ok = e.lockedLevel(meta, now); !ok {
+				continue
+			}
+			fn(ProcessInfo{ID: meta.id, Group: meta.group, Level: lvl, LastArrival: time.Unix(0, last)})
+		}
+		remaining -= cn
+		if remaining <= 0 {
+			break
+		}
+	}
 }
 
 // EachLevel calls fn with every monitored process and its suspicion level
-// at one clock reading. It walks the registry shard by shard — heartbeats
-// to other shards proceed while one shard is being read — holding no
-// locks at all while fn runs.
+// at one clock reading. It iterates the slab arrays directly and
+// evaluates published snapshots, so the walk holds no locks and calls no
+// detectors; see the entry comment for the seqlock protocol.
 func (m *Monitor) EachLevel(fn func(id string, lvl core.Level)) {
 	now := m.clk.Now()
-	refs := refPool.Get().(*[]procRef)
 	for i := range m.shards {
-		sh := &m.shards[i]
-		sh.mu.RLock()
-		*refs = (*refs)[:0]
-		for id, idx := range sh.procs {
-			e := sh.slab.at(idx)
-			*refs = append(*refs, procRef{id: id, e: e, gen: e.gen.Load()})
-		}
-		sh.mu.RUnlock()
-		for _, r := range *refs {
-			if lvl, ok := r.e.level(r.gen, now); ok {
-				fn(r.id, lvl)
-			}
-			// A generation mismatch means the process was deregistered
-			// since the shard scan — exactly the entries the pre-slab
-			// walk skipped via the removed flag.
-		}
+		walkShardLevels(&m.shards[i], now, fn)
 	}
-	*refs = (*refs)[:0]
-	refPool.Put(refs)
+	m.noteWalkRun()
 }
 
 // ProcessInfo is one monitored process's digest-relevant state at one
@@ -728,34 +924,19 @@ type ProcessInfo struct {
 }
 
 // EachInfo calls fn with every monitored process's ProcessInfo at one
-// clock reading — the generation-guarded walk federation digest
-// construction runs on. Like EachLevel it proceeds shard by shard with
-// pooled scratch, holds no locks while fn runs, and allocates nothing in
-// steady state, so building a digest over a million processes never
-// takes a global pause. Group tags are captured under the shard read
-// lock (they are bind-time-immutable); level and last-arrival are read
-// under the entry lock with the generation revalidated, so a slot
-// rebound mid-walk is skipped rather than misattributed.
+// clock reading — the walk federation digest construction runs on. Like
+// EachLevel it evaluates published snapshots straight off the slab
+// arrays, holds no locks while fn runs, and allocates nothing in steady
+// state, so building a digest over a million processes never takes a
+// global pause. Identity and group ride in the seqlock cell with the
+// parameters, so a slot rebound mid-walk is skipped or attributed to
+// exactly one binding, never mixed.
 func (m *Monitor) EachInfo(fn func(info ProcessInfo)) {
 	now := m.clk.Now()
-	refs := refPool.Get().(*[]procRef)
 	for i := range m.shards {
-		sh := &m.shards[i]
-		sh.mu.RLock()
-		*refs = (*refs)[:0]
-		for id, idx := range sh.procs {
-			e := sh.slab.at(idx)
-			*refs = append(*refs, procRef{id: id, group: e.group, e: e, gen: e.gen.Load()})
-		}
-		sh.mu.RUnlock()
-		for _, r := range *refs {
-			if lvl, last, ok := r.e.info(r.gen, now); ok {
-				fn(ProcessInfo{ID: r.id, Group: r.group, Level: lvl, LastArrival: last})
-			}
-		}
+		walkShardInfos(&m.shards[i], now, fn)
 	}
-	*refs = (*refs)[:0]
-	refPool.Put(refs)
+	m.noteWalkRun()
 }
 
 // Snapshot returns the suspicion level of every monitored process at one
@@ -774,15 +955,13 @@ func (m *Monitor) Now() time.Time { return m.clk.Now() }
 // caches the per-process entry so steady-state queries skip the registry
 // lookup entirely, re-resolving only after a deregistration (which may
 // find a re-registered successor, or nothing — then it reports zero).
+// Each query is one lock-free snapshot evaluation.
 func (m *Monitor) levelFunc(id string) transform.LevelFunc {
 	h := fnv1a(id)
-	var (
-		cached    *entry
-		cachedGen uint64
-	)
+	var cached *entry
 	return func(now time.Time) core.Level {
 		if cached != nil {
-			if lvl, ok := cached.level(cachedGen, now); ok {
+			if lvl, ok := cached.snapLevel(id, now); ok {
 				if m.tel != nil {
 					m.tel.Counters.Query(h)
 				}
@@ -791,12 +970,12 @@ func (m *Monitor) levelFunc(id string) transform.LevelFunc {
 			// Slot rebound since the handle was cached — the process was
 			// deregistered (and possibly re-registered); re-resolve.
 		}
-		e, gen := m.lookup(id)
-		cached, cachedGen = e, gen
+		e, _ := m.lookup(id)
+		cached = e
 		if e == nil {
 			return 0
 		}
-		lvl, ok := e.level(gen, now)
+		lvl, ok := e.snapLevel(id, now)
 		if !ok {
 			cached = nil
 			return 0

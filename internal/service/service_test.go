@@ -352,7 +352,11 @@ func TestHeartbeatAutoRegisterStampsArrival(t *testing.T) {
 	}
 }
 
-// countingDetector counts Suspicion evaluations.
+// countingDetector counts Suspicion evaluations. It deliberately does
+// not publish eval snapshots — the shadowing EvalSnapshot method below
+// has a different signature, so the promoted implementation from
+// simple.Detector is suppressed and queries take the locked fallback
+// path, where every evaluation is a counted Suspicion call.
 type countingDetector struct {
 	simple.Detector
 	evals int
@@ -362,6 +366,10 @@ func (d *countingDetector) Suspicion(now time.Time) core.Level {
 	d.evals++
 	return d.Detector.Suspicion(now)
 }
+
+// EvalSnapshot shadows the promoted snapshotter with an incompatible
+// signature so *countingDetector does not satisfy core.EvalSnapshotter.
+func (d *countingDetector) EvalSnapshot(struct{}) {}
 
 // TestAppStatusSingleEvaluation pins the satellite fix for the doubled
 // detector query: one App.Status call must evaluate the underlying

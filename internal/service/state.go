@@ -41,35 +41,41 @@ func (s MonitorState) Len() int { return len(s.Procs) }
 // passes over it (exactly the consistency EachLevel offers).
 func (m *Monitor) ExportState() MonitorState {
 	var procs []ProcessState
-	refs := refPool.Get().(*[]procRef)
 	for i := range m.shards {
-		sh := &m.shards[i]
-		sh.mu.RLock()
-		*refs = (*refs)[:0]
-		for id, idx := range sh.procs {
-			e := sh.slab.at(idx)
-			*refs = append(*refs, procRef{id: id, e: e, gen: e.gen.Load()})
-		}
-		sh.mu.RUnlock()
-		for _, r := range *refs {
-			r.e.mu.Lock()
-			if r.e.gen.Load() != r.gen {
-				r.e.mu.Unlock()
-				continue // deregistered since the shard scan
+		chunks, n := m.shards[i].walkSpan()
+		remaining := int(n)
+		for _, chunk := range chunks {
+			cn := slabChunkSize
+			if remaining < cn {
+				cn = remaining
 			}
-			s, ok := r.e.det.(core.Snapshotter)
-			var st core.State
-			if ok {
-				st = s.SnapshotState()
+			for j := 0; j < cn; j++ {
+				e := &chunk[j]
+				meta := e.meta.Load()
+				if meta == nil {
+					continue
+				}
+				e.mu.Lock()
+				if e.meta.Load() != meta {
+					e.mu.Unlock()
+					continue // deregistered since the slab scan
+				}
+				s, ok := e.det.(core.Snapshotter)
+				var st core.State
+				if ok {
+					st = s.SnapshotState()
+				}
+				e.mu.Unlock()
+				if ok {
+					procs = append(procs, ProcessState{ID: meta.id, State: st})
+				}
 			}
-			r.e.mu.Unlock()
-			if ok {
-				procs = append(procs, ProcessState{ID: r.id, State: st})
+			remaining -= cn
+			if remaining <= 0 {
+				break
 			}
 		}
 	}
-	*refs = (*refs)[:0]
-	refPool.Put(refs)
 	sort.Slice(procs, func(i, j int) bool { return procs[i].ID < procs[j].ID })
 	return MonitorState{Procs: procs}
 }
@@ -114,6 +120,12 @@ func (m *Monitor) ImportState(st MonitorState) (restored int, err error) {
 		var rerr error
 		if ok {
 			rerr = s.RestoreState(ps.State)
+			if rerr == nil {
+				// Republish in the same critical section: a concurrent
+				// lock-free walk sees either the pre-restore or the
+				// restored parameters, never a mix.
+				e.publishEval(nil, false)
+			}
 		}
 		e.mu.Unlock()
 		if !ok {

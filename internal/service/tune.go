@@ -8,11 +8,11 @@ import (
 
 // tuneInfo reads the detector's tunable state under the entry lock.
 // retunable is false when the bound detector does not implement
-// core.Retunable; ok is false when the slot was rebound since the
-// caller resolved gen.
-func (e *entry) tuneInfo(gen uint64) (info core.TuneInfo, retunable, ok bool) {
+// core.Retunable; ok is false when the slot no longer holds the binding
+// identified by meta.
+func (e *entry) tuneInfo(meta *entryMeta) (info core.TuneInfo, retunable, ok bool) {
 	e.mu.Lock()
-	if e.gen.Load() != gen {
+	if e.meta.Load() != meta {
 		e.mu.Unlock()
 		return core.TuneInfo{}, false, false
 	}
@@ -23,18 +23,23 @@ func (e *entry) tuneInfo(gen uint64) (info core.TuneInfo, retunable, ok bool) {
 	return info, retunable, true
 }
 
-// retune applies a tuning under the entry lock. applied is false when
-// the detector is not retunable; ok is false when the slot was rebound
-// since the caller resolved gen.
-func (e *entry) retune(gen uint64, t core.Tuning) (applied, ok bool, err error) {
+// retune applies a tuning under the entry lock and republishes the eval
+// snapshot in the same critical section, so a concurrent lock-free walk
+// sees either the pre-tune or the post-tune parameters — never a mix.
+// applied is false when the detector is not retunable; ok is false when
+// the slot no longer holds the binding identified by meta.
+func (e *entry) retuneBy(meta *entryMeta, t core.Tuning) (applied, ok bool, err error) {
 	e.mu.Lock()
-	if e.gen.Load() != gen {
+	if e.meta.Load() != meta {
 		e.mu.Unlock()
 		return false, false, nil
 	}
 	if r, is := e.det.(core.Retunable); is {
 		err = r.Retune(t)
 		applied = err == nil
+	}
+	if applied {
+		e.publishEval(nil, false)
 	}
 	e.mu.Unlock()
 	return applied, true, err
@@ -49,62 +54,78 @@ type TuneProcess struct {
 }
 
 // EachTuneInfo calls fn with every monitored process whose detector
-// implements core.Retunable, following the generation-guarded,
-// shard-by-shard walk of EachLevel/EachInfo: pooled scratch, no locks
-// held while fn runs, zero steady-state allocations. Processes bound to
-// non-retunable detectors are skipped silently — the autotuner tunes
-// the fleet it can and leaves the rest alone.
+// implements core.Retunable — the autotuner's measurement pass. It
+// iterates the slab arrays directly like EachLevel; the per-entry lock
+// is still taken (TuneInfo reads live estimator state the snapshots do
+// not carry), but no shard lock is held beyond the span capture and no
+// scratch is allocated. Processes bound to non-retunable detectors are
+// skipped silently — the autotuner tunes the fleet it can and leaves
+// the rest alone.
 func (m *Monitor) EachTuneInfo(fn func(p TuneProcess)) {
-	refs := refPool.Get().(*[]procRef)
 	for i := range m.shards {
-		sh := &m.shards[i]
-		sh.mu.RLock()
-		*refs = (*refs)[:0]
-		for id, idx := range sh.procs {
-			e := sh.slab.at(idx)
-			*refs = append(*refs, procRef{id: id, group: e.group, e: e, gen: e.gen.Load()})
-		}
-		sh.mu.RUnlock()
-		for _, r := range *refs {
-			if info, retunable, ok := r.e.tuneInfo(r.gen); ok && retunable {
-				fn(TuneProcess{ID: r.id, Group: r.group, Info: info})
+		chunks, n := m.shards[i].walkSpan()
+		remaining := int(n)
+		for _, chunk := range chunks {
+			cn := slabChunkSize
+			if remaining < cn {
+				cn = remaining
+			}
+			for j := 0; j < cn; j++ {
+				e := &chunk[j]
+				meta := e.meta.Load()
+				if meta == nil {
+					continue
+				}
+				if info, retunable, ok := e.tuneInfo(meta); ok && retunable {
+					fn(TuneProcess{ID: meta.id, Group: meta.group, Info: info})
+				}
+			}
+			remaining -= cn
+			if remaining <= 0 {
+				break
 			}
 		}
 	}
-	*refs = (*refs)[:0]
-	refPool.Put(refs)
 }
 
 // Retune applies one tuning to every retunable detector in the
 // registry. It returns how many detectors were retuned and how many
 // were skipped (not retunable, or rebound mid-walk); err joins any
 // per-detector rejections (the rest of the fleet is still retuned —
-// a partially applied round is reported, not rolled back). The walk
+// a partially applied round is reported, not rolled back). Each applied
+// tuning republishes that entry's eval snapshot atomically, so
+// concurrent lock-free walks never observe a mixed state. The walk
 // allocates nothing when every detector accepts the tuning.
 func (m *Monitor) Retune(t core.Tuning) (tuned, skipped int, err error) {
-	refs := refPool.Get().(*[]procRef)
 	for i := range m.shards {
-		sh := &m.shards[i]
-		sh.mu.RLock()
-		*refs = (*refs)[:0]
-		for id, idx := range sh.procs {
-			e := sh.slab.at(idx)
-			*refs = append(*refs, procRef{id: id, e: e, gen: e.gen.Load()})
-		}
-		sh.mu.RUnlock()
-		for _, r := range *refs {
-			applied, ok, rerr := r.e.retune(r.gen, t)
-			switch {
-			case rerr != nil:
-				err = errors.Join(err, rerr)
-			case ok && applied:
-				tuned++
-			default:
-				skipped++
+		chunks, n := m.shards[i].walkSpan()
+		remaining := int(n)
+		for _, chunk := range chunks {
+			cn := slabChunkSize
+			if remaining < cn {
+				cn = remaining
+			}
+			for j := 0; j < cn; j++ {
+				e := &chunk[j]
+				meta := e.meta.Load()
+				if meta == nil {
+					continue
+				}
+				applied, ok, rerr := e.retuneBy(meta, t)
+				switch {
+				case rerr != nil:
+					err = errors.Join(err, rerr)
+				case ok && applied:
+					tuned++
+				default:
+					skipped++
+				}
+			}
+			remaining -= cn
+			if remaining <= 0 {
+				break
 			}
 		}
 	}
-	*refs = (*refs)[:0]
-	refPool.Put(refs)
 	return tuned, skipped, err
 }

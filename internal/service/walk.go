@@ -1,0 +1,253 @@
+package service
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"accrual/internal/core"
+)
+
+// This file is the fan-out half of the lock-free evaluation plane: the
+// published snapshots (see entry in service.go) make a full-registry
+// read a pure array scan, which parallelises trivially — shards are
+// independent work items with no shared mutable state beyond an atomic
+// cursor — and coalesces trivially — two consumers at the same instant
+// want the same scan, so one pass can feed both.
+
+// walkPool runs parallel full-registry walks over a persistent worker
+// set. Workers are started lazily on the first EachLevelParallel call
+// and live for the monitor's lifetime; the pool mutex serialises
+// concurrent parallel walks so the job state below is reused with zero
+// steady-state allocations.
+type walkPool struct {
+	mu    sync.Mutex // serialises walks; guards lazy start
+	start sync.Once
+	procs int
+	wake  chan struct{}
+	done  chan struct{}
+
+	// In-flight job state, owned by the walk holding mu. Shards are
+	// handed out by atomic cursor, so a straggler worker never idles the
+	// rest: work stealing degenerates gracefully under skewed shards.
+	now     time.Time
+	fn      func(id string, lvl core.Level)
+	cursor  atomic.Uint32
+	pending atomic.Int32
+}
+
+// EachLevelParallel is EachLevel fanned across min(GOMAXPROCS,
+// shard-count) workers: each worker claims shards off a shared atomic
+// cursor and evaluates them lock-free from the published snapshots. The
+// caller participates as one of the workers, so a walk on an otherwise
+// idle machine costs no handoff.
+//
+// fn is called concurrently from multiple goroutines (at most one call
+// per process, but calls for different processes overlap); it must be
+// safe for concurrent use. Consumers that fold into shared state should
+// either shard their accumulator or prefer EachLevel.
+func (m *Monitor) EachLevelParallel(fn func(id string, lvl core.Level)) {
+	p := &m.walk
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.start.Do(m.startWalkers)
+	p.now = m.clk.Now()
+	p.fn = fn
+	p.cursor.Store(0)
+	p.pending.Store(int32(p.procs))
+	for i := 1; i < p.procs; i++ {
+		p.wake <- struct{}{}
+	}
+	m.walkSegment()
+	if p.pending.Add(-1) > 0 {
+		<-p.done // the last worker to finish signals once
+	}
+	p.fn = nil
+	m.noteWalkRun()
+}
+
+// startWalkers sizes and launches the worker set. Caller holds p.mu.
+func (m *Monitor) startWalkers() {
+	p := &m.walk
+	p.procs = runtime.GOMAXPROCS(0)
+	if p.procs > len(m.shards) {
+		p.procs = len(m.shards)
+	}
+	if p.procs < 1 {
+		p.procs = 1
+	}
+	p.wake = make(chan struct{})
+	p.done = make(chan struct{}, 1)
+	for i := 1; i < p.procs; i++ {
+		go func() {
+			for range p.wake {
+				m.walkSegment()
+				if p.pending.Add(-1) == 0 {
+					p.done <- struct{}{}
+				}
+			}
+		}()
+	}
+}
+
+// walkSegment drains shards off the job cursor until none remain.
+func (m *Monitor) walkSegment() {
+	p := &m.walk
+	for {
+		i := p.cursor.Add(1) - 1
+		if i >= uint32(len(m.shards)) {
+			return
+		}
+		walkShardLevels(&m.shards[i], p.now, p.fn)
+	}
+}
+
+// walkCoalescer single-flights full-registry walks: while one consumer's
+// pass is in flight, later consumers queue their callbacks instead of
+// starting their own O(N) scans, and the in-flight leader runs one more
+// pass that feeds the whole batch. Consumers still block until their
+// callback has seen every process, so the contract ("fn saw the fleet at
+// one clock reading") is unchanged — the reading is just the batch's
+// rather than each caller's own, which is the staleness the coalescing
+// tick trades for doing one walk instead of k (documented in
+// docs/TUNING.md "Read-path scaling").
+type walkCoalescer struct {
+	mu      sync.Mutex
+	running bool
+	queue   []*walkJoin // consumers waiting for the next batch pass
+	batch   []*walkJoin // the pass currently being fed (leader-owned)
+	fanFn   func(info ProcessInfo)
+}
+
+// walkJoin is one queued consumer: exactly one of fn / levelFn is set.
+// Joins are pooled; the done channel is allocated once per pooled
+// object.
+type walkJoin struct {
+	fn      func(info ProcessInfo)
+	levelFn func(id string, lvl core.Level)
+	done    chan struct{}
+}
+
+var joinPool = sync.Pool{
+	New: func() any { return &walkJoin{done: make(chan struct{}, 1)} },
+}
+
+// EachInfoShared is EachInfo through the coalescer: same-instant
+// consumers (scrape + gossip + QoS sampler firing together) share one
+// walk's output instead of each paying for their own.
+//
+// A joined consumer's fn may execute on the leader's goroutine. It must
+// therefore not acquire any lock the *other* shared-walk consumers hold
+// while joined (the QoS estimator lock, the federation mutex); holding
+// one's own lock across the join is fine — mutual exclusion is
+// preserved because the joiner stays blocked until its callback is done.
+func (m *Monitor) EachInfoShared(fn func(info ProcessInfo)) {
+	m.sharedWalk(fn, nil)
+}
+
+// EachLevelShared is EachLevel through the coalescer; see EachInfoShared
+// for the callback constraints.
+func (m *Monitor) EachLevelShared(fn func(id string, lvl core.Level)) {
+	m.sharedWalk(nil, fn)
+}
+
+func (m *Monitor) sharedWalk(infoFn func(info ProcessInfo), levelFn func(id string, lvl core.Level)) {
+	c := &m.coal
+	c.mu.Lock()
+	if c.running {
+		// Join the in-flight leader's next batch pass.
+		j := joinPool.Get().(*walkJoin)
+		j.fn, j.levelFn = infoFn, levelFn
+		c.queue = append(c.queue, j)
+		c.mu.Unlock()
+		<-j.done
+		j.fn, j.levelFn = nil, nil
+		joinPool.Put(j)
+		if m.tel != nil {
+			m.tel.Walks.Coalesced(1)
+		}
+		return
+	}
+	// Leader: run own pass, then serve whoever queued meanwhile.
+	c.running = true
+	if c.fanFn == nil {
+		c.fanFn = c.fanout
+	}
+	c.mu.Unlock()
+	if infoFn != nil {
+		m.EachInfo(infoFn)
+	} else {
+		m.EachLevel(levelFn)
+	}
+	for {
+		c.mu.Lock()
+		if len(c.queue) == 0 {
+			c.running = false
+			c.mu.Unlock()
+			return
+		}
+		c.queue, c.batch = c.batch[:0], c.queue
+		c.mu.Unlock()
+		m.EachInfo(c.fanFn)
+		for i, j := range c.batch {
+			c.batch[i] = nil
+			j.done <- struct{}{}
+		}
+	}
+}
+
+// fanout feeds one walked process to every consumer of the current
+// batch. Bound to fanFn once so the batch pass allocates no closure.
+func (c *walkCoalescer) fanout(info ProcessInfo) {
+	for _, j := range c.batch {
+		if j.fn != nil {
+			j.fn(info)
+		} else {
+			j.levelFn(info.ID, info.Level)
+		}
+	}
+}
+
+// AppendShardInfos appends the ProcessInfo of every process currently
+// bound in shard s (0 <= s < ShardCount), evaluated at now, to dst and
+// returns the extended slice (unsorted). It is the paged counterpart of
+// EachInfo — the /v1/metrics scrape walks shards [cursor, cursor+k) per
+// page — and reads entirely from published snapshots: no shard lock
+// beyond the two-field span capture, no entry locks, no allocations
+// beyond dst growth. It deliberately does not go through the coalescer:
+// scrape pages interleave per-process reads of the QoS estimator, whose
+// lock a coalesced QoS sampling round holds while joined.
+func (m *Monitor) AppendShardInfos(s int, now time.Time, dst []ProcessInfo) []ProcessInfo {
+	if s < 0 || s >= len(m.shards) {
+		return dst
+	}
+	sh := &m.shards[s]
+	chunks, n := sh.walkSpan()
+	remaining := int(n)
+	for _, chunk := range chunks {
+		cn := slabChunkSize
+		if remaining < cn {
+			cn = remaining
+		}
+		for j := 0; j < cn; j++ {
+			e := &chunk[j]
+			meta, snap, last, ok := e.loadEval()
+			if !ok {
+				continue
+			}
+			var lvl core.Level
+			if snap.Kind != core.EvalNone {
+				lvl = snap.Level(now)
+			} else if lvl, ok = e.lockedLevel(meta, now); !ok {
+				continue
+			}
+			dst = append(dst, ProcessInfo{ID: meta.id, Group: meta.group, Level: lvl, LastArrival: time.Unix(0, last)})
+		}
+		remaining -= cn
+		if remaining <= 0 {
+			break
+		}
+	}
+	return dst
+}

@@ -66,6 +66,9 @@ type Hub struct {
 	// movements (internal/autotune); zero and inert when autotuning is
 	// off.
 	Autotune AutotuneCounters
+	// Walks counts the evaluation plane's full-registry passes and how
+	// many consumers shared one (internal/service walk coalescing).
+	Walks WalkCounters
 
 	qos *QoS
 }

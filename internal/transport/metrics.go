@@ -31,11 +31,11 @@ const MetricsCursorHeader = "Accrual-Metrics-Cursor"
 // matter how many processes are registered.
 const metricsChunkSize = telemetry.DefaultChunkSize
 
-// metricsScratch is the pooled per-scrape working set: the shard id
+// metricsScratch is the pooled per-scrape working set: the shard info
 // buffer reused across shards and scrapes so a steady-state scrape
 // allocates nothing.
 type metricsScratch struct {
-	ids []string
+	infos []service.ProcessInfo
 }
 
 var metricsScratchPool = sync.Pool{New: func() any { return new(metricsScratch) }}
@@ -289,6 +289,12 @@ func (a *API) writeGlobalMetrics(mw *telemetry.MetricWriter) {
 		"Last applied detector nominal-interval knob", "gauge")
 	mw.Sample("accrual_autotune_interval_seconds", tuneInterval)
 
+	walks := a.hub.Walks.Snapshot()
+	counter("accrual_walk_runs_total",
+		"Full-registry evaluation walks executed (sequential, parallel and coalesced batch passes)", walks.Runs)
+	counter("accrual_walk_coalesced_total",
+		"Full-fleet readers served by joining another consumer's walk instead of running their own", walks.Coalesced)
+
 	count, mean, max := a.hub.QoS().DetectionStats()
 	mw.Header("accrual_qos_detections_total",
 		"Crashes detected (crash-marked processes deregistered while suspected)", "counter")
@@ -320,7 +326,7 @@ func (a *API) writeGlobalMetrics(mw *telemetry.MetricWriter) {
 // docs/OBSERVABILITY.md §2.
 func writePerProcessHeaders(mw *telemetry.MetricWriter) {
 	mw.Header(telemetry.MetricSuspicionLevel,
-		"Latest sampled suspicion level", "gauge")
+		"Suspicion level evaluated at scrape time from the published eval snapshot", "gauge")
 	mw.Header(telemetry.MetricQoSLambdaM,
 		"Online estimate of the mistake rate lambda_M, S-transitions per second", "gauge")
 	mw.Header(telemetry.MetricQoSPA,
@@ -335,33 +341,41 @@ func writePerProcessHeaders(mw *telemetry.MetricWriter) {
 
 // writePerProcessSamples walks registry shards from fromShard on,
 // emitting the six per-process series for every monitored process (ids
-// sorted within each shard; NaN for processes the estimators have not
-// observed yet). With limit > 0 it stops at the first shard boundary at
-// or past limit emitted processes and returns the next shard index;
-// otherwise (and on the final shard) it returns -1.
+// sorted within each shard; NaN for the QoS estimates of processes the
+// estimators have not observed yet). The suspicion level is evaluated
+// live from each process's published eval snapshot at scrape time — the
+// scrape reads the registry's lock-free evaluation plane directly
+// (service.Monitor.AppendShardInfos) rather than re-reporting the QoS
+// sampler's last observation. With limit > 0 it stops at the first
+// shard boundary at or past limit emitted processes and returns the
+// next shard index; otherwise (and on the final shard) it returns -1.
 func (a *API) writePerProcessSamples(mw *telemetry.MetricWriter, fromShard, limit int) (next int) {
 	q := a.hub.QoS()
 	sc := metricsScratchPool.Get().(*metricsScratch)
 	next = -1
 	emitted := 0
+	now := a.mon.Now()
 	shards := a.mon.ShardCount()
 	for s := fromShard; s < shards; s++ {
-		sc.ids = a.mon.AppendShardIDs(s, sc.ids[:0])
-		slices.Sort(sc.ids)
-		for _, id := range sc.ids {
-			est, ok := q.Estimate(id)
+		sc.infos = a.mon.AppendShardInfos(s, now, sc.infos[:0])
+		slices.SortFunc(sc.infos, func(x, y service.ProcessInfo) int {
+			return strings.Compare(x.ID, y.ID)
+		})
+		for _, info := range sc.infos {
+			est, ok := q.Estimate(info.ID)
 			if !ok {
-				est = telemetry.NotEstimable(id)
+				est = telemetry.NotEstimable(info.ID)
 			}
+			est.Level = info.Level
 			writeProcessSamples(mw, est)
 		}
-		emitted += len(sc.ids)
+		emitted += len(sc.infos)
 		if limit > 0 && emitted >= limit && s+1 < shards {
 			next = s + 1
 			break
 		}
 	}
-	sc.ids = sc.ids[:0]
+	sc.infos = sc.infos[:0]
 	metricsScratchPool.Put(sc)
 	return next
 }
